@@ -1,0 +1,91 @@
+//! Component-level area report.
+
+use std::fmt;
+
+/// A named design with per-component areas in µm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaBreakdown {
+    /// Design name.
+    pub name: String,
+    /// `(component, µm²)` pairs.
+    pub components: Vec<(String, f64)>,
+}
+
+impl AreaBreakdown {
+    /// Creates a breakdown from components.
+    pub fn new(name: impl Into<String>, components: Vec<(String, f64)>) -> Self {
+        AreaBreakdown {
+            name: name.into(),
+            components,
+        }
+    }
+
+    /// Total area in µm².
+    pub fn total(&self) -> f64 {
+        self.components.iter().map(|(_, a)| a).sum()
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total() / 1.0e6
+    }
+
+    /// Area of a named component, if present.
+    pub fn component(&self, name: &str) -> Option<f64> {
+        self.components
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+    }
+
+    /// Percentage share of a named component.
+    pub fn share(&self, name: &str) -> Option<f64> {
+        self.component(name).map(|a| 100.0 * a / self.total())
+    }
+
+    /// Merges another breakdown's components under a prefix (for platform
+    /// composition).
+    pub fn absorb(&mut self, prefix: &str, other: &AreaBreakdown) {
+        for (n, a) in &other.components {
+            self.components.push((format!("{prefix}/{n}"), *a));
+        }
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}  total {:.0} um^2 ({:.3} mm^2)",
+            self.name,
+            self.total(),
+            self.total_mm2()
+        )?;
+        for (n, a) in &self.components {
+            writeln!(f, "  {n:<28} {a:>12.0}  {:5.1}%", 100.0 * a / self.total())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let b = AreaBreakdown::new("x", vec![("a".into(), 75.0), ("b".into(), 25.0)]);
+        assert_eq!(b.total(), 100.0);
+        assert_eq!(b.share("a"), Some(75.0));
+        assert_eq!(b.component("c"), None);
+    }
+
+    #[test]
+    fn absorb_prefixes() {
+        let mut b = AreaBreakdown::new("p", vec![("core".into(), 10.0)]);
+        let other = AreaBreakdown::new("q", vec![("mesh".into(), 5.0)]);
+        b.absorb("gemmini", &other);
+        assert_eq!(b.component("gemmini/mesh"), Some(5.0));
+        assert_eq!(b.total(), 15.0);
+    }
+}

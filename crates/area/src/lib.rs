@@ -1,0 +1,35 @@
+//! # soc-area — ASAP7-calibrated analytical area model
+//!
+//! The paper synthesizes every design point in the ASAP7 predictive 7-nm
+//! PDK and reports areas in µm² (Table I), a Gemmini-vs-Saturn component
+//! breakdown (Figure 21), and the cost of the GEMV hardware extension
+//! (Table II). We cannot run a VLSI flow here, so this crate provides an
+//! **analytical, component-level area model calibrated against the
+//! paper's published numbers**:
+//!
+//! * Scalar cores are calibrated per preset (TinyRocket … MegaBOOM) with
+//!   an analytic fallback for unlisted configurations.
+//! * Saturn scales linearly in datapath lanes on top of a fixed register
+//!   file (synthesized from flip-flops — 16× less dense than SRAM, the
+//!   paper's headline area observation) and sequencer.
+//! * Gemmini is dominated by scratchpad SRAM (per-KiB) plus per-bank
+//!   logic; the mesh is per-PE; the execute controller grows with DIM and
+//!   carries the GEMV extension's 9.2 % (4×4) / 18 % (8×8) overhead.
+//!
+//! Note: the paper's Table II (a ~256 KiB default-Gemmini tile) and
+//! Table I (32/64 KiB MPC-sized configurations) are synthesized from
+//! different configurations; [`table2_breakdown`] reproduces the former
+//! with its own calibration, while [`gemmini_area`] targets the latter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod cpu;
+mod gemmini;
+mod saturn;
+
+pub use breakdown::AreaBreakdown;
+pub use cpu::cpu_area;
+pub use gemmini::{gemmini_area, gemmini_platform_area, table2_breakdown};
+pub use saturn::{saturn_area, saturn_platform_area};

@@ -1,0 +1,106 @@
+//! Saturn vector-unit area (Figure 21's right-hand breakdown).
+
+use crate::{cpu_area, AreaBreakdown};
+use soc_cpu::CoreConfig;
+use soc_vector::SaturnConfig;
+
+/// Area of a Saturn vector unit.
+///
+/// Calibration (from Table I deltas over the Rocket frontend):
+/// V512 D128 = 853,808 µm², V512 D256 = 1,299,973 µm² — linear in lanes
+/// over a fixed register file and sequencer. The register file is
+/// synthesized from flip-flops (the paper notes Gemmini's SRAM scratchpad
+/// holds 16× the capacity in only 35 % more area), which is why it is the
+/// largest fixed component here.
+pub fn saturn_area(config: &SaturnConfig) -> AreaBreakdown {
+    let lanes = config.lanes(32) as f64;
+    // Fixed: VLEN-proportional flip-flop register file + sequencer.
+    let regfile = 280_000.0 * (config.vlen as f64 / 512.0);
+    let sequencer = 127_644.0;
+    // Per-lane: FP FMA, vector integer ALU, memory interface.
+    let fma = 55_000.0 * lanes;
+    let vint = 40_000.0 * lanes;
+    let vmem = 16_541.0 * lanes;
+    AreaBreakdown::new(
+        format!("Saturn {}", config.name),
+        vec![
+            ("vector-regfile (flops)".to_string(), regfile),
+            ("sequencer+control".to_string(), sequencer),
+            ("fp-fma-lanes".to_string(), fma),
+            ("vint-lanes".to_string(), vint),
+            ("vmem-interface".to_string(), vmem),
+        ],
+    )
+}
+
+/// Total area of a Saturn platform (frontend core + vector unit).
+///
+/// Shuttle-fronted references additionally carry a dual-ported
+/// vector-memory coupling (calibrated from Table I:
+/// `RefV512D128Shuttle − Shuttle − Saturn(D128)`).
+pub fn saturn_platform_area(saturn: &SaturnConfig, core: &CoreConfig) -> AreaBreakdown {
+    let mut b = AreaBreakdown::new(format!("{}{}", saturn.name, core.name), Vec::new());
+    b.absorb(core.name, &cpu_area(core));
+    b.absorb("saturn", &saturn_area(saturn));
+    if core.name == "Shuttle" {
+        // Dual-issue frontends widen the vector-memory coupling with the
+        // datapath: calibrated linearly in DLEN from Table I's two Shuttle
+        // reference points.
+        let coupling = 449_307.0 + 1_035.0 * saturn.dlen as f64;
+        b.components
+            .push(("vector-mem-coupling".to_string(), coupling));
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_rocket_references() {
+        let d128 = saturn_platform_area(&SaturnConfig::v512d128(), &CoreConfig::rocket());
+        let d256 = saturn_platform_area(&SaturnConfig::v512d256(), &CoreConfig::rocket());
+        assert!(
+            (d128.total() - 1_340_095.0).abs() < 1_000.0,
+            "{}",
+            d128.total()
+        );
+        assert!(
+            (d256.total() - 1_786_260.0).abs() < 1_000.0,
+            "{}",
+            d256.total()
+        );
+    }
+
+    #[test]
+    fn matches_table1_shuttle_references() {
+        let d128 = saturn_platform_area(&SaturnConfig::v512d128(), &CoreConfig::shuttle());
+        let d256 = saturn_platform_area(&SaturnConfig::v512d256(), &CoreConfig::shuttle());
+        assert!(
+            (d128.total() - 2_262_203.0).abs() < 1_000.0,
+            "{}",
+            d128.total()
+        );
+        assert!(
+            (d256.total() - 2_840_849.0).abs() < 1_000.0,
+            "{}",
+            d256.total()
+        );
+    }
+
+    #[test]
+    fn regfile_dominates_fixed_cost() {
+        let b = saturn_area(&SaturnConfig::v512d128());
+        let rf = b.component("vector-regfile (flops)").unwrap();
+        assert!(rf > b.component("sequencer+control").unwrap());
+    }
+
+    #[test]
+    fn wider_datapath_costs_more() {
+        assert!(
+            saturn_area(&SaturnConfig::v512d512()).total()
+                > saturn_area(&SaturnConfig::v512d256()).total()
+        );
+    }
+}

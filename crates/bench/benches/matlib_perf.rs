@@ -1,0 +1,87 @@
+//! Host-performance benchmarks of the `matlib` linear-algebra kernels at
+//! the operand sizes the workload exercises (order 10) and at sweep sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matlib::{dare, gemm, gemv, Cholesky, DareOptions, Matrix, Vector};
+
+fn mat(n: usize, m: usize, seed: u64) -> Matrix<f64> {
+    Matrix::from_fn(n, m, |r, c| {
+        (((seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((r * 31 + c) as u64))
+            >> 33)
+            % 100) as f64
+            / 50.0
+            - 1.0
+    })
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv");
+    for &(i, k) in &[(12usize, 4usize), (12, 12), (64, 64)] {
+        let a = mat(i, k, 1);
+        let x = Vector::from_fn(k, |j| j as f64 * 0.1);
+        g.bench_function(format!("{i}x{k}"), |b| {
+            b.iter(|| gemv(black_box(&a), black_box(&x)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[4usize, 12, 64] {
+        let a = mat(n, n, 2);
+        let b_m = mat(n, n, 3);
+        g.bench_function(format!("{n}x{n}x{n}"), |b| {
+            b.iter(|| gemm(black_box(&a), black_box(&b_m)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let m = mat(12, 12, 4);
+    let spd = m
+        .matmul(&m.transpose())
+        .unwrap()
+        .add(&Matrix::from_diagonal(&[12.0; 12]))
+        .unwrap();
+    c.bench_function("cholesky_12x12", |b| {
+        b.iter(|| Cholesky::new(black_box(&spd)).unwrap())
+    });
+}
+
+fn bench_dare(c: &mut Criterion) {
+    let p = tinympc::problems::quadrotor_hover::<f64>(10).unwrap();
+    let nx = 12;
+    let q = Matrix::from_fn(
+        nx,
+        nx,
+        |r, cc| if r == cc { p.q_diag[r] + 1.0 } else { 0.0 },
+    );
+    let r = Matrix::from_fn(
+        4,
+        4,
+        |rr, cc| if rr == cc { p.r_diag[rr] + 1.0 } else { 0.0 },
+    );
+    c.bench_function("dare_quadrotor", |b| {
+        b.iter(|| {
+            dare(
+                black_box(&p.a),
+                black_box(&p.b),
+                &q,
+                &r,
+                DareOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemv, bench_gemm, bench_cholesky, bench_dare
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Host-performance benchmarks of the microarchitecture simulators
+//! themselves: micro-ops replayed per second through each pipeline model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use soc_cpu::{simulate_scalar, simulate_with_accel, CoreConfig, ScalarKernels, ScalarStyle};
+use soc_gemmini::{GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit, MatId};
+use soc_isa::TraceBuilder;
+use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
+
+fn scalar_trace() -> soc_isa::Trace {
+    let mut b = TraceBuilder::new();
+    let gen = ScalarKernels::new(ScalarStyle::Optimized);
+    for _ in 0..50 {
+        gen.gemv(&mut b, 12, 12);
+    }
+    b.finish()
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let trace = scalar_trace();
+    let mut g = c.benchmark_group("pipeline_replay");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("inorder_rocket", |b| {
+        b.iter(|| simulate_scalar(black_box(&CoreConfig::rocket()), black_box(&trace)))
+    });
+    g.bench_function("ooo_megaboom", |b| {
+        b.iter(|| simulate_scalar(black_box(&CoreConfig::mega_boom()), black_box(&trace)))
+    });
+    g.finish();
+}
+
+fn bench_saturn(c: &mut Criterion) {
+    let mut b = TraceBuilder::new();
+    let gen = VectorKernels::new(SaturnConfig::v512d256(), VectorStyle::Fused, 1);
+    for _ in 0..50 {
+        gen.gemv(&mut b, 12, 12);
+    }
+    let trace = b.finish();
+    let mut g = c.benchmark_group("pipeline_replay");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("saturn_v512d256", |bch| {
+        bch.iter(|| {
+            let mut unit = SaturnUnit::new(SaturnConfig::v512d256());
+            simulate_with_accel(&CoreConfig::rocket(), black_box(&trace), &mut unit)
+        })
+    });
+    g.finish();
+}
+
+fn bench_gemmini(c: &mut Criterion) {
+    let cfg = GemminiConfig::os_4x4_32kb();
+    let mut gen = GemminiKernels::new(cfg, GemminiOpts::optimized());
+    let mut b = TraceBuilder::new();
+    for i in 0..50 {
+        gen.gemv(&mut b, 12, 12, MatId(0), MatId(1), MatId(100 + i));
+    }
+    let trace = b.finish();
+    let mut g = c.benchmark_group("pipeline_replay");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("gemmini_os4x4", |bch| {
+        bch.iter(|| {
+            let mut unit = GemminiUnit::new(cfg);
+            simulate_with_accel(&CoreConfig::rocket(), black_box(&trace), &mut unit)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipelines, bench_saturn, bench_gemmini
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The code-generation flow in action (the paper's future work): tune a
+//! solver for three hardware targets, print the generated mapping reports,
+//! and show the emitted listing of one kernel.
+
+use soc_codegen::{tune, TuningSpace};
+use soc_cpu::CoreConfig;
+use soc_gemmini::GemminiConfig;
+use soc_vector::SaturnConfig;
+use tinympc::{KernelId, ProblemDims};
+
+fn main() {
+    let dims = ProblemDims {
+        nx: 12,
+        nu: 4,
+        horizon: 10,
+    };
+    for space in [
+        TuningSpace::Scalar(CoreConfig::rocket()),
+        TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+        TuningSpace::Gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb()),
+    ] {
+        let tuned = tune(&space, &dims);
+        println!("{}", tuned.report());
+    }
+
+    let tuned = tune(
+        &TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+        &dims,
+    );
+    println!(
+        "Emitted listing for update_slack_1 on the Saturn target:\n{}",
+        tuned.listing(KernelId::UpdateSlack1).unwrap_or("<none>")
+    );
+}

@@ -1,0 +1,49 @@
+//! # soc-codegen — auto-tuned solver generation
+//!
+//! The paper closes with its future work: *"automated code-generation
+//! flows to emit optimized embedded solvers on top of the matlib
+//! interface, with the end goal of being able to pass in hardware
+//! configurations and robot parameters (which impact matrix and vector
+//! sizes), generating optimized libraries for the desired targets."*
+//!
+//! This crate implements that flow on top of the workspace's models:
+//! given a hardware configuration and problem dimensions, [`tune`]
+//! enumerates the candidate software mappings for **each TinyMPC kernel**
+//! — scalar styles, Saturn fusion/LMUL choices, Gemmini optimization
+//! subsets, and hybrid CPU-fallback mappings — measures every candidate on
+//! the target's timing model, and emits:
+//!
+//! * a [`TunedSolver`]: per-kernel mapping choices plus a
+//!   [`tinympc::KernelExecutor`] that prices solves at the tuned costs;
+//! * a human-readable mapping report ([`TunedSolver::report`]);
+//! * assembly-like listings of the chosen kernels
+//!   ([`TunedSolver::listing`]).
+//!
+//! The tuner *rediscovers* the paper's hand-derived policies: on Saturn it
+//! selects LMUL=1 for the short iterative kernels and high LMUL for
+//! strip-mining (the "dynamically computing VLMAX" policy), and on Gemmini
+//! it keeps reductions partially on the scalar core.
+//!
+//! ## Example
+//!
+//! ```
+//! use soc_codegen::{tune, TuningSpace};
+//! use soc_cpu::CoreConfig;
+//! use soc_vector::SaturnConfig;
+//! use tinympc::ProblemDims;
+//!
+//! let dims = ProblemDims { nx: 12, nu: 4, horizon: 10 };
+//! let tuned = tune(
+//!     &TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+//!     &dims,
+//! );
+//! assert_eq!(tuned.choices.len(), 15);
+//! println!("{}", tuned.report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tuner;
+
+pub use tuner::{tune, MappingChoice, TunedExecutor, TunedSolver, TuningSpace};

@@ -1,0 +1,375 @@
+//! The per-kernel mapping tuner.
+
+use soc_cpu::{CoreConfig, ScalarStyle};
+use soc_dse::executors::{GemminiExecutor, SaturnExecutor, ScalarExecutor};
+use soc_gemmini::{GemminiConfig, GemminiOpts};
+use soc_isa::{disassemble, Trace};
+use soc_vector::{SaturnConfig, VectorStyle};
+use std::collections::BTreeMap;
+use tinympc::{KernelExecutor, KernelId, ProblemDims};
+
+/// The hardware target being tuned for.
+#[derive(Debug, Clone)]
+pub enum TuningSpace {
+    /// A bare scalar core: candidates are the library and hand-optimized
+    /// scalar styles.
+    Scalar(CoreConfig),
+    /// A Saturn-equipped core: candidates span mapping style × LMUL, plus
+    /// the scalar fallback.
+    Saturn(CoreConfig, SaturnConfig),
+    /// A Gemmini-equipped core: candidates span the optimization subsets,
+    /// plus the scalar fallback (hybrid mappings).
+    Gemmini(CoreConfig, GemminiConfig),
+}
+
+impl TuningSpace {
+    fn core(&self) -> &CoreConfig {
+        match self {
+            TuningSpace::Scalar(c) | TuningSpace::Saturn(c, _) | TuningSpace::Gemmini(c, _) => c,
+        }
+    }
+
+    /// Human-readable target name.
+    pub fn name(&self) -> String {
+        match self {
+            TuningSpace::Scalar(c) => c.name.to_string(),
+            TuningSpace::Saturn(c, s) => format!("{}+Saturn{}", c.name, s.name),
+            TuningSpace::Gemmini(c, g) => format!("{}+{}", c.name, g.name),
+        }
+    }
+}
+
+/// One candidate software mapping for one kernel.
+enum Candidate {
+    Scalar(ScalarExecutor, String),
+    Saturn(SaturnExecutor, String),
+    Gemmini(GemminiExecutor, String),
+}
+
+impl Candidate {
+    fn label(&self) -> &str {
+        match self {
+            Candidate::Scalar(_, l) | Candidate::Saturn(_, l) | Candidate::Gemmini(_, l) => l,
+        }
+    }
+
+    fn measure(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+        match self {
+            Candidate::Scalar(e, _) => e.kernel_cycles(kernel, dims),
+            Candidate::Saturn(e, _) => e.kernel_cycles(kernel, dims),
+            Candidate::Gemmini(e, _) => e.kernel_cycles(kernel, dims),
+        }
+    }
+
+    fn trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        match self {
+            Candidate::Scalar(e, _) => e.kernel_trace(kernel, dims),
+            Candidate::Saturn(e, _) => e.kernel_trace(kernel, dims),
+            Candidate::Gemmini(e, _) => e.kernel_trace(kernel, dims),
+        }
+    }
+}
+
+fn candidates(space: &TuningSpace) -> Vec<Candidate> {
+    let core = space.core().clone();
+    let mut v = vec![
+        Candidate::Scalar(
+            ScalarExecutor::new(core.clone(), ScalarStyle::Optimized),
+            "scalar hand-optimized".to_string(),
+        ),
+        Candidate::Scalar(
+            ScalarExecutor::new(core.clone(), ScalarStyle::Library),
+            "scalar matlib".to_string(),
+        ),
+    ];
+    match space {
+        TuningSpace::Scalar(_) => {}
+        TuningSpace::Saturn(_, cfg) => {
+            for lmul in [1u8, 2, 4, 8] {
+                v.push(Candidate::Saturn(
+                    SaturnExecutor::new(core.clone(), *cfg, VectorStyle::Fused)
+                        .with_uniform_lmul(lmul),
+                    format!("saturn fused LMUL={lmul}"),
+                ));
+            }
+            v.push(Candidate::Saturn(
+                SaturnExecutor::new(core.clone(), *cfg, VectorStyle::Matlib).with_uniform_lmul(1),
+                "saturn vectorized-matlib".to_string(),
+            ));
+        }
+        TuningSpace::Gemmini(_, cfg) => {
+            v.push(Candidate::Gemmini(
+                GemminiExecutor::new(core.clone(), *cfg, GemminiOpts::optimized()),
+                "gemmini optimized".to_string(),
+            ));
+            let mut no_act = GemminiOpts::optimized();
+            no_act.fuse_activation = false;
+            v.push(Candidate::Gemmini(
+                GemminiExecutor::new(core.clone(), *cfg, no_act),
+                "gemmini, scalar activations".to_string(),
+            ));
+            let mut no_pool = GemminiOpts::optimized();
+            no_pool.pooling_reduction = false;
+            v.push(Candidate::Gemmini(
+                GemminiExecutor::new(core, *cfg, no_pool),
+                "gemmini, scalar reductions".to_string(),
+            ));
+        }
+    }
+    v
+}
+
+/// The winning mapping for one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingChoice {
+    /// Human-readable mapping label.
+    pub label: String,
+    /// Measured steady-state cycles per invocation.
+    pub cycles: u64,
+}
+
+/// A generated, target-specific solver configuration.
+#[derive(Debug, Clone)]
+pub struct TunedSolver {
+    /// Target name.
+    pub target: String,
+    /// Problem dimensions tuned for.
+    pub dims: ProblemDims,
+    /// Winning mapping per kernel.
+    pub choices: BTreeMap<KernelId, MappingChoice>,
+    /// One-time setup cost of the winning configuration.
+    pub setup_cycles: u64,
+    /// Assembly-like listing of each chosen kernel.
+    listings: BTreeMap<KernelId, String>,
+}
+
+impl TunedSolver {
+    /// Markdown report of the chosen mapping per kernel.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "# Generated solver for {} (nx={}, nu={}, N={})\n\n| kernel | mapping | cycles |\n|---|---|---|\n",
+            self.target, self.dims.nx, self.dims.nu, self.dims.horizon
+        );
+        for (k, c) in &self.choices {
+            out.push_str(&format!("| {k} | {} | {} |\n", c.label, c.cycles));
+        }
+        let per_iter: u64 = self
+            .choices
+            .iter()
+            .map(|(k, c)| c.cycles * k.invocations_per_iteration(self.dims.horizon) as u64)
+            .sum();
+        out.push_str(&format!("\ncycles per ADMM iteration: {per_iter}\n"));
+        out
+    }
+
+    /// The chosen kernel's listing (assembly-like micro-op rendering).
+    pub fn listing(&self, kernel: KernelId) -> Option<&str> {
+        self.listings.get(&kernel).map(String::as_str)
+    }
+
+    /// Estimated cycles per ADMM iteration under the tuned mapping.
+    pub fn cycles_per_iteration(&self) -> u64 {
+        self.choices
+            .iter()
+            .map(|(k, c)| c.cycles * k.invocations_per_iteration(self.dims.horizon) as u64)
+            .sum()
+    }
+
+    /// A [`KernelExecutor`] pricing solves at the tuned per-kernel costs.
+    pub fn executor(&self) -> TunedExecutor {
+        TunedExecutor {
+            name: format!("tuned({})", self.target),
+            dims: self.dims,
+            table: self.choices.iter().map(|(k, c)| (*k, c.cycles)).collect(),
+            setup: self.setup_cycles,
+        }
+    }
+}
+
+/// Executor backed by a tuned per-kernel cycle table.
+#[derive(Debug, Clone)]
+pub struct TunedExecutor {
+    name: String,
+    dims: ProblemDims,
+    table: BTreeMap<KernelId, u64>,
+    setup: u64,
+}
+
+impl KernelExecutor for TunedExecutor {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+        debug_assert_eq!(*dims, self.dims, "tuned for different dimensions");
+        self.table.get(&kernel).copied().unwrap_or(1)
+    }
+
+    fn setup_cycles(&mut self, _dims: &ProblemDims) -> u64 {
+        self.setup
+    }
+}
+
+/// Tunes the solver for a hardware target: measures every candidate
+/// mapping for every kernel and picks the fastest.
+pub fn tune(space: &TuningSpace, dims: &ProblemDims) -> TunedSolver {
+    let mut cands = candidates(space);
+    let mut choices = BTreeMap::new();
+    let mut listings = BTreeMap::new();
+    for kernel in KernelId::ALL {
+        let (best_idx, best_cycles) = cands
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| (i, c.measure(kernel, dims)))
+            .min_by_key(|&(_, c)| c)
+            .expect("at least one candidate");
+        choices.insert(
+            kernel,
+            MappingChoice {
+                label: cands[best_idx].label().to_string(),
+                cycles: best_cycles,
+            },
+        );
+        listings.insert(kernel, disassemble(&cands[best_idx].trace(kernel, dims)));
+    }
+    // Setup cost: charged if any chosen mapping runs on the accelerator.
+    let setup_cycles = cands
+        .iter_mut()
+        .filter(|c| {
+            choices.values().any(|ch| ch.label == *c.label()) && matches!(c, Candidate::Gemmini(..))
+        })
+        .map(|c| match c {
+            Candidate::Gemmini(e, _) => e.setup_cycles(dims),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+
+    TunedSolver {
+        target: space.name(),
+        dims: *dims,
+        choices,
+        setup_cycles,
+        listings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinympc::KernelClass;
+
+    fn dims() -> ProblemDims {
+        ProblemDims {
+            nx: 12,
+            nu: 4,
+            horizon: 10,
+        }
+    }
+
+    #[test]
+    fn tuner_rediscovers_saturn_lmul_policy() {
+        let tuned = tune(
+            &TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+            &dims(),
+        );
+        // Strip-mining kernels must pick a grouped (LMUL>1) Saturn mapping.
+        for k in KernelId::ALL {
+            let choice = &tuned.choices[&k];
+            match k.class() {
+                KernelClass::StripMining => {
+                    assert!(
+                        choice.label.contains("LMUL=2")
+                            || choice.label.contains("LMUL=4")
+                            || choice.label.contains("LMUL=8"),
+                        "{k}: expected grouped mapping, got {}",
+                        choice.label
+                    );
+                }
+                KernelClass::Iterative => {
+                    assert!(
+                        !choice.label.contains("LMUL=8"),
+                        "{k}: LMUL=8 should never win an iterative kernel"
+                    );
+                }
+                KernelClass::Reduction => {}
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_never_loses_to_any_fixed_candidate() {
+        let space = TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
+        let tuned = tune(&space, &dims());
+        let tuned_total = tuned.cycles_per_iteration();
+        // Compare against each uniform-LMUL fixed policy.
+        for lmul in [1u8, 2, 4, 8] {
+            let mut fixed = SaturnExecutor::new(
+                CoreConfig::rocket(),
+                SaturnConfig::v512d256(),
+                VectorStyle::Fused,
+            )
+            .with_uniform_lmul(lmul);
+            let total: u64 = KernelId::ALL
+                .iter()
+                .map(|&k| {
+                    fixed.kernel_cycles(k, &dims())
+                        * k.invocations_per_iteration(dims().horizon) as u64
+                })
+                .sum();
+            assert!(
+                tuned_total <= total,
+                "tuned {tuned_total} > fixed LMUL={lmul} {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_space_prefers_optimized_everywhere() {
+        let tuned = tune(&TuningSpace::Scalar(CoreConfig::rocket()), &dims());
+        for (k, c) in &tuned.choices {
+            assert_eq!(c.label, "scalar hand-optimized", "{k} picked {}", c.label);
+        }
+    }
+
+    #[test]
+    fn gemmini_space_produces_hybrid_mapping() {
+        let tuned = tune(
+            &TuningSpace::Gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb()),
+            &dims(),
+        );
+        // The iterative matrix-product kernels must run on Gemmini.
+        assert!(
+            tuned.choices[&KernelId::ForwardPass2]
+                .label
+                .contains("gemmini"),
+            "forward_pass_2 picked {}",
+            tuned.choices[&KernelId::ForwardPass2].label
+        );
+        // Setup is charged because Gemmini mappings won somewhere.
+        assert!(tuned.setup_cycles > 0);
+    }
+
+    #[test]
+    fn listings_render_for_every_kernel() {
+        let tuned = tune(&TuningSpace::Scalar(CoreConfig::rocket()), &dims());
+        for k in KernelId::ALL {
+            let l = tuned.listing(k).expect("listing exists");
+            assert!(!l.is_empty());
+        }
+    }
+
+    #[test]
+    fn tuned_executor_prices_solves() {
+        use tinympc::{problems, AdmmSolver, SolverSettings};
+        let space = TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
+        let tuned = tune(&space, &dims());
+        let mut executor = tuned.executor();
+        let problem = problems::quadrotor_hover::<f32>(10).unwrap();
+        let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
+        let x0 = solver.problem().hover_offset_state(0.2);
+        let r = solver.solve(&x0, &mut executor).unwrap();
+        assert!(r.converged);
+        assert!(r.total_cycles > 0);
+    }
+}

@@ -1,0 +1,621 @@
+//! [`KernelExecutor`] implementations for every back-end family.
+//!
+//! Each executor maps a TinyMPC kernel to its back-end's software mapping
+//! (a micro-op trace), replays it through the back-end's pipeline model,
+//! and memoizes the **steady-state** cost: the kernel is emitted twice in
+//! one trace and the cost of the second copy is charged, so cold-start
+//! artifacts (first-touch scratchpad loads, pipeline fill) do not inflate
+//! the per-iteration numbers. Gemmini's one-time workspace preload is
+//! charged separately through [`KernelExecutor::setup_cycles`].
+
+use soc_cpu::{
+    simulate_with_accel, Accelerator, CoreConfig, NullAccelerator, ScalarKernels, ScalarStyle,
+};
+use soc_gemmini::{GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit};
+use soc_isa::{OpClass, Trace, TraceBuilder};
+use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
+use std::collections::HashMap;
+use tinympc::{KernelClass, KernelExecutor, KernelId, ProblemDims};
+
+/// Simulates `trace` twice-emitted kernel material: returns
+/// `cycles(full) − cycles(prefix)` where `prefix` is the first `mark` ops.
+pub(crate) fn steady_cost(
+    core: &CoreConfig,
+    trace: &Trace,
+    mark: usize,
+    mut fresh_accel: impl FnMut() -> Box<dyn Accelerator>,
+) -> u64 {
+    let prefix: Trace = trace.ops()[..mark].iter().copied().collect();
+    let mut a1 = fresh_accel();
+    let full = simulate_with_accel(core, trace, a1.as_mut());
+    let mut a2 = fresh_accel();
+    let head = simulate_with_accel(core, &prefix, a2.as_mut());
+    full.saturating_sub(head).max(1)
+}
+
+// ---------------------------------------------------------------------
+// Scalar
+// ---------------------------------------------------------------------
+
+/// Times TinyMPC kernels on a bare scalar core (Rocket / Shuttle / BOOM)
+/// with either the `matlib` library mapping or the hand-optimized
+/// Eigen-equivalent mapping.
+#[derive(Debug, Clone)]
+pub struct ScalarExecutor {
+    core: CoreConfig,
+    kernels: ScalarKernels,
+    memo: HashMap<(KernelId, ProblemDims), u64>,
+}
+
+impl ScalarExecutor {
+    /// Creates an executor for `core` with the given mapping style.
+    pub fn new(core: CoreConfig, style: ScalarStyle) -> Self {
+        ScalarExecutor {
+            core,
+            kernels: ScalarKernels::new(style),
+            memo: HashMap::new(),
+        }
+    }
+
+    fn emit(&self, b: &mut TraceBuilder, k: KernelId, d: &ProblemDims) {
+        let (nx, nu) = (d.nx, d.nu);
+        let sx = d.state_elems();
+        let su = d.input_elems();
+        let ks = &self.kernels;
+        use KernelId::*;
+        match k {
+            // u = −K∞ x − d
+            ForwardPass1 => ks.gemv_with(b, nu, nx, &[OpClass::FpSimple, OpClass::FpAdd]),
+            // x' = A x + B u
+            ForwardPass2 => {
+                ks.gemv(b, nx, nx);
+                ks.gemv_with(b, nx, nu, &[OpClass::FpAdd]);
+            }
+            // d = Quu⁻¹ (Bᵀ p + r)
+            BackwardPass1 => {
+                ks.gemv_with(b, nu, nx, &[OpClass::FpAdd]);
+                ks.gemv(b, nu, nu);
+            }
+            // p = q + (A−BK)ᵀ p − K∞ᵀ r
+            BackwardPass2 => {
+                ks.gemv_with(b, nx, nx, &[OpClass::FpAdd]);
+                ks.gemv_with(b, nx, nu, &[OpClass::FpAdd]);
+            }
+            // p[N−1] = −P∞ xref − ρ(vnew − g)
+            UpdateLinearCost4 => {
+                ks.gemv_with(b, nx, nx, &[OpClass::FpSimple]);
+                ks.fused_map(b, nx, 2, &[OpClass::FpAdd, OpClass::FpFma]);
+            }
+            // znew = clip(u + y)
+            UpdateSlack1 => ks.fused_map(
+                b,
+                su,
+                2,
+                &[OpClass::FpAdd, OpClass::FpSimple, OpClass::FpSimple],
+            ),
+            UpdateSlack2 => ks.fused_map(
+                b,
+                sx,
+                2,
+                &[OpClass::FpAdd, OpClass::FpSimple, OpClass::FpSimple],
+            ),
+            // y += u − znew ; g += x − vnew
+            UpdateDual1 => {
+                ks.fused_map(b, su, 3, &[OpClass::FpAdd, OpClass::FpAdd]);
+                ks.fused_map(b, sx, 3, &[OpClass::FpAdd, OpClass::FpAdd]);
+            }
+            // r = −ρ (znew − y)
+            UpdateLinearCost1 => ks.fused_map(b, su, 2, &[OpClass::FpAdd, OpClass::FpMul]),
+            // q = −(xref ⊙ Qdiag)
+            UpdateLinearCost2 => ks.fused_map(b, sx, 2, &[OpClass::FpMul, OpClass::FpSimple]),
+            // q −= ρ (vnew − g)
+            UpdateLinearCost3 => ks.fused_map(b, sx, 3, &[OpClass::FpAdd, OpClass::FpFma]),
+            PrimalResidualState | DualResidualState => {
+                ks.reduce_max_abs_diff(b, sx);
+            }
+            PrimalResidualInput | DualResidualInput => {
+                ks.reduce_max_abs_diff(b, su);
+            }
+        }
+    }
+}
+
+impl ScalarExecutor {
+    /// The micro-op trace of one invocation of `kernel` under this
+    /// executor's software mapping (for listings and analysis).
+    pub fn kernel_trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        let mut b = TraceBuilder::new();
+        self.emit(&mut b, kernel, dims);
+        b.finish()
+    }
+}
+
+impl KernelExecutor for ScalarExecutor {
+    fn name(&self) -> String {
+        let style = match self.kernels.style() {
+            ScalarStyle::Library => "matlib",
+            ScalarStyle::Optimized => "Eigen-opt",
+        };
+        format!("{} ({style})", self.core.name)
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+        if let Some(&c) = self.memo.get(&(kernel, *dims)) {
+            return c;
+        }
+        let mut b = TraceBuilder::new();
+        self.emit(&mut b, kernel, dims);
+        let mark = b.len();
+        self.emit(&mut b, kernel, dims);
+        let trace = b.finish();
+        let c = steady_cost(&self.core, &trace, mark, || Box::new(NullAccelerator));
+        self.memo.insert((kernel, *dims), c);
+        c
+    }
+}
+
+// ---------------------------------------------------------------------
+// Saturn
+// ---------------------------------------------------------------------
+
+/// Times TinyMPC kernels on a Saturn-equipped core.
+///
+/// LMUL is chosen per kernel class, matching the paper's optimized
+/// mapping: iterative kernels keep `LMUL = lmul_iterative` (grouping hurts
+/// their short vectors) while strip-mining kernels use
+/// `lmul_stripmine`. Set both equal to reproduce the Figure 4 sweep.
+#[derive(Debug, Clone)]
+pub struct SaturnExecutor {
+    core: CoreConfig,
+    saturn: SaturnConfig,
+    style: VectorStyle,
+    /// LMUL for iterative (short-vector) kernels.
+    pub lmul_iterative: u8,
+    /// LMUL for strip-mining and reduction kernels.
+    pub lmul_stripmine: u8,
+    memo: HashMap<(KernelId, ProblemDims), u64>,
+}
+
+impl SaturnExecutor {
+    /// Creates an executor with the paper's optimized LMUL policy
+    /// (iterative 1, strip-mining 4).
+    pub fn new(core: CoreConfig, saturn: SaturnConfig, style: VectorStyle) -> Self {
+        SaturnExecutor {
+            core,
+            saturn,
+            style,
+            lmul_iterative: 1,
+            lmul_stripmine: 4,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Forces one LMUL for every kernel (the Figure 4 sweep).
+    pub fn with_uniform_lmul(mut self, lmul: u8) -> Self {
+        self.lmul_iterative = lmul;
+        self.lmul_stripmine = lmul;
+        self.memo.clear();
+        self
+    }
+
+    fn kernels_for(&self, k: KernelId) -> VectorKernels {
+        let lmul = match k.class() {
+            KernelClass::Iterative => self.lmul_iterative,
+            KernelClass::StripMining | KernelClass::Reduction => self.lmul_stripmine,
+        };
+        VectorKernels::new(self.saturn, self.style, lmul)
+    }
+
+    fn emit(&self, b: &mut TraceBuilder, k: KernelId, d: &ProblemDims) {
+        let (nx, nu) = (d.nx, d.nu);
+        let sx = d.state_elems();
+        let su = d.input_elems();
+        let vk = self.kernels_for(k);
+        use KernelId::*;
+        match k {
+            ForwardPass1 => {
+                vk.gemv(b, nu, nx);
+                vk.fused_stripmine(b, nu, 2, 2);
+            }
+            ForwardPass2 => {
+                vk.gemv(b, nx, nx);
+                vk.gemv(b, nx, nu);
+                vk.fused_stripmine(b, nx, 2, 1);
+            }
+            BackwardPass1 => {
+                vk.gemv(b, nu, nx);
+                vk.fused_stripmine(b, nu, 2, 1);
+                vk.gemv(b, nu, nu);
+            }
+            BackwardPass2 => {
+                vk.gemv(b, nx, nx);
+                vk.gemv(b, nx, nu);
+                vk.fused_stripmine(b, nx, 3, 2);
+            }
+            UpdateLinearCost4 => {
+                vk.gemv(b, nx, nx);
+                vk.fused_stripmine(b, nx, 2, 3);
+            }
+            UpdateSlack1 => vk.fused_stripmine(b, su, 2, 3),
+            UpdateSlack2 => vk.fused_stripmine(b, sx, 2, 3),
+            UpdateDual1 => {
+                vk.fused_stripmine(b, su, 3, 2);
+                vk.fused_stripmine(b, sx, 3, 2);
+            }
+            UpdateLinearCost1 => vk.fused_stripmine(b, su, 2, 2),
+            UpdateLinearCost2 => vk.fused_stripmine(b, sx, 2, 2),
+            UpdateLinearCost3 => vk.fused_stripmine(b, sx, 3, 2),
+            PrimalResidualState | DualResidualState => {
+                vk.reduce_max_abs_diff(b, sx);
+            }
+            PrimalResidualInput | DualResidualInput => {
+                vk.reduce_max_abs_diff(b, su);
+            }
+        }
+    }
+
+    /// The Saturn configuration being timed.
+    pub fn saturn_config(&self) -> &SaturnConfig {
+        &self.saturn
+    }
+
+    /// The micro-op trace of one invocation of `kernel` under this
+    /// executor's software mapping (for listings and analysis).
+    pub fn kernel_trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        let mut b = TraceBuilder::new();
+        self.emit(&mut b, kernel, dims);
+        b.finish()
+    }
+}
+
+impl KernelExecutor for SaturnExecutor {
+    fn name(&self) -> String {
+        let style = match self.style {
+            VectorStyle::Matlib => "vec-matlib",
+            VectorStyle::Fused => "hand-opt",
+        };
+        format!("Saturn {} / {} ({style})", self.saturn.name, self.core.name)
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+        if let Some(&c) = self.memo.get(&(kernel, *dims)) {
+            return c;
+        }
+        let mut b = TraceBuilder::new();
+        self.emit(&mut b, kernel, dims);
+        let mark = b.len();
+        self.emit(&mut b, kernel, dims);
+        let trace = b.finish();
+        let saturn = self.saturn;
+        let c = steady_cost(&self.core, &trace, mark, || {
+            Box::new(SaturnUnit::new(saturn))
+        });
+        self.memo.insert((kernel, *dims), c);
+        c
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gemmini
+// ---------------------------------------------------------------------
+
+/// Workspace matrix identities for the Gemmini scratchpad mapping
+/// (Figure 11 of the paper).
+mod ws {
+    use soc_gemmini::MatId;
+    pub const KINF: MatId = MatId(0);
+    pub const KINF_T: MatId = MatId(1);
+    pub const ADYN: MatId = MatId(2);
+    pub const BDYN: MatId = MatId(3);
+    pub const B_T: MatId = MatId(4);
+    pub const AMBK_T: MatId = MatId(5);
+    pub const QUU_INV: MatId = MatId(6);
+    pub const PINF: MatId = MatId(7);
+    pub const QDIAG: MatId = MatId(8);
+    pub const IDENTITY: MatId = MatId(9);
+    pub const NEG_IDENTITY: MatId = MatId(10);
+    pub const RHO_IDENTITY: MatId = MatId(11);
+    pub const X: MatId = MatId(20);
+    pub const U: MatId = MatId(21);
+    pub const D: MatId = MatId(22);
+    pub const P: MatId = MatId(23);
+    pub const Q: MatId = MatId(24);
+    pub const R: MatId = MatId(25);
+    pub const Y: MatId = MatId(26);
+    pub const G: MatId = MatId(27);
+    pub const ZNEW: MatId = MatId(28);
+    pub const VNEW: MatId = MatId(29);
+    pub const XREF: MatId = MatId(30);
+    pub const TMP0: MatId = MatId(40);
+    pub const TMP1: MatId = MatId(41);
+    pub const TMP2: MatId = MatId(42);
+}
+
+/// Times TinyMPC kernels on a Gemmini-equipped core.
+#[derive(Debug, Clone)]
+pub struct GemminiExecutor {
+    core: CoreConfig,
+    gemmini: GemminiConfig,
+    opts: GemminiOpts,
+    memo: HashMap<(KernelId, ProblemDims), u64>,
+}
+
+impl GemminiExecutor {
+    /// Creates an executor for the given hardware and mapping options.
+    pub fn new(core: CoreConfig, gemmini: GemminiConfig, opts: GemminiOpts) -> Self {
+        GemminiExecutor {
+            core,
+            gemmini,
+            opts,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The Gemmini configuration being timed.
+    pub fn gemmini_config(&self) -> &GemminiConfig {
+        &self.gemmini
+    }
+
+    fn emit(&self, gen: &mut GemminiKernels, b: &mut TraceBuilder, k: KernelId, d: &ProblemDims) {
+        let (nx, nu) = (d.nx, d.nu);
+        let sx = d.state_elems();
+        let su = d.input_elems();
+        use ws::*;
+        use KernelId::*;
+        match k {
+            ForwardPass1 => {
+                gen.gemv(b, nu, nx, KINF, X, TMP0);
+                gen.elementwise(b, nu, 1, &[TMP0, D], U);
+            }
+            ForwardPass2 => {
+                gen.gemv(b, nx, nx, ADYN, X, TMP0);
+                gen.gemv(b, nx, nu, BDYN, U, TMP1);
+                gen.elementwise(b, nx, 1, &[TMP0, TMP1], X);
+            }
+            BackwardPass1 => {
+                gen.gemv(b, nu, nx, B_T, P, TMP0);
+                gen.elementwise(b, nu, 1, &[TMP0, R], TMP1);
+                gen.gemv(b, nu, nu, QUU_INV, TMP1, D);
+            }
+            BackwardPass2 => {
+                gen.gemv(b, nx, nx, AMBK_T, P, TMP0);
+                gen.gemv(b, nx, nu, KINF_T, R, TMP1);
+                gen.elementwise(b, nx, 2, &[Q, TMP0], P);
+            }
+            UpdateLinearCost4 => {
+                gen.gemv(b, nx, nx, PINF, XREF, TMP0);
+                gen.elementwise(b, nx, 2, &[VNEW, G], P);
+            }
+            UpdateSlack1 => {
+                gen.elementwise(b, su, 1, &[U, Y], TMP0);
+                gen.clip(b, su, TMP0, ZNEW);
+            }
+            UpdateSlack2 => {
+                gen.elementwise(b, sx, 1, &[X, G], TMP0);
+                gen.clip(b, sx, TMP0, VNEW);
+            }
+            UpdateDual1 => {
+                gen.elementwise(b, su, 2, &[Y, U], Y);
+                gen.elementwise(b, sx, 2, &[G, X], G);
+            }
+            UpdateLinearCost1 => gen.elementwise(b, su, 2, &[ZNEW, Y], R),
+            UpdateLinearCost2 => gen.elementwise(b, sx, 2, &[XREF, QDIAG], Q),
+            UpdateLinearCost3 => gen.elementwise(b, sx, 2, &[VNEW, G], Q),
+            PrimalResidualState | DualResidualState => {
+                gen.elementwise(b, sx, 1, &[X, VNEW], TMP2);
+                gen.abs(b, sx, TMP2, TMP2);
+                gen.max_reduce(b, sx, TMP2);
+            }
+            PrimalResidualInput | DualResidualInput => {
+                gen.elementwise(b, su, 1, &[U, ZNEW], TMP2);
+                gen.abs(b, su, TMP2, TMP2);
+                gen.max_reduce(b, su, TMP2);
+            }
+        }
+    }
+}
+
+impl GemminiExecutor {
+    /// The micro-op trace of one invocation of `kernel` from a cold
+    /// scratchpad (includes the mvins of its operands).
+    pub fn kernel_trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        let mut gen = GemminiKernels::new(self.gemmini, self.opts);
+        let mut b = TraceBuilder::new();
+        self.emit(&mut gen, &mut b, kernel, dims);
+        b.finish()
+    }
+
+    /// The steady-state trace of one invocation (operands already
+    /// resident): the first emission warms residency and is discarded.
+    pub fn kernel_trace_steady(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        let mut gen = GemminiKernels::new(self.gemmini, self.opts);
+        let mut b = TraceBuilder::new();
+        self.emit(&mut gen, &mut b, kernel, dims);
+        let mark = b.len();
+        self.emit(&mut gen, &mut b, kernel, dims);
+        b.finish().ops()[mark..].iter().copied().collect()
+    }
+}
+
+impl KernelExecutor for GemminiExecutor {
+    fn name(&self) -> String {
+        format!("Gemmini {} / {}", self.gemmini.name, self.core.name)
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+        if let Some(&c) = self.memo.get(&(kernel, *dims)) {
+            return c;
+        }
+        let mut gen = GemminiKernels::new(self.gemmini, self.opts);
+        let mut b = TraceBuilder::new();
+        // First emission warms residency; second is the steady-state cost.
+        self.emit(&mut gen, &mut b, kernel, dims);
+        let mark = b.len();
+        self.emit(&mut gen, &mut b, kernel, dims);
+        let trace = b.finish();
+        let cfg = self.gemmini;
+        let c = steady_cost(&self.core, &trace, mark, || Box::new(GemminiUnit::new(cfg)));
+        self.memo.insert((kernel, *dims), c);
+        c
+    }
+
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> u64 {
+        if !self.opts.scratchpad_resident {
+            return 0;
+        }
+        // One-time workspace preload: all cached matrices plus the
+        // utility identities (Figure 10/11 of the paper).
+        let (nx, nu) = (dims.nx, dims.nu);
+        let mut gen = GemminiKernels::new(self.gemmini, self.opts);
+        let mut b = TraceBuilder::new();
+        use ws::*;
+        for (id, r, c) in [
+            (KINF, nu, nx),
+            (KINF_T, nx, nu),
+            (ADYN, nx, nx),
+            (BDYN, nx, nu),
+            (B_T, nu, nx),
+            (AMBK_T, nx, nx),
+            (QUU_INV, nu, nu),
+            (PINF, nx, nx),
+            (QDIAG, nx, nx),
+            (IDENTITY, self.gemmini.dim, self.gemmini.dim),
+            (NEG_IDENTITY, self.gemmini.dim, self.gemmini.dim),
+            (RHO_IDENTITY, self.gemmini.dim, self.gemmini.dim),
+        ] {
+            gen.preload(&mut b, id, r, c);
+        }
+        b.fence();
+        let mut unit = GemminiUnit::new(self.gemmini);
+        simulate_with_accel(&self.core, &b.finish(), &mut unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> ProblemDims {
+        ProblemDims {
+            nx: 12,
+            nu: 4,
+            horizon: 10,
+        }
+    }
+
+    #[test]
+    fn scalar_memoization_is_stable() {
+        let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let a = e.kernel_cycles(KernelId::ForwardPass1, &dims());
+        let b = e.kernel_cycles(KernelId::ForwardPass1, &dims());
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn eigen_beats_matlib_on_every_kernel() {
+        let d = dims();
+        let mut lib = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Library);
+        let mut opt = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        for k in KernelId::ALL {
+            let l = lib.kernel_cycles(k, &d);
+            let o = opt.kernel_cycles(k, &d);
+            assert!(o <= l, "{k}: optimized {o} vs library {l}");
+        }
+    }
+
+    #[test]
+    fn saturn_accelerates_stripmining_over_rocket() {
+        let d = dims();
+        let mut scalar = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let mut saturn = SaturnExecutor::new(
+            CoreConfig::rocket(),
+            SaturnConfig::v512d256(),
+            VectorStyle::Fused,
+        );
+        let s = scalar.kernel_cycles(KernelId::UpdateSlack2, &d);
+        let v = saturn.kernel_cycles(KernelId::UpdateSlack2, &d);
+        assert!(v < s, "saturn {v} vs scalar {s}");
+    }
+
+    #[test]
+    fn uniform_lmul_sweep_changes_costs() {
+        let d = dims();
+        let mk = |l: u8| {
+            SaturnExecutor::new(
+                CoreConfig::rocket(),
+                SaturnConfig::v512d256(),
+                VectorStyle::Fused,
+            )
+            .with_uniform_lmul(l)
+        };
+        let strip1 = mk(1).kernel_cycles(KernelId::UpdateSlack2, &d);
+        let strip8 = mk(8).kernel_cycles(KernelId::UpdateSlack2, &d);
+        assert!(
+            strip8 <= strip1,
+            "LMUL=8 should help strip-mining: {strip8} vs {strip1}"
+        );
+        let it1 = mk(1).kernel_cycles(KernelId::BackwardPass1, &d);
+        let it8 = mk(8).kernel_cycles(KernelId::BackwardPass1, &d);
+        assert!(
+            it8 >= it1,
+            "LMUL=8 should not help iterative kernels: {it8} vs {it1}"
+        );
+    }
+
+    #[test]
+    fn gemmini_setup_charged_only_when_resident() {
+        let d = dims();
+        let mut opt = GemminiExecutor::new(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::optimized(),
+        );
+        assert!(opt.setup_cycles(&d) > 0);
+        let mut base = GemminiExecutor::new(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::baseline(),
+        );
+        assert_eq!(base.setup_cycles(&d), 0);
+    }
+
+    #[test]
+    fn gemmini_optimized_beats_baseline_on_iterative_kernels() {
+        let d = dims();
+        let cfg = GemminiConfig::os_4x4_32kb();
+        let mut opt = GemminiExecutor::new(CoreConfig::rocket(), cfg, GemminiOpts::optimized());
+        let mut base = GemminiExecutor::new(CoreConfig::rocket(), cfg, GemminiOpts::baseline());
+        for k in [KernelId::ForwardPass1, KernelId::BackwardPass2] {
+            let o = opt.kernel_cycles(k, &d);
+            let b = base.kernel_cycles(k, &d);
+            assert!(o < b, "{k}: optimized {o} vs baseline {b}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_have_positive_cost_everywhere() {
+        let d = dims();
+        let mut execs: Vec<Box<dyn KernelExecutor>> = vec![
+            Box::new(ScalarExecutor::new(
+                CoreConfig::rocket(),
+                ScalarStyle::Optimized,
+            )),
+            Box::new(SaturnExecutor::new(
+                CoreConfig::rocket(),
+                SaturnConfig::v512d128(),
+                VectorStyle::Fused,
+            )),
+            Box::new(GemminiExecutor::new(
+                CoreConfig::rocket(),
+                GemminiConfig::os_4x4_32kb(),
+                GemminiOpts::optimized(),
+            )),
+        ];
+        for e in execs.iter_mut() {
+            for k in KernelId::ALL {
+                assert!(e.kernel_cycles(k, &d) > 0, "{k} on {}", e.name());
+            }
+        }
+    }
+}

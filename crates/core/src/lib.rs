@@ -1,0 +1,49 @@
+//! # soc-dse — design-space exploration for real-time optimal control
+//!
+//! The paper's primary contribution as a library: a framework that maps
+//! the TinyMPC workload onto every hardware back-end in the design space
+//! (scalar CPUs, Saturn vector configurations, Gemmini systolic arrays),
+//! prices each kernel with the back-ends' cycle-level models, attaches the
+//! calibrated ASAP7 area model, and produces the paper's comparisons —
+//! per-kernel speedup breakdowns, random-size GEMV/GEMM speedup heatmaps,
+//! end-to-end cycles-per-solve, and the area-vs-performance Pareto
+//! frontier.
+//!
+//! ## Layout
+//!
+//! * [`executors`] — [`tinympc::KernelExecutor`] implementations that map
+//!   each TinyMPC kernel onto a back-end's software mapping and memoize
+//!   simulated cycles.
+//! * [`platform`] — the configuration registry (every Table I design
+//!   point) and area/performance plumbing.
+//! * [`experiments`] — runnable reproductions of each table and figure.
+//! * [`workloads`] — random kernel-size generators and closed-loop
+//!   reference trajectories.
+//! * [`energy`] — a first-order energy model (an extension beyond the
+//!   paper's published data; see its module docs).
+//! * [`report`] — plain-text/markdown rendering of results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use soc_dse::platform::Platform;
+//! use soc_dse::experiments::solve_cycles;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rocket = Platform::rocket_eigen();
+//! let outcome = solve_cycles(&rocket, 10)?;
+//! assert!(outcome.result.converged);
+//! assert!(outcome.result.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod executors;
+pub mod experiments;
+pub mod platform;
+pub mod report;
+pub mod workloads;

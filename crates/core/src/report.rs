@@ -1,0 +1,109 @@
+//! Plain-text / markdown rendering of experiment results.
+
+/// Renders a markdown table.
+///
+/// # Examples
+///
+/// ```
+/// let s = soc_dse::report::markdown_table(
+///     &["config", "cycles"],
+///     &[vec!["Rocket".to_string(), "392261".to_string()]],
+/// );
+/// assert!(s.contains("| Rocket |"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Renders a horizontal ASCII bar chart (for the kernel-breakdown
+/// figures). `rows` are `(label, value)`; bars are scaled to `width`
+/// characters at the maximum value.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {:>10.2}  {}\n",
+            v,
+            "#".repeat(n.max(1))
+        ));
+    }
+    out
+}
+
+/// Renders a 2-D grid of ratios (the heatmap figures) with row/column
+/// labels and a geometric-mean footer.
+pub fn heatmap_text(
+    title: &str,
+    row_labels: &[usize],
+    col_labels: &[usize],
+    values: &[Vec<f64>],
+) -> String {
+    let mut out = format!("{title}\n  I\\K ");
+    for c in col_labels {
+        out.push_str(&format!("{c:>7}"));
+    }
+    out.push('\n');
+    let mut product = 1.0f64;
+    let mut count = 0usize;
+    for (r, row) in values.iter().enumerate() {
+        out.push_str(&format!("{:>5} ", row_labels[r]));
+        for v in row {
+            out.push_str(&format!("{v:>7.2}"));
+            product *= v;
+            count += 1;
+        }
+        out.push('\n');
+    }
+    if count > 0 {
+        out.push_str(&format!(
+            "  geometric mean: {:.2}x\n",
+            product.powf(1.0 / count as f64)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.starts_with("| a | b |"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(&[("x".into(), 1.0), ("y".into(), 2.0)], 10);
+        let lines: Vec<_> = s.lines().collect();
+        assert!(lines[1].matches('#').count() > lines[0].matches('#').count());
+    }
+
+    #[test]
+    fn heatmap_reports_geomean() {
+        let s = heatmap_text("t", &[4, 8], &[4, 8], &[vec![2.0, 2.0], vec![2.0, 2.0]]);
+        assert!(s.contains("geometric mean: 2.00x"));
+    }
+}

@@ -1,0 +1,64 @@
+//! The interface between a scalar core and a decoupled accelerator.
+
+use soc_isa::{Cycles, MicroOp};
+
+/// Outcome of dispatching a vector/RoCC micro-op to an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchResult {
+    /// Cycle at which the accelerator accepted the command. The scalar
+    /// frontend is blocked until then (queue backpressure).
+    pub accepted_at: Cycles,
+    /// Cycle at which the op's scalar-visible result (if any) is ready.
+    pub completes_at: Cycles,
+}
+
+/// A decoupled execution engine attached to a scalar core.
+///
+/// Saturn (`soc-vector`) and Gemmini (`soc-gemmini`) implement this; the
+/// scalar pipeline models forward every `Vector` and `Rocc` micro-op here
+/// and stall on `Fence` until [`Accelerator::drain_cycle`].
+pub trait Accelerator {
+    /// Dispatches `op`. `issue_cycle` is when the scalar core presents the
+    /// command; `operands_ready` is when its scalar source operands are
+    /// available.
+    fn dispatch(
+        &mut self,
+        op: &MicroOp,
+        issue_cycle: Cycles,
+        operands_ready: Cycles,
+    ) -> DispatchResult;
+
+    /// Cycle at which all outstanding accelerator work — including its
+    /// memory traffic — will have drained (fence semantics).
+    fn drain_cycle(&self) -> Cycles;
+
+    /// Clears all internal state for a fresh simulation.
+    fn reset(&mut self);
+}
+
+/// An accelerator that accepts nothing but behaves neutrally: commands are
+/// accepted instantly and complete instantly. Used for pure-scalar runs and
+/// as a test double.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullAccelerator;
+
+impl Accelerator for NullAccelerator {
+    fn dispatch(
+        &mut self,
+        _op: &MicroOp,
+        issue_cycle: Cycles,
+        operands_ready: Cycles,
+    ) -> DispatchResult {
+        let t = issue_cycle.max(operands_ready);
+        DispatchResult {
+            accepted_at: t,
+            completes_at: t + 1,
+        }
+    }
+
+    fn drain_cycle(&self) -> Cycles {
+        0
+    }
+
+    fn reset(&mut self) {}
+}

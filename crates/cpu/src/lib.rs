@@ -1,0 +1,87 @@
+//! # soc-cpu — scalar RISC-V core timing models
+//!
+//! Implements the general-purpose-CPU corner of the paper's design space:
+//!
+//! * [`InOrderCore`] — single-issue Rocket and the superscalar in-order
+//!   Shuttle, modelled as scoreboarded in-order pipelines with a
+//!   configurable issue width, FPU count and memory port count.
+//! * [`OutOfOrderCore`] — the SonicBOOM family (Small/Medium/Large/Mega),
+//!   modelled with a decode-width-limited frontend, per-pipe issue queues
+//!   (mem / int / fp), a reorder buffer, and in-order retirement.
+//!
+//! Both models replay [`soc_isa::Trace`]s. Vector and RoCC micro-ops are
+//! forwarded to an attached [`Accelerator`] (Saturn and Gemmini live in
+//! their own crates; [`NullAccelerator`] is used for pure-scalar runs),
+//! which exerts backpressure on the scalar frontend exactly the way the
+//! paper describes: a Rocket frontend saturates feeding short-vector Saturn
+//! instructions, and fine-grained Gemmini mappings demand high scalar
+//! instruction throughput to construct RoCC commands.
+//!
+//! The crate also hosts the scalar *software mappings* ([`ScalarKernels`]):
+//! the `matlib` library-call style with per-call loop and memory overhead,
+//! and the hand-optimized "Eigen-like" style with full unrolling and
+//! register-resident temporaries, matching the two scalar software points
+//! the paper evaluates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accel;
+mod codegen;
+mod config;
+mod inorder;
+mod ooo;
+
+pub use accel::{Accelerator, DispatchResult, NullAccelerator};
+pub use codegen::{ScalarKernels, ScalarStyle};
+pub use config::{CoreConfig, CoreKind, IssueQueues};
+pub use inorder::InOrderCore;
+pub use ooo::OutOfOrderCore;
+
+use soc_isa::{Cycles, Trace};
+
+/// A scalar pipeline model that can replay a trace.
+pub trait Pipeline {
+    /// Simulates the trace from cycle 0 with the given attached
+    /// accelerator, returning the cycle at which the last micro-op (and any
+    /// fence-visible accelerator work) completes.
+    fn run(&self, trace: &Trace, accel: &mut dyn Accelerator) -> Cycles;
+}
+
+/// Simulates a trace on the core described by `config` with no attached
+/// accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use soc_cpu::{simulate_scalar, CoreConfig};
+/// use soc_isa::{OpClass, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.load();
+/// let y = b.fp(OpClass::FpAdd, &[x, x]);
+/// b.store(&[y]);
+/// let cycles = simulate_scalar(&CoreConfig::rocket(), &b.finish());
+/// assert!(cycles > 0);
+/// ```
+pub fn simulate_scalar(config: &CoreConfig, trace: &Trace) -> Cycles {
+    let mut null = NullAccelerator;
+    simulate_with_accel(config, trace, &mut null)
+}
+
+/// Simulates a trace on `config` with an attached accelerator.
+///
+/// The accelerator is [`reset`](Accelerator::reset) before the run so each
+/// simulation starts from a cold pipeline (scratchpad *contents* residency
+/// is modelled by the accelerator itself, not reset here — see
+/// `soc-gemmini`).
+pub fn simulate_with_accel(
+    config: &CoreConfig,
+    trace: &Trace,
+    accel: &mut dyn Accelerator,
+) -> Cycles {
+    match &config.kind {
+        CoreKind::InOrder { .. } => InOrderCore::new(config.clone()).run(trace, accel),
+        CoreKind::OutOfOrder { .. } => OutOfOrderCore::new(config.clone()).run(trace, accel),
+    }
+}

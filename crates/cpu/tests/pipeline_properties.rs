@@ -1,0 +1,167 @@
+//! Property-based tests for the scalar pipeline models: invariants that
+//! must hold for *any* trace, not just the kernels we generate.
+
+use proptest::prelude::*;
+use soc_cpu::{simulate_scalar, CoreConfig};
+use soc_isa::{MicroOp, OpClass, Trace, TraceBuilder, VReg};
+
+/// Strategy: a random but well-formed trace of scalar micro-ops whose
+/// sources always reference earlier destinations.
+fn trace_strategy(max_len: usize) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        (0u8..8, proptest::collection::vec(any::<u32>(), 0..3)),
+        1..max_len,
+    )
+    .prop_map(|ops| {
+        let mut b = TraceBuilder::new();
+        let mut produced: Vec<VReg> = Vec::new();
+        for (class_sel, src_sel) in ops {
+            let class = match class_sel {
+                0 => OpClass::IntAlu,
+                1 => OpClass::Load,
+                2 => OpClass::Store,
+                3 => OpClass::FpAdd,
+                4 => OpClass::FpMul,
+                5 => OpClass::FpFma,
+                6 => OpClass::FpSimple,
+                _ => OpClass::Branch,
+            };
+            let srcs: Vec<VReg> = src_sel
+                .iter()
+                .filter_map(|&s| {
+                    if produced.is_empty() {
+                        None
+                    } else {
+                        Some(produced[s as usize % produced.len()])
+                    }
+                })
+                .collect();
+            let dst = if matches!(class, OpClass::Store | OpClass::Branch) {
+                b.emit_void(class, &srcs);
+                None
+            } else {
+                Some(b.emit(class, &srcs))
+            };
+            if let Some(d) = dst {
+                produced.push(d);
+            }
+        }
+        b.finish()
+    })
+}
+
+fn all_cores() -> Vec<CoreConfig> {
+    vec![
+        CoreConfig::rocket(),
+        CoreConfig::shuttle(),
+        CoreConfig::small_boom(),
+        CoreConfig::medium_boom(),
+        CoreConfig::large_boom(),
+        CoreConfig::mega_boom(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Appending work never makes a trace finish earlier.
+    #[test]
+    fn prefix_monotonicity(trace in trace_strategy(120), cut in 1usize..119) {
+        let cut = cut.min(trace.len());
+        let prefix: Trace = trace.ops()[..cut].iter().copied().collect();
+        for core in all_cores() {
+            let full = simulate_scalar(&core, &trace);
+            let head = simulate_scalar(&core, &prefix);
+            prop_assert!(head <= full, "{}: prefix {head} > full {full}", core.name);
+        }
+    }
+
+    /// No core finishes faster than its issue-width lower bound, and no
+    /// core is slower than fully-serialized worst case.
+    #[test]
+    fn throughput_bounds(trace in trace_strategy(150)) {
+        let n = trace.len() as u64;
+        for core in all_cores() {
+            let cycles = simulate_scalar(&core, &trace);
+            prop_assert!(cycles >= n / 8, "{}: {cycles} below any plausible width", core.name);
+            // Worst case: every op fully serialized at max latency.
+            prop_assert!(cycles <= n * 20 + 50, "{}: {cycles} absurdly slow", core.name);
+        }
+    }
+
+    /// The dependence-chain critical path lower-bounds every machine.
+    #[test]
+    fn critical_path_bound(len in 1usize..80) {
+        let mut b = TraceBuilder::new();
+        let mut acc = b.fp(OpClass::FpAdd, &[]);
+        for _ in 0..len {
+            acc = b.fp(OpClass::FpFma, &[acc]);
+        }
+        let t = b.finish();
+        let bound = len as u64 * 4; // fma latency
+        for core in all_cores() {
+            let cycles = simulate_scalar(&core, &t);
+            prop_assert!(cycles >= bound, "{}: {cycles} beat the dependence chain {bound}", core.name);
+        }
+    }
+
+    /// A dual-issue in-order core is never slower than single-issue on the
+    /// same trace.
+    #[test]
+    fn wider_inorder_never_slower(trace in trace_strategy(100)) {
+        let rocket = simulate_scalar(&CoreConfig::rocket(), &trace);
+        let shuttle = simulate_scalar(&CoreConfig::shuttle(), &trace);
+        prop_assert!(shuttle <= rocket, "shuttle {shuttle} > rocket {rocket}");
+    }
+
+    /// Determinism: simulating twice gives identical results.
+    #[test]
+    fn simulation_is_deterministic(trace in trace_strategy(100)) {
+        for core in all_cores() {
+            prop_assert_eq!(simulate_scalar(&core, &trace), simulate_scalar(&core, &trace));
+        }
+    }
+
+    /// Concatenation superadditivity is bounded: running A then B takes at
+    /// most cycles(A) + cycles(B) + slack (pipelines can only overlap, the
+    /// boundary adds no hidden cost).
+    #[test]
+    fn concatenation_subadditive(a in trace_strategy(60), b in trace_strategy(60)) {
+        // Renumber b's registers so the traces are independent.
+        let offset = a
+            .ops()
+            .iter()
+            .flat_map(|op| op.dst.into_iter().chain(op.sources()))
+            .map(|r| r.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut combined = a.clone();
+        let shifted: Trace = b
+            .ops()
+            .iter()
+            .map(|op| {
+                let mut op = *op;
+                if let Some(d) = op.dst.as_mut() {
+                    d.0 += offset;
+                }
+                for s in op.srcs.iter_mut().flatten() {
+                    s.0 += offset;
+                }
+                op
+            })
+            .collect::<Vec<MicroOp>>()
+            .into_iter()
+            .collect();
+        combined.extend(&shifted);
+        for core in all_cores() {
+            let ca = simulate_scalar(&core, &a);
+            let cb = simulate_scalar(&core, &b);
+            let cab = simulate_scalar(&core, &combined);
+            prop_assert!(
+                cab <= ca + cb + 4,
+                "{}: {cab} > {ca} + {cb} + slack",
+                core.name
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Gemmini configuration points.
+
+/// Mesh dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Weight-stationary: weights preloaded into the mesh, partial sums
+    /// accumulate in a dedicated accumulator memory.
+    WeightStationary,
+    /// Output-stationary: outputs accumulate inside the PEs, eliminating
+    /// the separate accumulator memory — the configuration the paper's
+    /// optimized TinyMPC mapping uses.
+    OutputStationary,
+}
+
+/// Configuration of a Gemmini accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemminiConfig {
+    /// Configuration name, e.g. `"OSGemmini4x4_32KB"`.
+    pub name: &'static str,
+    /// Mesh dimension (a `dim × dim` PE array).
+    pub dim: usize,
+    /// Dataflow style.
+    pub dataflow: Dataflow,
+    /// Scratchpad capacity in KiB.
+    pub scratchpad_kb: usize,
+    /// Number of scratchpad banks. The paper's GEMV extension requires at
+    /// least `DIM + 1` banks (rounded up to a power of two).
+    pub scratchpad_banks: usize,
+    /// Accumulator memory in KiB (weight-stationary only; 0 otherwise).
+    pub accumulator_kb: usize,
+    /// Whether the GEMV hardware extension (broadcast B, strided A banks)
+    /// is present.
+    pub gemv_support: bool,
+    /// Reservation-station entries (in-flight commands).
+    pub rs_entries: usize,
+    /// DRAM access latency for DMA transfers, in cycles.
+    pub dma_latency: u64,
+    /// DMA bus width in bytes per cycle.
+    pub dma_bytes_per_cycle: u64,
+}
+
+impl GemminiConfig {
+    /// The paper's optimized configuration: 4×4 output-stationary FP32
+    /// mesh with a 32 KiB scratchpad.
+    pub fn os_4x4_32kb() -> Self {
+        GemminiConfig {
+            name: "OSGemmini4x4_32KB",
+            dim: 4,
+            dataflow: Dataflow::OutputStationary,
+            scratchpad_kb: 32,
+            scratchpad_banks: 4,
+            accumulator_kb: 0,
+            gemv_support: false,
+            rs_entries: 16,
+            dma_latency: 40,
+            dma_bytes_per_cycle: 32,
+        }
+    }
+
+    /// 4×4 output-stationary mesh with a 64 KiB scratchpad.
+    pub fn os_4x4_64kb() -> Self {
+        GemminiConfig {
+            name: "OSGemmini4x4_64KB",
+            scratchpad_kb: 64,
+            ..Self::os_4x4_32kb()
+        }
+    }
+
+    /// 4×4 output-stationary mesh with a 16 KiB scratchpad — the paper's
+    /// future-work question about smaller capacities. TinyMPC's workspace
+    /// (a few KiB) still fits, so performance should hold at lower area.
+    pub fn os_4x4_16kb() -> Self {
+        GemminiConfig {
+            name: "OSGemmini4x4_16KB",
+            scratchpad_kb: 16,
+            ..Self::os_4x4_32kb()
+        }
+    }
+
+    /// The weight-stationary comparison point (64 KiB scratchpad, 1 KiB
+    /// accumulator) — evaluated in the paper with only baseline software
+    /// optimizations.
+    pub fn ws_4x4_64kb() -> Self {
+        GemminiConfig {
+            name: "WSGemmini4x4_64KB",
+            dataflow: Dataflow::WeightStationary,
+            scratchpad_kb: 64,
+            accumulator_kb: 1,
+            ..Self::os_4x4_32kb()
+        }
+    }
+
+    /// Adds the paper's GEMV hardware extension: `DIM + 1` scratchpad
+    /// banks (rounded up to a power of two) and the broadcast-B mesh mode.
+    pub fn with_gemv_support(mut self) -> Self {
+        self.gemv_support = true;
+        self.scratchpad_banks = (self.dim + 1).next_power_of_two();
+        self
+    }
+
+    /// An 8×8 output-stationary configuration (for the Table II area
+    /// scaling study).
+    pub fn os_8x8_64kb() -> Self {
+        GemminiConfig {
+            name: "OSGemmini8x8_64KB",
+            dim: 8,
+            scratchpad_kb: 64,
+            scratchpad_banks: 4,
+            ..Self::os_4x4_32kb()
+        }
+    }
+
+    /// Peak multiply-accumulates per cycle of the mesh.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        (self.dim * self.dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_support_adds_banks() {
+        let base = GemminiConfig::os_4x4_32kb();
+        assert_eq!(base.scratchpad_banks, 4);
+        let gemv = base.with_gemv_support();
+        assert!(gemv.gemv_support);
+        // DIM+1 = 5, rounded to 8.
+        assert_eq!(gemv.scratchpad_banks, 8);
+
+        let gemv8 = GemminiConfig::os_8x8_64kb().with_gemv_support();
+        assert_eq!(gemv8.scratchpad_banks, 16);
+    }
+
+    #[test]
+    fn ws_has_accumulator() {
+        assert_eq!(GemminiConfig::ws_4x4_64kb().accumulator_kb, 1);
+        assert_eq!(GemminiConfig::os_4x4_64kb().accumulator_kb, 0);
+    }
+
+    #[test]
+    fn peak_macs() {
+        assert_eq!(GemminiConfig::os_4x4_32kb().peak_macs_per_cycle(), 16);
+        assert_eq!(GemminiConfig::os_8x8_64kb().peak_macs_per_cycle(), 64);
+    }
+}

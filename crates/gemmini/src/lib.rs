@@ -1,0 +1,42 @@
+//! # soc-gemmini — systolic-array accelerator timing model
+//!
+//! Models the domain-specific-accelerator corner of the paper's design
+//! space: **Gemmini**, a decoupled RoCC co-processor with a `DIM × DIM`
+//! FP32 processing-element mesh, a banked scratchpad, an optional
+//! accumulator memory (weight-stationary dataflow), and load / store /
+//! execute controllers fed through a reservation station.
+//!
+//! The model captures the mechanisms the paper's Gemmini analysis turns on:
+//!
+//! * **GEMV under-utilization** — on the original mesh, a matrix-vector
+//!   product drives a single PE column (1/DIM utilization); the paper's
+//!   hardware extension ([`GemminiConfig::gemv_support`]) strides `A`
+//!   across `DIM+1` scratchpad banks and broadcasts the vector, restoring
+//!   full utilization at a ~2% area cost.
+//! * **Coarse vs fine-grained ISA** — coarse `LOOP_*` commands spend 5–7
+//!   configuration commands before executing, which MPC-sized kernels never
+//!   amortize; the fine-grained mapping instead demands scalar instruction
+//!   throughput to construct RoCC commands (reduced by static mapping).
+//! * **Fences** — Gemmini's reservation station does not track read-after-
+//!   write hazards through memory, so a store→load round-trip needs an
+//!   explicit fence that can stall the core for hundreds of cycles; the
+//!   scratchpad-resident mapping eliminates the round-trips.
+//! * **Activation tricks** — `abs`/`clip` built from ReLU (Equations 1–3
+//!   of the paper) and max-pooling on `mvout` to cut the CPU's share of
+//!   global max reductions by 4×.
+//!
+//! [`GemminiUnit`] implements the `soc_cpu::Accelerator` interface;
+//! [`GemminiKernels`] hosts the software mappings with each optimization an
+//! independent toggle ([`GemminiOpts`]) so the paper's ablations can be
+//! reproduced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod config;
+mod model;
+
+pub use codegen::{GemminiKernels, GemminiOpts, IsaStyle, MatId};
+pub use config::{Dataflow, GemminiConfig};
+pub use model::GemminiUnit;

@@ -1,0 +1,479 @@
+//! The Gemmini accelerator timing model (an [`Accelerator`]).
+
+use crate::{Dataflow, GemminiConfig};
+use soc_cpu::{Accelerator, DispatchResult};
+use soc_isa::{Cycles, MicroOp, Payload, RoccCmd, VReg};
+use std::collections::{HashMap, VecDeque};
+
+/// Gemmini: a decoupled RoCC co-processor with independent load, store and
+/// execute controllers fed through a reservation station.
+///
+/// Commands carry explicit register dependencies from the code generator
+/// (intra-accelerator ordering, e.g. compute-after-mvin); cross-memory
+/// read-after-write hazards are *not* tracked — exactly like real Gemmini —
+/// so the software must fence, and the fence cost is visible to the scalar
+/// core through [`Accelerator::drain_cycle`].
+///
+/// # Examples
+///
+/// ```
+/// use soc_cpu::{simulate_with_accel, CoreConfig};
+/// use soc_isa::{RoccCmd, TraceBuilder};
+/// use soc_gemmini::{GemminiConfig, GemminiUnit};
+///
+/// let mut b = TraceBuilder::new();
+/// let a = b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+/// b.rocc(RoccCmd::ComputeTile { rows: 4, cols: 4, ks: 4, gemv: false }, &[a]);
+/// let mut gemmini = GemminiUnit::new(GemminiConfig::os_4x4_32kb());
+/// let cycles = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut gemmini);
+/// assert!(cycles > 40); // dominated by the DMA latency of the mvin
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemminiUnit {
+    config: GemminiConfig,
+    /// Completion time of each command's destination token.
+    regs: HashMap<VReg, Cycles>,
+    /// Busy horizons of the three controllers.
+    load_free: Cycles,
+    store_free: Cycles,
+    ex_free: Cycles,
+    /// Completion cycles of in-flight reservation-station entries.
+    rs: VecDeque<Cycles>,
+    /// Completion horizon of all work including DMA.
+    drain: Cycles,
+    /// Mesh-busy cycles (utilization numerator).
+    mesh_busy: Cycles,
+    /// Total MACs issued to the mesh.
+    macs: u64,
+}
+
+impl GemminiUnit {
+    /// Creates an idle Gemmini unit.
+    pub fn new(config: GemminiConfig) -> Self {
+        GemminiUnit {
+            config,
+            regs: HashMap::new(),
+            load_free: 0,
+            store_free: 0,
+            ex_free: 0,
+            rs: VecDeque::new(),
+            drain: 0,
+            mesh_busy: 0,
+            macs: 0,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &GemminiConfig {
+        &self.config
+    }
+
+    /// Cycles the mesh spent computing since the last reset.
+    pub fn mesh_busy_cycles(&self) -> Cycles {
+        self.mesh_busy
+    }
+
+    /// Multiply-accumulates issued to the mesh since the last reset.
+    pub fn total_macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Mesh utilization over `elapsed` cycles: achieved MACs over peak.
+    pub fn utilization(&self, elapsed: Cycles) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (elapsed as f64 * self.config.peak_macs_per_cycle() as f64)
+    }
+
+    /// Steady-state (pipelined) execution cycles of a compute tile on the
+    /// mesh. Back-to-back tiles stream; a pipeline-fill skew is added
+    /// only when the execute pipe was idle.
+    ///
+    /// * GEMM tile (`rows×cols` outputs over `ks` reduction steps): one
+    ///   reduction step per cycle.
+    /// * GEMV on the original mesh (`cols == 1`, `gemv == false`): one
+    ///   PE column does the work and results propagate across the column
+    ///   chain — the 1/DIM-utilization problem plus the inter-column
+    ///   delay the paper's extension removes.
+    /// * GEMV with the hardware extension (`gemv == true`): `DIM²`
+    ///   elements of `A` are fetched per cycle from the strided banks and
+    ///   `B` is broadcast: `⌈rows·ks/DIM²⌉` cycles at full utilization.
+    pub fn compute_cycles(&self, rows: u64, cols: u64, ks: u64, gemv: bool) -> Cycles {
+        let dim = self.config.dim as u64;
+        if gemv && self.config.gemv_support {
+            (rows * ks).div_ceil(dim * dim).max(1)
+        } else if cols == 1 {
+            ks + dim
+        } else {
+            ks.max(1)
+        }
+    }
+
+    /// Pipeline fill cost charged when a compute tile starts on an idle
+    /// mesh.
+    fn compute_fill(&self, gemv: bool) -> Cycles {
+        if gemv && self.config.gemv_support {
+            2
+        } else {
+            match self.config.dataflow {
+                Dataflow::OutputStationary => self.config.dim as u64,
+                // WS pays an extra mesh pass to stream weights in.
+                Dataflow::WeightStationary => 2 * self.config.dim as u64,
+            }
+        }
+    }
+}
+
+impl Accelerator for GemminiUnit {
+    fn dispatch(
+        &mut self,
+        op: &MicroOp,
+        issue_cycle: Cycles,
+        operands_ready: Cycles,
+    ) -> DispatchResult {
+        let cmd = match op.payload {
+            Payload::Rocc(cmd) => cmd,
+            // Non-RoCC traffic reaching Gemmini is a codegen error; treat
+            // as a 1-cycle no-op.
+            _ => {
+                let t = issue_cycle.max(operands_ready);
+                return DispatchResult {
+                    accepted_at: t,
+                    completes_at: t + 1,
+                };
+            }
+        };
+
+        // Reservation-station backpressure: an entry frees on completion.
+        let mut accepted = issue_cycle.max(operands_ready);
+        while self.rs.len() >= self.config.rs_entries {
+            let head_done = self.rs.pop_front().expect("rs nonempty");
+            accepted = accepted.max(head_done);
+        }
+
+        // Explicit dependencies from the code generator.
+        let mut dep_ready = accepted;
+        for src in op.sources() {
+            if let Some(&t) = self.regs.get(&src) {
+                dep_ready = dep_ready.max(t);
+            }
+        }
+
+        let (unit_free, busy, finish) = match cmd {
+            RoccCmd::Config | RoccCmd::Flush => {
+                let start = dep_ready.max(self.ex_free);
+                (&mut self.ex_free, 1, start + 1)
+            }
+            RoccCmd::Preload => {
+                let cost = match self.config.dataflow {
+                    // WS streams the weight tile through the mesh.
+                    Dataflow::WeightStationary => self.config.dim as u64,
+                    // OS preload just sets the output address.
+                    Dataflow::OutputStationary => 1,
+                };
+                let start = dep_ready.max(self.ex_free);
+                (&mut self.ex_free, cost, start + cost)
+            }
+            RoccCmd::Mvin { rows, cols } => {
+                // The DMA engine is pipelined: the load unit is occupied
+                // for the transfer, while the DRAM access latency overlaps
+                // across successive mvins.
+                let transfer =
+                    (rows as u64 * cols as u64 * 4).div_ceil(self.config.dma_bytes_per_cycle);
+                let start = dep_ready.max(self.load_free);
+                self.load_free = start + transfer;
+                let finish = start + transfer + self.config.dma_latency;
+                self.rs.push_back(finish);
+                self.drain = self.drain.max(finish);
+                if let Some(dst) = op.dst {
+                    self.regs.insert(dst, finish);
+                }
+                return DispatchResult {
+                    accepted_at: accepted,
+                    completes_at: finish,
+                };
+            }
+            RoccCmd::Mvout {
+                rows,
+                cols,
+                pool_stride,
+            } => {
+                // Pooling happens in the mvout pipeline at no extra cost.
+                let _ = pool_stride;
+                let transfer =
+                    (rows as u64 * cols as u64 * 4).div_ceil(self.config.dma_bytes_per_cycle);
+                let start = dep_ready.max(self.store_free);
+                self.store_free = start + transfer;
+                let finish = start + transfer + self.config.dma_latency;
+                self.rs.push_back(finish);
+                self.drain = self.drain.max(finish);
+                if let Some(dst) = op.dst {
+                    self.regs.insert(dst, finish);
+                }
+                return DispatchResult {
+                    accepted_at: accepted,
+                    completes_at: finish,
+                };
+            }
+            RoccCmd::ComputeTile {
+                rows,
+                cols,
+                ks,
+                gemv,
+            } => {
+                let start = dep_ready.max(self.ex_free);
+                let mut cost = self.compute_cycles(rows as u64, cols as u64, ks as u64, gemv);
+                if start > self.ex_free || self.ex_free == 0 {
+                    // The mesh pipeline was idle: pay the fill skew.
+                    cost += self.compute_fill(gemv);
+                }
+                self.mesh_busy += cost;
+                self.macs += rows as u64 * cols as u64 * ks as u64;
+                (&mut self.ex_free, cost, start + cost)
+            }
+            RoccCmd::LoopMatmul { m, n, k } => {
+                // Coarse-grained FSM: internally sequences mvin / compute /
+                // mvout with double buffering; mesh time and DMA overlap.
+                let dim = self.config.dim as u64;
+                let tiles = (m as u64).div_ceil(dim) * (n as u64).div_ceil(dim);
+                let k_tiles = (k as u64).div_ceil(dim);
+                let mesh = tiles * k_tiles * (dim + dim);
+                let dma_elems = m as u64 * k as u64 + k as u64 * n as u64 + m as u64 * n as u64;
+                let dma = (dma_elems * 4).div_ceil(self.config.dma_bytes_per_cycle);
+                let fsm_overhead = 10;
+                let cost = mesh.max(dma) + self.config.dma_latency + fsm_overhead;
+                self.mesh_busy += mesh;
+                self.macs += m as u64 * n as u64 * k as u64;
+                let start = dep_ready
+                    .max(self.ex_free)
+                    .max(self.load_free)
+                    .max(self.store_free);
+                self.load_free = start + cost;
+                self.store_free = start + cost;
+                (&mut self.ex_free, cost, start + cost)
+            }
+            // `RoccCmd` is non-exhaustive: unknown commands act as 1-cycle
+            // configuration traffic.
+            _ => {
+                let start = dep_ready.max(self.ex_free);
+                (&mut self.ex_free, 1, start + 1)
+            }
+        };
+        let _ = busy;
+        *unit_free = finish;
+
+        self.rs.push_back(finish);
+        self.drain = self.drain.max(finish);
+        if let Some(dst) = op.dst {
+            self.regs.insert(dst, finish);
+        }
+
+        // RoCC command-port acceptance is single-cycle once RS space
+        // exists.
+        DispatchResult {
+            accepted_at: accepted,
+            completes_at: finish,
+        }
+    }
+
+    fn drain_cycle(&self) -> Cycles {
+        self.drain
+    }
+
+    fn reset(&mut self) {
+        self.regs.clear();
+        self.rs.clear();
+        self.load_free = 0;
+        self.store_free = 0;
+        self.ex_free = 0;
+        self.drain = 0;
+        self.mesh_busy = 0;
+        self.macs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_cpu::{simulate_with_accel, CoreConfig};
+    use soc_isa::TraceBuilder;
+
+    fn os4() -> GemminiConfig {
+        GemminiConfig::os_4x4_32kb()
+    }
+
+    #[test]
+    fn gemv_extension_speeds_up_tiles() {
+        let plain = GemminiUnit::new(os4());
+        let ext = GemminiUnit::new(os4().with_gemv_support());
+        // A 4-output, 64-deep matrix-vector tile.
+        let t_plain = plain.compute_cycles(4, 1, 64, false);
+        let t_ext = ext.compute_cycles(4, 1, 64, true);
+        assert!(
+            t_plain as f64 / t_ext as f64 > 3.0,
+            "extension should approach DIMx: {t_plain} vs {t_ext}"
+        );
+    }
+
+    #[test]
+    fn gemm_tiles_unaffected_by_gemv_mode_flag_without_hw() {
+        // Requesting gemv mode without hardware support falls back to the
+        // plain mesh path.
+        let mut unit = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        b.rocc(
+            RoccCmd::ComputeTile {
+                rows: 4,
+                cols: 1,
+                ks: 16,
+                gemv: true,
+            },
+            &[],
+        );
+        let t = b.finish();
+        let c = simulate_with_accel(&CoreConfig::rocket(), &t, &mut unit);
+        // Plain path: ks + dim fill = 20, plus startup/issue slack.
+        assert!(c >= 20, "got {c}");
+    }
+
+    #[test]
+    fn dma_latency_dominates_small_mvin() {
+        let mut unit = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+        b.fence();
+        let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+        assert!(c >= 40, "got {c}");
+    }
+
+    #[test]
+    fn dependent_compute_waits_for_mvin() {
+        let mut unit = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        let a = b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+        b.rocc(
+            RoccCmd::ComputeTile {
+                rows: 4,
+                cols: 4,
+                ks: 4,
+                gemv: false,
+            },
+            &[a],
+        );
+        b.fence();
+        let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+        // mvin (>=44) then compute (8).
+        assert!(c >= 50, "got {c}");
+    }
+
+    #[test]
+    fn independent_mvin_and_compute_overlap() {
+        let mut unit = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        // Two independent streams: loads and computes overlap across
+        // controllers.
+        for _ in 0..8 {
+            b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+            b.rocc(
+                RoccCmd::ComputeTile {
+                    rows: 4,
+                    cols: 4,
+                    ks: 4,
+                    gemv: false,
+                },
+                &[],
+            );
+        }
+        b.fence();
+        let overlapped = { simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit) };
+        // Serial would be 8*(44+8) = 416; overlap should be well under.
+        assert!(overlapped < 416, "got {overlapped}");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut unit = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        b.rocc(
+            RoccCmd::ComputeTile {
+                rows: 4,
+                cols: 4,
+                ks: 4,
+                gemv: false,
+            },
+            &[],
+        );
+        b.fence();
+        let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+        assert_eq!(unit.total_macs(), 64);
+        assert!(unit.utilization(c) > 0.0 && unit.utilization(c) <= 1.0);
+    }
+
+    #[test]
+    fn ws_preload_costs_mesh_time() {
+        let mut ws = GemminiUnit::new(GemminiConfig::ws_4x4_64kb());
+        let mut os = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        for _ in 0..16 {
+            b.rocc(RoccCmd::Preload, &[]);
+            b.rocc(
+                RoccCmd::ComputeTile {
+                    rows: 4,
+                    cols: 4,
+                    ks: 4,
+                    gemv: false,
+                },
+                &[],
+            );
+        }
+        b.fence();
+        let t = b.finish();
+        let c_ws = simulate_with_accel(&CoreConfig::rocket(), &t, &mut ws);
+        let c_os = simulate_with_accel(&CoreConfig::rocket(), &t, &mut os);
+        assert!(c_ws > c_os, "ws {c_ws} vs os {c_os}");
+    }
+
+    #[test]
+    fn rs_backpressure() {
+        let mut cfg = os4();
+        cfg.rs_entries = 2;
+        let mut unit = GemminiUnit::new(cfg);
+        let mut b = TraceBuilder::new();
+        for _ in 0..16 {
+            b.rocc(RoccCmd::Mvin { rows: 16, cols: 16 }, &[]);
+        }
+        let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+        // Each mvin occupies the load unit for its transfer (the DRAM
+        // latency pipelines across mvins); with rs=2 the core stalls
+        // behind them rather than running ahead.
+        let transfer = 16 * 16 * 4 / GemminiConfig::os_4x4_32kb().dma_bytes_per_cycle;
+        assert!(c >= 16 * transfer + 40, "got {c}");
+    }
+
+    #[test]
+    fn coarse_loop_matmul_amortizes_large_problems() {
+        let mut unit = GemminiUnit::new(os4());
+        let mut b = TraceBuilder::new();
+        b.rocc(
+            RoccCmd::LoopMatmul {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+            &[],
+        );
+        b.fence();
+        let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+        assert_eq!(unit.total_macs(), 64 * 64 * 64);
+        // Peak would be 64^3/16 = 16384 mesh cycles; FSM-sequenced tiles
+        // run at half peak in this model. It must beat per-tile fine
+        // grained dispatch from a 1-wide core without static mapping.
+        assert!(c >= 16384, "got {c}");
+        assert!(
+            unit.utilization(c) > 0.2,
+            "utilization {}",
+            unit.utilization(c)
+        );
+    }
+}

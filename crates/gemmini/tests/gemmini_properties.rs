@@ -1,0 +1,100 @@
+//! Property-based tests for the Gemmini timing model and code generator.
+
+use proptest::prelude::*;
+use soc_cpu::{simulate_with_accel, CoreConfig};
+use soc_gemmini::{GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit, MatId};
+use soc_isa::TraceBuilder;
+
+fn run_gemv(cfg: GemminiConfig, opts: GemminiOpts, m: usize, k: usize) -> (u64, GemminiUnit) {
+    let mut gen = GemminiKernels::new(cfg, opts);
+    let mut b = TraceBuilder::new();
+    gen.gemv(&mut b, m, k, MatId(0), MatId(1), MatId(2));
+    gen.sync_to_cpu(&mut b, m, MatId(2));
+    b.fence();
+    let mut unit = GemminiUnit::new(cfg);
+    let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+    (c, unit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compute-tile cost is monotone in every dimension.
+    #[test]
+    fn compute_cycles_monotone(rows in 1u64..64, cols in 1u64..64, ks in 1u64..64, gemv in any::<bool>()) {
+        for cfg in [GemminiConfig::os_4x4_32kb(), GemminiConfig::os_4x4_32kb().with_gemv_support(),
+                    GemminiConfig::os_8x8_64kb()] {
+            let unit = GemminiUnit::new(cfg);
+            let base = unit.compute_cycles(rows, cols, ks, gemv);
+            prop_assert!(unit.compute_cycles(rows + 1, cols, ks, gemv) >= base);
+            prop_assert!(unit.compute_cycles(rows, cols, ks + 1, gemv) >= base);
+        }
+    }
+
+    /// MAC accounting exactly matches the issued work, and utilization
+    /// never exceeds 1.
+    #[test]
+    fn mac_accounting_exact(m in 1usize..48, k in 1usize..48) {
+        let cfg = GemminiConfig::os_4x4_32kb();
+        let (elapsed, unit) = run_gemv(cfg, GemminiOpts::optimized(), m, k);
+        // Tiled GEMV issues ceil-padded tiles; MACs are counted per tile,
+        // so the total is at least m*k and at most the padded volume.
+        let dim = cfg.dim;
+        let padded = m.div_ceil(dim) * dim * k.div_ceil(dim) * dim;
+        prop_assert!(unit.total_macs() >= (m * k) as u64);
+        prop_assert!(unit.total_macs() <= padded as u64);
+        prop_assert!(unit.utilization(elapsed) <= 1.0 + 1e-9);
+    }
+
+    /// The GEMV hardware extension never slows a GEMV down.
+    #[test]
+    fn gemv_extension_never_hurts(m in 1usize..48, k in 1usize..48) {
+        let plain = run_gemv(GemminiConfig::os_4x4_32kb(), GemminiOpts::optimized(), m, k).0;
+        let ext = run_gemv(
+            GemminiConfig::os_4x4_32kb().with_gemv_support(),
+            GemminiOpts::optimized(),
+            m,
+            k,
+        )
+        .0;
+        prop_assert!(ext <= plain, "extension made {m}x{k} slower: {ext} > {plain}");
+    }
+
+    /// The fully optimized mapping never loses to the baseline mapping in
+    /// the solver regime: repeated kernels over a shared workspace, where
+    /// residency and static mapping amortize. (On a single cold one-shot
+    /// the coarse FSM can win by overlapping its internal DMA.)
+    #[test]
+    fn optimized_never_loses_in_solver_regime(m in 4usize..32, k in 4usize..32, reps in 3usize..8) {
+        let run = |opts: GemminiOpts| {
+            let cfg = GemminiConfig::os_4x4_32kb();
+            let mut gen = GemminiKernels::new(cfg, opts);
+            let mut b = TraceBuilder::new();
+            for r in 0..reps {
+                gen.gemv(&mut b, m, k, MatId(0), MatId(1), MatId(10 + r as u32));
+            }
+            b.fence();
+            let mut unit = GemminiUnit::new(cfg);
+            simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit)
+        };
+        let opt = run(GemminiOpts::optimized());
+        let base = run(GemminiOpts::baseline());
+        prop_assert!(opt <= base, "optimized {opt} > baseline {base} for {reps}x gemv {m}x{k}");
+    }
+
+    /// Larger meshes never make a (cold) GEMM slower.
+    #[test]
+    fn bigger_mesh_never_slower_gemm(n in 4usize..40) {
+        let run = |cfg: GemminiConfig| {
+            let mut gen = GemminiKernels::new(cfg, GemminiOpts::optimized());
+            let mut b = TraceBuilder::new();
+            gen.gemm(&mut b, n, n, n, MatId(0), MatId(1), MatId(2));
+            b.fence();
+            let mut unit = GemminiUnit::new(cfg);
+            simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit)
+        };
+        let c4 = run(GemminiConfig::os_4x4_32kb());
+        let c8 = run(GemminiConfig::os_8x8_64kb());
+        prop_assert!(c8 <= c4 + 8, "8x8 {c8} slower than 4x4 {c4} on {n}^3");
+    }
+}

@@ -1,0 +1,152 @@
+//! Human-readable rendering of micro-op traces — the "emitted solver"
+//! listing produced by the code-generation flow.
+
+use crate::{MicroOp, OpClass, Payload, RoccCmd, Trace, VecOpKind};
+use std::fmt::Write as _;
+
+fn mnemonic(op: &MicroOp) -> String {
+    match op.class {
+        OpClass::IntAlu => "addi".into(),
+        OpClass::IntMul => "mul".into(),
+        OpClass::Branch => "bne".into(),
+        OpClass::Load => "flw".into(),
+        OpClass::Store => "fsw".into(),
+        OpClass::FpAdd => "fadd.s".into(),
+        OpClass::FpMul => "fmul.s".into(),
+        OpClass::FpFma => "fmadd.s".into(),
+        OpClass::FpDiv => "fdiv.s".into(),
+        OpClass::FpSimple => "fminmax.s".into(),
+        OpClass::VSet => "vsetvli".into(),
+        OpClass::Fence => "fence".into(),
+        OpClass::Vector => match op.payload {
+            Payload::Vector(spec) => {
+                let base = match spec.kind {
+                    VecOpKind::Arith => "vfadd.vv",
+                    VecOpKind::MulAdd => "vfmacc.vf",
+                    VecOpKind::Load => "vle32.v",
+                    VecOpKind::Store => "vse32.v",
+                    VecOpKind::LoadStrided => "vlse32.v",
+                    VecOpKind::StoreStrided => "vsse32.v",
+                    VecOpKind::Reduction => "vfredosum.vs",
+                    VecOpKind::Move => "vfmv.f.s",
+                };
+                format!("{base} (vl={}, m{})", spec.vl, spec.lmul)
+            }
+            _ => "v.unknown".into(),
+        },
+        OpClass::Rocc => match op.payload {
+            Payload::Rocc(cmd) => match cmd {
+                RoccCmd::Config => "gemmini.config".into(),
+                RoccCmd::Mvin { rows, cols } => format!("gemmini.mvin {rows}x{cols}"),
+                RoccCmd::Mvout {
+                    rows,
+                    cols,
+                    pool_stride,
+                } => {
+                    if pool_stride > 1 {
+                        format!("gemmini.mvout.pool {rows}x{cols}")
+                    } else {
+                        format!("gemmini.mvout {rows}x{cols}")
+                    }
+                }
+                RoccCmd::Preload => "gemmini.preload".into(),
+                RoccCmd::ComputeTile {
+                    rows,
+                    cols,
+                    ks,
+                    gemv,
+                } => format!(
+                    "gemmini.compute{} {rows}x{cols}x{ks}",
+                    if gemv { ".gemv" } else { "" }
+                ),
+                RoccCmd::LoopMatmul { m, n, k } => format!("gemmini.loop_matmul {m}x{n}x{k}"),
+                RoccCmd::Flush => "gemmini.flush".into(),
+            },
+            _ => "rocc.unknown".into(),
+        },
+    }
+}
+
+/// Renders a trace as an assembly-like listing, one micro-op per line,
+/// with virtual-register operands.
+///
+/// # Examples
+///
+/// ```
+/// use soc_isa::{disassemble, OpClass, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.load();
+/// b.fp(OpClass::FpAdd, &[x, x]);
+/// let listing = disassemble(&b.finish());
+/// assert!(listing.contains("flw"));
+/// assert!(listing.contains("fadd.s"));
+/// ```
+pub fn disassemble(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (i, op) in trace.ops().iter().enumerate() {
+        let dst = op.dst.map_or(String::new(), |d| format!("v{}", d.0));
+        let srcs: Vec<String> = op.sources().map(|s| format!("v{}", s.0)).collect();
+        let _ = writeln!(
+            out,
+            "{i:5}:  {:<28} {:<6} {}",
+            mnemonic(op),
+            dst,
+            srcs.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuilder, VectorSpec};
+
+    #[test]
+    fn listing_covers_all_op_families() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        let y = b.fp(OpClass::FpFma, &[x, x]);
+        b.store(&[y]);
+        b.int_ops(1);
+        b.branch(&[]);
+        b.vset();
+        let v = b.vector(VectorSpec::f32(VecOpKind::MulAdd, 12, 2), &[]);
+        b.vstore(12, 2, v);
+        b.rocc(
+            RoccCmd::ComputeTile {
+                rows: 4,
+                cols: 1,
+                ks: 4,
+                gemv: true,
+            },
+            &[],
+        );
+        b.fence();
+        let s = disassemble(&b.finish());
+        for needle in [
+            "flw",
+            "fmadd.s",
+            "fsw",
+            "addi",
+            "bne",
+            "vsetvli",
+            "vfmacc.vf (vl=12, m2)",
+            "vse32.v",
+            "gemmini.compute.gemv 4x1x4",
+            "fence",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn lines_match_ops() {
+        let mut b = TraceBuilder::new();
+        b.load();
+        b.load();
+        let t = b.finish();
+        assert_eq!(disassemble(&t).lines().count(), t.len());
+    }
+}

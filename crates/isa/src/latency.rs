@@ -1,0 +1,78 @@
+//! Result-latency lookup shared by the scalar pipeline models.
+
+use crate::OpClass;
+
+/// Scalar result latencies, in cycles, for an embedded-class RISC-V core.
+///
+/// Defaults approximate the Rocket/BOOM FPUs evaluated in the paper: a
+/// 4-cycle pipelined FMA, 2-cycle L1 load-to-use, and an iterative divider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Integer ALU result latency.
+    pub int_alu: u64,
+    /// Integer multiply latency.
+    pub int_mul: u64,
+    /// L1-hit load-to-use latency.
+    pub load: u64,
+    /// FP add/sub latency.
+    pub fp_add: u64,
+    /// FP multiply latency.
+    pub fp_mul: u64,
+    /// Fused multiply-add latency.
+    pub fp_fma: u64,
+    /// FP divide latency (unpipelined).
+    pub fp_div: u64,
+    /// FP compare/min/max/abs/move latency.
+    pub fp_simple: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            int_alu: 1,
+            int_mul: 3,
+            load: 2,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_fma: 4,
+            fp_div: 14,
+            fp_simple: 2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Result latency for a scalar op class.
+    ///
+    /// Vector and RoCC classes return 1 here: their real cost is accounted
+    /// by the attached accelerator model, not the scalar result network.
+    pub fn latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu | OpClass::VSet => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::Branch => 1,
+            OpClass::Load => self.load,
+            OpClass::Store => 1,
+            OpClass::FpAdd => self.fp_add,
+            OpClass::FpMul => self.fp_mul,
+            OpClass::FpFma => self.fp_fma,
+            OpClass::FpDiv => self.fp_div,
+            OpClass::FpSimple => self.fp_simple,
+            OpClass::Vector | OpClass::Rocc | OpClass::Fence => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency(OpClass::FpFma), 4);
+        assert_eq!(m.latency(OpClass::IntAlu), 1);
+        assert!(m.latency(OpClass::FpDiv) > m.latency(OpClass::FpMul));
+        assert_eq!(m.latency(OpClass::Vector), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # soc-isa — micro-op IR shared by the SoC timing models
+//!
+//! The paper profiles the *same* workload (TinyMPC and its constituent
+//! linear-algebra kernels) on very different back-ends: scalar RISC-V cores,
+//! the Saturn short-vector unit, and the Gemmini systolic array. To compare
+//! them under one methodology, every software mapping in this workspace is a
+//! *code generator* that emits a stream of [`MicroOp`]s — scalar ops, RVV
+//! vector ops carrying their `VL`/`SEW`/`LMUL` configuration, and RoCC
+//! commands destined for a decoupled accelerator. Back-end timing models
+//! (in `soc-cpu`, `soc-vector`, `soc-gemmini`) then replay that stream
+//! through their pipeline models to produce cycle counts.
+//!
+//! Functional results are computed separately on `matlib` data: control flow
+//! in these fixed-size MPC kernels is static, so the instruction stream —
+//! and therefore timing — never depends on data values. This
+//! timing/functional split is what lets a single ADMM solve be accounted on
+//! a dozen hardware configurations cheaply.
+//!
+//! ## Example: a tiny trace
+//!
+//! ```
+//! use soc_isa::{OpClass, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! let x = b.load();                       // flw  fx, 0(a0)
+//! let y = b.load();                       // flw  fy, 4(a0)
+//! let z = b.fp(OpClass::FpFma, &[x, y]);  // fmadd fz, fx, fy, fz
+//! b.store(&[z]);                          // fsw  fz, 0(a1)
+//! let trace = b.finish();
+//! assert_eq!(trace.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disasm;
+mod latency;
+mod op;
+mod stats;
+mod trace;
+
+pub use disasm::disassemble;
+pub use latency::LatencyModel;
+pub use op::{FuKind, MicroOp, OpClass, Payload, RoccCmd, VReg, VecOpKind, VectorSpec, SEW_F32};
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceBuilder};
+
+/// Cycle count type used across the workspace.
+pub type Cycles = u64;

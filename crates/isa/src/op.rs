@@ -1,0 +1,290 @@
+//! Micro-op vocabulary.
+
+/// A virtual register name.
+///
+/// Code generators allocate registers from an unbounded SSA-like namespace;
+/// pipeline models track readiness per name. Physical register pressure is
+/// modelled by the back-ends themselves (e.g. Saturn's architectural vector
+/// register file limits live values per LMUL group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// Standard element width for single-precision floats, in bits.
+pub const SEW_F32: u8 = 32;
+
+/// Functional-unit kind a micro-op executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Scalar integer ALU (address generation, bit-shifting for RoCC
+    /// command construction, loop bookkeeping).
+    IntAlu,
+    /// Scalar integer multiply/divide.
+    IntMul,
+    /// Branch/jump resolution.
+    Branch,
+    /// Scalar load pipe.
+    Load,
+    /// Scalar store pipe.
+    Store,
+    /// Scalar floating-point unit (FMA-capable).
+    Fpu,
+    /// Iterative FP divide/sqrt unit.
+    FpDiv,
+    /// The decoupled vector unit (Saturn).
+    VecUnit,
+    /// The RoCC command port toward a decoupled accelerator (Gemmini).
+    Rocc,
+}
+
+/// Semantic class of a micro-op.
+///
+/// Classes drive three things: functional-unit selection, result latency
+/// lookup, and the instruction-mix statistics behind the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpClass {
+    /// Integer ALU op (addi, slli, …).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Conditional branch or jump.
+    Branch,
+    /// Scalar FP load.
+    Load,
+    /// Scalar FP store.
+    Store,
+    /// FP add/sub.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// Fused multiply-add.
+    FpFma,
+    /// FP divide.
+    FpDiv,
+    /// FP compare / min / max / abs — single-cycle-ish FP simple ops.
+    FpSimple,
+    /// `vsetvli` — vector length configuration.
+    VSet,
+    /// Vector op executed on the vector unit; details in
+    /// [`Payload::Vector`].
+    Vector,
+    /// RoCC command toward the accelerator; details in [`Payload::Rocc`].
+    Rocc,
+    /// Full memory fence: stalls the frontend until outstanding accelerator
+    /// memory traffic drains.
+    Fence,
+}
+
+impl OpClass {
+    /// The functional unit this class occupies.
+    pub fn fu(self) -> FuKind {
+        match self {
+            OpClass::IntAlu => FuKind::IntAlu,
+            OpClass::IntMul => FuKind::IntMul,
+            OpClass::Branch => FuKind::Branch,
+            OpClass::Load => FuKind::Load,
+            OpClass::Store => FuKind::Store,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpFma | OpClass::FpSimple => FuKind::Fpu,
+            OpClass::FpDiv => FuKind::FpDiv,
+            OpClass::VSet => FuKind::IntAlu,
+            OpClass::Vector => FuKind::VecUnit,
+            OpClass::Rocc | OpClass::Fence => FuKind::Rocc,
+        }
+    }
+
+    /// Whether this is a scalar floating-point op.
+    pub fn is_scalar_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpFma | OpClass::FpDiv | OpClass::FpSimple
+        )
+    }
+}
+
+/// What a vector micro-op does on the vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum VecOpKind {
+    /// Element-wise arithmetic (vfadd, vfsub, vfmin, vfmax, vfabs, …).
+    Arith,
+    /// Element-wise multiply-accumulate (vfmacc.vv / vfmacc.vf).
+    MulAdd,
+    /// Unit-stride vector load.
+    Load,
+    /// Unit-stride vector store.
+    Store,
+    /// Strided or indexed vector load (slower element extraction).
+    LoadStrided,
+    /// Strided or indexed vector store.
+    StoreStrided,
+    /// Reduction (vfredosum/vfredusum/vfredmax). Saturn executes these
+    /// serially, one element per cycle.
+    Reduction,
+    /// Register move / broadcast (vfmv, vmv).
+    Move,
+}
+
+/// Vector configuration carried by a [`Payload::Vector`] micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorSpec {
+    /// Active vector length in elements.
+    pub vl: u32,
+    /// Element width in bits.
+    pub sew: u8,
+    /// Register-group multiplier (1, 2, 4 or 8).
+    pub lmul: u8,
+    /// Operation kind.
+    pub kind: VecOpKind,
+}
+
+impl VectorSpec {
+    /// Convenience constructor for an `f32` op.
+    pub fn f32(kind: VecOpKind, vl: u32, lmul: u8) -> Self {
+        VectorSpec {
+            vl,
+            sew: SEW_F32,
+            lmul,
+            kind,
+        }
+    }
+}
+
+/// A command sent over the RoCC interface to a decoupled accelerator.
+///
+/// The vocabulary is Gemmini-flavoured (the one decoupled accelerator in
+/// this design space); sizes are in *elements* unless stated otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RoccCmd {
+    /// `config_ex` / `config_ld` / `config_st`: reconfigure dataflow,
+    /// scaling, strides.
+    Config,
+    /// DMA a `rows × cols` tile from main memory into the scratchpad.
+    Mvin {
+        /// Tile rows.
+        rows: u16,
+        /// Tile columns.
+        cols: u16,
+    },
+    /// DMA a `rows × cols` tile from the scratchpad/accumulator to main
+    /// memory. `pool_stride > 1` applies max-pooling during the move.
+    Mvout {
+        /// Tile rows.
+        rows: u16,
+        /// Tile columns.
+        cols: u16,
+        /// Max-pool window (1 = no pooling).
+        pool_stride: u8,
+    },
+    /// Load a tile into the mesh's preload register (weight-stationary) or
+    /// set the output destination (output-stationary).
+    Preload,
+    /// Fine-grained matmul tile: `rows × ks` of A against `ks × cols` of B.
+    /// `gemv` marks the broadcast-B mesh mode of the paper's hardware
+    /// extension.
+    ComputeTile {
+        /// Output tile rows.
+        rows: u16,
+        /// Output tile cols.
+        cols: u16,
+        /// Reduction (shared) dimension for this tile.
+        ks: u16,
+        /// Whether the tile runs in GEMV broadcast mode.
+        gemv: bool,
+    },
+    /// Coarse-grained FSM-sequenced matmul over a full `m × n × k` problem
+    /// (`compute_matmul` in the Gemmini software library).
+    LoopMatmul {
+        /// Output rows.
+        m: u16,
+        /// Output cols.
+        n: u16,
+        /// Reduction dimension.
+        k: u16,
+    },
+    /// Flush / no-op command used for synchronization experiments.
+    Flush,
+}
+
+/// Extra information attached to a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// No payload (scalar op).
+    None,
+    /// Vector configuration for [`OpClass::Vector`] ops.
+    Vector(VectorSpec),
+    /// Accelerator command for [`OpClass::Rocc`] ops.
+    Rocc(RoccCmd),
+}
+
+/// One micro-operation in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// Semantic class (selects FU, latency, stats bucket).
+    pub class: OpClass,
+    /// Destination register, if the op produces a value.
+    pub dst: Option<VReg>,
+    /// Source registers (up to three; FMA uses all three).
+    pub srcs: [Option<VReg>; 3],
+    /// Class-specific payload.
+    pub payload: Payload,
+}
+
+impl MicroOp {
+    /// Creates a scalar micro-op.
+    pub fn scalar(class: OpClass, dst: Option<VReg>, srcs: &[VReg]) -> Self {
+        debug_assert!(srcs.len() <= 3, "micro-ops have at most 3 sources");
+        let mut s = [None; 3];
+        for (slot, &r) in s.iter_mut().zip(srcs) {
+            *slot = Some(r);
+        }
+        MicroOp {
+            class,
+            dst,
+            srcs: s,
+            payload: Payload::None,
+        }
+    }
+
+    /// Iterates over the op's present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_fu_mapping() {
+        assert_eq!(OpClass::FpFma.fu(), FuKind::Fpu);
+        assert_eq!(OpClass::Load.fu(), FuKind::Load);
+        assert_eq!(OpClass::Vector.fu(), FuKind::VecUnit);
+        assert_eq!(OpClass::Rocc.fu(), FuKind::Rocc);
+        assert_eq!(OpClass::Fence.fu(), FuKind::Rocc);
+    }
+
+    #[test]
+    fn scalar_fp_classification() {
+        assert!(OpClass::FpFma.is_scalar_fp());
+        assert!(OpClass::FpDiv.is_scalar_fp());
+        assert!(!OpClass::Vector.is_scalar_fp());
+        assert!(!OpClass::Load.is_scalar_fp());
+    }
+
+    #[test]
+    fn micro_op_sources() {
+        let op = MicroOp::scalar(OpClass::FpFma, Some(VReg(3)), &[VReg(0), VReg(1), VReg(2)]);
+        let srcs: Vec<_> = op.sources().collect();
+        assert_eq!(srcs, vec![VReg(0), VReg(1), VReg(2)]);
+    }
+
+    #[test]
+    fn vector_spec_f32() {
+        let v = VectorSpec::f32(VecOpKind::MulAdd, 12, 4);
+        assert_eq!(v.sew, 32);
+        assert_eq!(v.vl, 12);
+        assert_eq!(v.lmul, 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Instruction-mix statistics over traces (Figure 2's raw material).
+
+use crate::{MicroOp, OpClass, Payload, VecOpKind};
+use std::fmt;
+
+/// Counts of micro-ops by category, plus derived work metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Scalar integer ALU / vsetvli ops.
+    pub int_ops: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Scalar loads.
+    pub loads: u64,
+    /// Scalar stores.
+    pub stores: u64,
+    /// Scalar FP arithmetic ops (add/mul/fma/div/simple).
+    pub scalar_fp: u64,
+    /// Scalar FP FLOPs (an FMA counts as 2).
+    pub scalar_flops: u64,
+    /// Vector instructions.
+    pub vector_insts: u64,
+    /// Vector element operations (sum of VL over arithmetic vector ops).
+    pub vector_elems: u64,
+    /// Vector FLOPs (MulAdd elements count twice).
+    pub vector_flops: u64,
+    /// RoCC commands.
+    pub rocc_cmds: u64,
+    /// Fences.
+    pub fences: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics from a slice of micro-ops.
+    pub fn from_ops(ops: &[MicroOp]) -> Self {
+        let mut s = TraceStats::default();
+        for op in ops {
+            match op.class {
+                OpClass::IntAlu | OpClass::IntMul | OpClass::VSet => s.int_ops += 1,
+                OpClass::Branch => s.branches += 1,
+                OpClass::Load => s.loads += 1,
+                OpClass::Store => s.stores += 1,
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSimple => {
+                    s.scalar_fp += 1;
+                    s.scalar_flops += 1;
+                }
+                OpClass::FpFma => {
+                    s.scalar_fp += 1;
+                    s.scalar_flops += 2;
+                }
+                OpClass::Vector => {
+                    s.vector_insts += 1;
+                    if let Payload::Vector(spec) = op.payload {
+                        match spec.kind {
+                            VecOpKind::Arith | VecOpKind::Reduction => {
+                                s.vector_elems += spec.vl as u64;
+                                s.vector_flops += spec.vl as u64;
+                            }
+                            VecOpKind::MulAdd => {
+                                s.vector_elems += spec.vl as u64;
+                                s.vector_flops += 2 * spec.vl as u64;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                OpClass::Rocc => s.rocc_cmds += 1,
+                OpClass::Fence => s.fences += 1,
+            }
+        }
+        s
+    }
+
+    /// Total micro-op count.
+    pub fn total_ops(&self) -> u64 {
+        self.int_ops
+            + self.branches
+            + self.loads
+            + self.stores
+            + self.scalar_fp
+            + self.vector_insts
+            + self.rocc_cmds
+            + self.fences
+    }
+
+    /// Total FLOPs (scalar + vector).
+    pub fn total_flops(&self) -> u64 {
+        self.scalar_flops + self.vector_flops
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.int_ops += other.int_ops;
+        self.branches += other.branches;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.scalar_fp += other.scalar_fp;
+        self.scalar_flops += other.scalar_flops;
+        self.vector_insts += other.vector_insts;
+        self.vector_elems += other.vector_elems;
+        self.vector_flops += other.vector_flops;
+        self.rocc_cmds += other.rocc_cmds;
+        self.fences += other.fences;
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "int={} br={} ld={} st={} fp={} vins={} rocc={} fence={} flops={}",
+            self.int_ops,
+            self.branches,
+            self.loads,
+            self.stores,
+            self.scalar_fp,
+            self.vector_insts,
+            self.rocc_cmds,
+            self.fences,
+            self.total_flops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpClass, TraceBuilder, VecOpKind, VectorSpec};
+
+    #[test]
+    fn counts_scalar_mix() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        let y = b.load();
+        let z = b.fp(OpClass::FpFma, &[x, y]);
+        let w = b.fp(OpClass::FpAdd, &[z, z]);
+        b.store(&[w]);
+        b.int_ops(3);
+        b.branch(&[]);
+        let s = b.finish().stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.scalar_fp, 2);
+        assert_eq!(s.scalar_flops, 3); // fma=2 + add=1
+        assert_eq!(s.int_ops, 3);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.total_ops(), 9);
+    }
+
+    #[test]
+    fn counts_vector_flops() {
+        let mut b = TraceBuilder::new();
+        let v = b.vload(8, 1);
+        b.vector(VectorSpec::f32(VecOpKind::MulAdd, 8, 1), &[v]);
+        b.vector(VectorSpec::f32(VecOpKind::Arith, 8, 1), &[v]);
+        let s = b.finish().stats();
+        assert_eq!(s.vector_insts, 3);
+        assert_eq!(s.vector_elems, 16);
+        assert_eq!(s.vector_flops, 24); // 8*2 + 8
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TraceStats::default();
+        let mut b = TraceStats::default();
+        a.loads = 2;
+        b.loads = 3;
+        b.fences = 1;
+        a.merge(&b);
+        assert_eq!(a.loads, 5);
+        assert_eq!(a.fences, 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = TraceStats::default();
+        assert!(!format!("{s}").is_empty());
+    }
+}

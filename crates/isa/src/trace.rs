@@ -1,0 +1,248 @@
+//! Trace container and the builder code generators use to emit micro-ops.
+
+use crate::{MicroOp, OpClass, Payload, RoccCmd, TraceStats, VReg, VecOpKind, VectorSpec};
+
+/// An ordered stream of micro-ops — one kernel's (or one whole solve's)
+/// instruction trace for a particular software mapping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    ops: Vec<MicroOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of micro-ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Borrows the micro-ops in program order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Appends another trace after this one.
+    pub fn extend(&mut self, other: &Trace) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// Computes instruction-mix statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_ops(&self.ops)
+    }
+}
+
+impl FromIterator<MicroOp> for Trace {
+    fn from_iter<I: IntoIterator<Item = MicroOp>>(iter: I) -> Self {
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Builder for [`Trace`]s with automatic virtual-register allocation.
+///
+/// Registers form an SSA-like unbounded namespace. Memory dependence is
+/// expressed explicitly: [`TraceBuilder::store`] returns a *token* register
+/// that a later [`TraceBuilder::load_after`] can consume, modelling
+/// store-to-load forwarding between library calls (the memory round-trip
+/// the paper's operator-fusion optimization removes).
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    next_reg: u32,
+    ops: Vec<MicroOp>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh(&mut self) -> VReg {
+        let r = VReg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Emits an arbitrary micro-op (low-level escape hatch).
+    pub fn push(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    /// Emits a scalar op producing a fresh register.
+    pub fn emit(&mut self, class: OpClass, srcs: &[VReg]) -> VReg {
+        let dst = self.fresh();
+        self.ops.push(MicroOp::scalar(class, Some(dst), srcs));
+        dst
+    }
+
+    /// Emits a scalar op with no destination (branch, store-like).
+    pub fn emit_void(&mut self, class: OpClass, srcs: &[VReg]) {
+        self.ops.push(MicroOp::scalar(class, None, srcs));
+    }
+
+    /// Emits an FP load with no memory ordering constraint.
+    pub fn load(&mut self) -> VReg {
+        self.emit(OpClass::Load, &[])
+    }
+
+    /// Emits an FP load ordered after the store that produced `token`.
+    pub fn load_after(&mut self, token: VReg) -> VReg {
+        self.emit(OpClass::Load, &[token])
+    }
+
+    /// Emits an FP store of `srcs[0]` (extra sources model address
+    /// computation inputs) and returns a memory token for later loads.
+    pub fn store(&mut self, srcs: &[VReg]) -> VReg {
+        let token = self.fresh();
+        let mut op = MicroOp::scalar(OpClass::Store, Some(token), srcs);
+        op.class = OpClass::Store;
+        self.ops.push(op);
+        token
+    }
+
+    /// Emits a scalar FP op (`FpAdd`/`FpMul`/`FpFma`/`FpDiv`/`FpSimple`).
+    pub fn fp(&mut self, class: OpClass, srcs: &[VReg]) -> VReg {
+        debug_assert!(class.is_scalar_fp(), "fp() requires a scalar FP class");
+        self.emit(class, srcs)
+    }
+
+    /// Emits integer bookkeeping ops (address/index computation). Returns
+    /// the last destination so chains can be made dependent if desired.
+    pub fn int_ops(&mut self, count: usize) -> Option<VReg> {
+        let mut last = None;
+        for _ in 0..count {
+            last = Some(self.emit(OpClass::IntAlu, &[]));
+        }
+        last
+    }
+
+    /// Emits a branch (loop back-edge / condition).
+    pub fn branch(&mut self, srcs: &[VReg]) {
+        self.emit_void(OpClass::Branch, srcs);
+    }
+
+    /// Emits a `vsetvli`.
+    pub fn vset(&mut self) -> VReg {
+        self.emit(OpClass::VSet, &[])
+    }
+
+    /// Emits a vector op with the given spec and register dependencies.
+    pub fn vector(&mut self, spec: VectorSpec, srcs: &[VReg]) -> VReg {
+        let dst = self.fresh();
+        let mut op = MicroOp::scalar(OpClass::Vector, Some(dst), srcs);
+        op.payload = Payload::Vector(spec);
+        self.ops.push(op);
+        dst
+    }
+
+    /// Emits a unit-stride f32 vector load.
+    pub fn vload(&mut self, vl: u32, lmul: u8) -> VReg {
+        self.vector(VectorSpec::f32(VecOpKind::Load, vl, lmul), &[])
+    }
+
+    /// Emits a unit-stride f32 vector store; returns a memory token.
+    pub fn vstore(&mut self, vl: u32, lmul: u8, src: VReg) -> VReg {
+        self.vector(VectorSpec::f32(VecOpKind::Store, vl, lmul), &[src])
+    }
+
+    /// Emits a RoCC command toward the accelerator. `srcs` model the scalar
+    /// registers carrying the command operands.
+    pub fn rocc(&mut self, cmd: RoccCmd, srcs: &[VReg]) -> VReg {
+        let dst = self.fresh();
+        let mut op = MicroOp::scalar(OpClass::Rocc, Some(dst), srcs);
+        op.payload = Payload::Rocc(cmd);
+        self.ops.push(op);
+        dst
+    }
+
+    /// Emits a full fence (CPU stalls until the accelerator's memory
+    /// traffic drains).
+    pub fn fence(&mut self) {
+        self.ops.push(MicroOp::scalar(OpClass::Fence, None, &[]));
+    }
+
+    /// Number of ops emitted so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finishes the build, returning the trace.
+    pub fn finish(self) -> Trace {
+        Trace { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpClass;
+
+    #[test]
+    fn builder_allocates_unique_registers() {
+        let mut b = TraceBuilder::new();
+        let r0 = b.fresh();
+        let r1 = b.fresh();
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn store_token_orders_load() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        let token = b.store(&[x]);
+        let y = b.load_after(token);
+        let t = b.finish();
+        assert_eq!(t.len(), 3);
+        // The final load depends on the store's token.
+        let load = t.ops()[2];
+        assert_eq!(load.class, OpClass::Load);
+        assert!(load.sources().any(|r| r == token));
+        let _ = y;
+    }
+
+    #[test]
+    fn vector_ops_carry_spec() {
+        let mut b = TraceBuilder::new();
+        let v = b.vload(12, 4);
+        let _ = b.vstore(12, 4, v);
+        let t = b.finish();
+        match t.ops()[0].payload {
+            Payload::Vector(spec) => {
+                assert_eq!(spec.vl, 12);
+                assert_eq!(spec.lmul, 4);
+                assert_eq!(spec.kind, VecOpKind::Load);
+            }
+            _ => panic!("expected a vector payload"),
+        }
+    }
+
+    #[test]
+    fn traces_concatenate() {
+        let mut a = TraceBuilder::new();
+        a.load();
+        let mut t1 = a.finish();
+        let mut b = TraceBuilder::new();
+        b.load();
+        b.load();
+        let t2 = b.finish();
+        t1.extend(&t2);
+        assert_eq!(t1.len(), 3);
+    }
+}

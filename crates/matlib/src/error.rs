@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Error type for all fallible `matlib` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Name of the operation that failed (e.g. `"gemm"`).
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization required a (symmetric) positive-definite input.
+    NotPositiveDefinite {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix is singular to working precision.
+    Singular {
+        /// Pivot index at which elimination found no usable pivot.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual magnitude at the last iteration.
+        residual: f64,
+    },
+    /// A matrix constructor was given rows of unequal length.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Error::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            Error::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            Error::RaggedRows { expected, row, got } => write!(
+                f,
+                "ragged rows: row {row} has {got} elements, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

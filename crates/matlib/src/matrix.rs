@@ -1,0 +1,465 @@
+use crate::{Error, Result, Scalar, Vector};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix.
+///
+/// `Matrix` is the workhorse container of the crate. Storage is a flat
+/// `Vec<T>` in row-major order; element `(r, c)` lives at `r * cols + c`.
+///
+/// # Examples
+///
+/// ```
+/// use matlib::Matrix;
+///
+/// # fn main() -> Result<(), matlib::Error> {
+/// let eye = Matrix::<f64>::identity(3);
+/// let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(a.matmul(&eye)?, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix whose element `(r, c)` is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::RaggedRows`] if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Result<Self> {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(Error::RaggedRows {
+                    expected: ncols,
+                    row: i,
+                    got: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::DimensionMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates an `n × n` diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[T]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the elements.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn column(&self, c: usize) -> Vector<T> {
+        Vector::from_iter((0..self.rows).map(|r| self[(r, c)]))
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix<T>) -> Result<Matrix<T>> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Matrix<T>) -> Result<Matrix<T>> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: T) -> Matrix<T> {
+        self.map(|x| x * s)
+    }
+
+    /// Negates every element.
+    pub fn neg(&self) -> Matrix<T> {
+        self.map(|x| -x)
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map(&self, f: impl Fn(T) -> T) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Combines two equal-shaped matrices element-wise.
+    fn zip_with(
+        &self,
+        other: &Matrix<T>,
+        op: &'static str,
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Matrix<T>> {
+        if self.shape() != other.shape() {
+            return Err(Error::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Matrix-matrix product `self * other` (GEMM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix<T>) -> Result<Matrix<T>> {
+        crate::ops::gemm(self, other)
+    }
+
+    /// Matrix-vector product `self * x` (GEMV).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != x.len()`.
+    pub fn matvec(&self, x: &Vector<T>) -> Result<Vector<T>> {
+        crate::ops::gemv(self, x)
+    }
+
+    /// Largest absolute value of any element (the max-norm); `0` for an
+    /// empty matrix.
+    pub fn max_abs(&self) -> T {
+        self.data.iter().fold(T::ZERO, |m, &x| m.max(x.abs()))
+    }
+
+    /// Infinity operator norm: maximum absolute row sum.
+    pub fn norm_inf(&self) -> T {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().fold(T::ZERO, |s, &x| s + x.abs()))
+            .fold(T::ZERO, |m, s| m.max(s))
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::ZERO, |s, &x| x.mul_add(x, s))
+            .sqrt()
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute element-wise difference against `other`, as `f64`.
+    ///
+    /// Useful as a convergence / agreement metric between backends of
+    /// different precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> Result<f64> {
+        if self.shape() != other.shape() {
+            return Err(Error::DimensionMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs().to_f64())
+            .fold(0.0, f64::max))
+    }
+
+    /// Converts every element to another scalar type via `f64`.
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self.data[r * self.cols + c])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::<f64>::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::<f64>::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::RaggedRows {
+                row: 1,
+                got: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0f32; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0f32; 4]).is_ok());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(2, 2, |r, c| (r * c) as f64 + 1.0);
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn add_shape_mismatch() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let b = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            a.add(&b),
+            Err(Error::DimensionMismatch { op: "add", .. })
+        ));
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[1.0f64, -2.0], &[-3.0, 4.0]]).unwrap();
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.norm_inf(), 7.0);
+        assert!((a.norm_fro() - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let a = Matrix::from_fn(3, 2, |r, c| (10 * r + c) as f32);
+        assert_eq!(a.row(1), &[10.0, 11.0]);
+        assert_eq!(a.column(1).as_slice(), &[1.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + 2 * c) as f64 * 0.5);
+        let b: Matrix<f32> = a.cast();
+        let c: Matrix<f64> = b.cast();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = Matrix::from_diagonal(&[1.0f64, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d.shape(), (3, 3));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Matrix::<f32>::zeros(1, 1));
+        assert!(s.contains("Matrix 1x1"));
+    }
+}

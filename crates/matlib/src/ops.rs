@@ -1,0 +1,198 @@
+//! Free-function BLAS-like kernels.
+//!
+//! These mirror the C `matlib` interface the paper built for its
+//! cross-backend comparison: each backend's functional model bottoms out in
+//! these routines, while its *timing* model accounts for the backend's own
+//! execution of the equivalent instruction stream.
+
+use crate::{Error, Matrix, Result, Scalar, Vector};
+
+/// General matrix-matrix product `A * B`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use matlib::{gemm, Matrix};
+///
+/// # fn main() -> Result<(), matlib::Error> {
+/// let a = Matrix::<f64>::identity(2);
+/// let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// assert_eq!(gemm(&a, &b)?, b);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    gemm_accumulate(T::ONE, a, b, T::ZERO, &mut out)?;
+    Ok(out)
+}
+
+/// General matrix-matrix product with accumulation:
+/// `C = alpha * A * B + beta * C`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the inner dimensions of `A` and
+/// `B` disagree or `C` does not have shape `(a.rows(), b.cols())`.
+pub fn gemm_accumulate<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(Error::DimensionMismatch {
+            op: "gemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(Error::DimensionMismatch {
+            op: "gemm(out)",
+            lhs: (a.rows(), b.cols()),
+            rhs: c.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                acc = a[(i, p)].mul_add(b[(p, j)], acc);
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+    Ok(())
+}
+
+/// General matrix-vector product `A * x`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if `a.cols() != x.len()`.
+pub fn gemv<T: Scalar>(a: &Matrix<T>, x: &Vector<T>) -> Result<Vector<T>> {
+    let mut out = Vector::zeros(a.rows());
+    gemv_accumulate(T::ONE, a, x, T::ZERO, &mut out)?;
+    Ok(out)
+}
+
+/// General matrix-vector product with accumulation:
+/// `y = alpha * A * x + beta * y`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if `a.cols() != x.len()` or
+/// `y.len() != a.rows()`.
+pub fn gemv_accumulate<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    x: &Vector<T>,
+    beta: T,
+    y: &mut Vector<T>,
+) -> Result<()> {
+    if a.cols() != x.len() {
+        return Err(Error::DimensionMismatch {
+            op: "gemv",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    if y.len() != a.rows() {
+        return Err(Error::DimensionMismatch {
+            op: "gemv(out)",
+            lhs: (a.rows(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    for i in 0..a.rows() {
+        let row = a.row(i);
+        let mut acc = T::ZERO;
+        for (p, &aip) in row.iter().enumerate() {
+            acc = aip.mul_add(x[p], acc);
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix<f64> {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn gemm_small_known() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c, mat(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_rectangular() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let b = Matrix::from_fn(3, 4, |r, c| (r + c) as f64);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 4));
+        // c[0][0] = 0*0 + 1*1 + 2*2 = 5
+        assert_eq!(c[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn gemm_dim_mismatch() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        assert!(gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_accumulate_alpha_beta() {
+        let a = Matrix::<f64>::identity(2);
+        let b = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut c = mat(&[&[10.0, 10.0], &[10.0, 10.0]]);
+        gemm_accumulate(2.0, &a, &b, 0.5, &mut c).unwrap();
+        assert_eq!(c, mat(&[&[7.0, 9.0], &[11.0, 13.0]]));
+    }
+
+    #[test]
+    fn gemv_known() {
+        let a = mat(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = Vector::from_slice(&[1.0, 0.0, -1.0]);
+        assert_eq!(gemv(&a, &x).unwrap().as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn gemv_accumulate_matches_manual() {
+        let a = mat(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let x = Vector::from_slice(&[1.0, 2.0]);
+        let mut y = Vector::from_slice(&[1.0, 1.0]);
+        gemv_accumulate(1.0, &a, &x, -1.0, &mut y).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn gemv_out_len_checked() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let x = Vector::zeros(2);
+        let mut y = Vector::zeros(3);
+        assert!(gemv_accumulate(1.0, &a, &x, 0.0, &mut y).is_err());
+    }
+
+    #[test]
+    fn gemm_identity_is_neutral() {
+        let a = Matrix::from_fn(4, 4, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let i = Matrix::identity(4);
+        assert_eq!(gemm(&a, &i).unwrap(), a);
+        assert_eq!(gemm(&i, &a).unwrap(), a);
+    }
+}

@@ -1,0 +1,238 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! Rounds out the dense-kernel inventory the paper attributes to robotic
+//! workloads ("a wide variety of dense linear algebra kernels"); QR backs
+//! the least-squares sub-problems of calibration and trajectory fitting.
+
+use crate::{Error, Matrix, Result, Scalar, Vector};
+
+/// Householder QR factorization `A = Q·R` of an `m × n` matrix with
+/// `m ≥ n`.
+///
+/// # Examples
+///
+/// ```
+/// use matlib::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), matlib::Error> {
+/// let a = Matrix::<f64>::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+/// let x = Qr::new(&a)?.solve_least_squares(&b)?; // fits y = 1 + t
+/// assert!((x[0] - 1.0).abs() < 1e-10 && (x[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Qr<T> {
+    /// Householder vectors in the lower trapezoid; R in the upper triangle.
+    qr: Matrix<T>,
+    /// Householder scalars β.
+    betas: Vec<T>,
+}
+
+impl<T: Scalar> std::fmt::Debug for Qr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Qr").field("qr", &self.qr).finish()
+    }
+}
+
+impl<T: Scalar> Qr<T> {
+    /// Factorizes `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `rows < cols` and
+    /// [`Error::Singular`] if a column is (numerically) dependent.
+    pub fn new(a: &Matrix<T>) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(Error::DimensionMismatch {
+                op: "qr",
+                lhs: a.shape(),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        for j in 0..n {
+            // Householder vector for column j below the diagonal.
+            let mut norm_sq = T::ZERO;
+            for i in j..m {
+                norm_sq += qr[(i, j)] * qr[(i, j)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm <= T::ZERO || !norm.is_finite() {
+                return Err(Error::Singular { pivot: j });
+            }
+            let alpha = if qr[(j, j)] > T::ZERO { -norm } else { norm };
+            let v0 = qr[(j, j)] - alpha;
+            // v = (x - alpha e1); beta = 2 / vᵀv.
+            let mut vtv = v0 * v0;
+            for i in (j + 1)..m {
+                vtv += qr[(i, j)] * qr[(i, j)];
+            }
+            if vtv <= T::ZERO {
+                // Column already upper-triangular.
+                betas.push(T::ZERO);
+                continue;
+            }
+            let beta = (T::ONE + T::ONE) / vtv;
+            // Apply H = I - beta v vᵀ to the trailing columns.
+            for col in j..n {
+                let mut dot = v0 * qr[(j, col)];
+                for i in (j + 1)..m {
+                    dot += qr[(i, j)] * qr[(i, col)];
+                }
+                let scale = beta * dot;
+                qr[(j, col)] -= scale * v0;
+                for i in (j + 1)..m {
+                    let vi = qr[(i, j)];
+                    if col == j {
+                        continue;
+                    }
+                    qr[(i, col)] -= scale * vi;
+                }
+            }
+            // Store: R(j,j) = alpha; v below the diagonal (normalized so
+            // v0 stays explicit in betas' companion storage).
+            qr[(j, j)] = alpha;
+            for i in (j + 1)..m {
+                qr[(i, j)] /= v0;
+            }
+            // With v normalized to v0 = 1, beta becomes beta * v0².
+            betas.push(beta * v0 * v0);
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix<T> {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { T::ZERO })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &Vector<T>) -> Vector<T> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.clone();
+        for j in 0..n {
+            let beta = self.betas[j];
+            if beta <= T::ZERO {
+                continue;
+            }
+            // v = [1, qr[j+1..m][j]].
+            let mut dot = y[j];
+            for i in (j + 1)..m {
+                dot += self.qr[(i, j)] * y[i];
+            }
+            let scale = beta * dot;
+            y[j] -= scale;
+            for i in (j + 1)..m {
+                let vi = self.qr[(i, j)];
+                y[i] -= scale * vi;
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != rows`.
+    pub fn solve_least_squares(&self, b: &Vector<T>) -> Result<Vector<T>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(Error::DimensionMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let y = self.apply_qt(b);
+        // Back substitution on R.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for c in (i + 1)..n {
+                sum -= self.qr[(i, c)] * x[c];
+            }
+            x[i] = sum / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall(seed: u64, m: usize, n: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, n, |r, c| {
+            (((seed
+                .wrapping_mul(2654435761)
+                .wrapping_add((r * 17 + c * 5) as u64))
+                % 19) as f64
+                - 9.0)
+                * 0.21
+                + if r == c { 3.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_positive_diag_magnitudes() {
+        let a = tall(1, 6, 4);
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        for i in 0..4 {
+            assert!(r[(i, i)].abs() > 1e-10);
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = tall(2, 5, 5);
+        let b = Vector::from_fn(5, |i| i as f64 - 2.0);
+        let x_qr = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x_lu = crate::Lu::new(&a).unwrap().solve(&b).unwrap();
+        for i in 0..5 {
+            assert!(
+                (x_qr[i] - x_lu[i]).abs() < 1e-8,
+                "{} vs {}",
+                x_qr[i],
+                x_lu[i]
+            );
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        let a = tall(3, 8, 3);
+        let b = Vector::from_fn(8, |i| (i as f64).sin());
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ r = 0.
+        let r = a.matvec(&x).unwrap().sub(&b).unwrap();
+        let atr = a.transpose().matvec(&r).unwrap();
+        assert!(atr.max_abs() < 1e-8, "normal equations violated: {atr:?}");
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(Qr::new(&a).is_err());
+    }
+
+    #[test]
+    fn line_fit_example() {
+        // Fit y = 2 + 3t.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { ts[r] });
+        let b = Vector::from_fn(5, |i| 2.0 + 3.0 * ts[i]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,314 @@
+//! Discrete algebraic Riccati equation (DARE) and infinite-horizon LQR
+//! gains.
+//!
+//! TinyMPC's key memory optimization caches only the *infinite-horizon*
+//! Riccati solution — a single gain matrix `K∞` and cost-to-go `P∞` —
+//! instead of a full horizon of per-timestep gains. This module computes
+//! that fixed point by backward Riccati recursion until convergence.
+
+use crate::{Cholesky, Error, Matrix, Result, Scalar, Vector};
+
+/// Convergence options for [`dare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DareOptions {
+    /// Maximum number of backward-recursion steps.
+    pub max_iterations: usize,
+    /// Convergence tolerance on `max|P_{k+1} - P_k|`.
+    pub tolerance: f64,
+}
+
+impl Default for DareOptions {
+    fn default() -> Self {
+        DareOptions {
+            max_iterations: 10_000,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Converged solution of the discrete algebraic Riccati equation.
+#[derive(Debug, Clone)]
+pub struct DareSolution<T> {
+    /// Infinite-horizon cost-to-go matrix `P∞` (n×n).
+    pub p: Matrix<T>,
+    /// Infinite-horizon feedback gain `K∞` (m×n), for `u = -K x`.
+    pub k: Matrix<T>,
+    /// `(R + Bᵀ P∞ B)⁻¹`, cached because TinyMPC reuses it every backward
+    /// pass.
+    pub quu_inv: Matrix<T>,
+    /// Number of recursion steps performed.
+    pub iterations: usize,
+}
+
+/// Solves the DARE by backward recursion:
+///
+/// `P ← Q + Aᵀ P A − Aᵀ P B (R + Bᵀ P B)⁻¹ Bᵀ P A`
+///
+/// iterating until `P` reaches a fixed point.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] on inconsistent shapes,
+/// [`Error::NotPositiveDefinite`] if `R + BᵀPB` loses positive-definiteness
+/// (e.g. `R` not positive definite), and [`Error::DidNotConverge`] if the
+/// iteration budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use matlib::{dare, DareOptions, Matrix};
+///
+/// # fn main() -> Result<(), matlib::Error> {
+/// // Scalar double integrator.
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
+/// let b = Matrix::from_rows(&[&[0.005], &[0.1]])?;
+/// let q = Matrix::identity(2);
+/// let r = Matrix::identity(1);
+/// let sol = dare(&a, &b, &q, &r, DareOptions::default())?;
+/// assert_eq!(sol.k.shape(), (1, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dare<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    q: &Matrix<T>,
+    r: &Matrix<T>,
+    options: DareOptions,
+) -> Result<DareSolution<T>> {
+    let n = a.rows();
+    let m = b.cols();
+    if a.cols() != n {
+        return Err(Error::DimensionMismatch {
+            op: "dare(A)",
+            lhs: a.shape(),
+            rhs: (n, n),
+        });
+    }
+    if b.rows() != n {
+        return Err(Error::DimensionMismatch {
+            op: "dare(B)",
+            lhs: b.shape(),
+            rhs: (n, m),
+        });
+    }
+    if q.shape() != (n, n) {
+        return Err(Error::DimensionMismatch {
+            op: "dare(Q)",
+            lhs: q.shape(),
+            rhs: (n, n),
+        });
+    }
+    if r.shape() != (m, m) {
+        return Err(Error::DimensionMismatch {
+            op: "dare(R)",
+            lhs: r.shape(),
+            rhs: (m, m),
+        });
+    }
+
+    let bt = b.transpose();
+    let mut p = q.clone();
+    for iter in 0..options.max_iterations {
+        // Quu = R + Bᵀ P B,  Qux = Bᵀ P A.
+        let pb = p.matmul(b)?;
+        let quu = r.add(&bt.matmul(&pb)?)?;
+        let qux = bt.matmul(&p.matmul(a)?)?;
+        let quu_chol = Cholesky::new(&quu)?;
+        // K = Quu⁻¹ Qux, solved column-wise against Qux.
+        let mut k = Matrix::zeros(m, n);
+        for c in 0..n {
+            let col = quu_chol.solve(&qux.column(c))?;
+            for row in 0..m {
+                k[(row, c)] = col[row];
+            }
+        }
+        // Joseph-form recursion, symmetric positive-semidefinite by
+        // construction (robust for stiff dynamics like low-inertia
+        // quadrotors): P' = (A−BK)ᵀ P (A−BK) + Kᵀ R K + Q.
+        let abk = a.sub(&b.matmul(&k)?)?;
+        let kt_r_k = k.transpose().matmul(&r.matmul(&k)?)?;
+        let p_next = abk
+            .transpose()
+            .matmul(&p.matmul(&abk)?)?
+            .add(&kt_r_k)?
+            .add(q)?;
+        // Re-symmetrize to scrub accumulated rounding skew.
+        let p_next = p_next.add(&p_next.transpose())?.scale(T::from_f64(0.5));
+
+        let delta = p_next.max_abs_diff(&p)?;
+        // In reduced precision (f32) the requested tolerance may be below
+        // representable resolution at P's magnitude; widen it to a few ulps
+        // of the largest entry.
+        let ulp_floor = 16.0 * T::EPSILON.to_f64() * p_next.max_abs().to_f64();
+        p = p_next;
+        if delta < options.tolerance.max(ulp_floor) {
+            // Recompute the gain and Quu⁻¹ at the converged P.
+            let pb = p.matmul(b)?;
+            let quu = r.add(&bt.matmul(&pb)?)?;
+            let qux = bt.matmul(&p.matmul(a)?)?;
+            let quu_chol = Cholesky::new(&quu)?;
+            let mut k = Matrix::zeros(m, n);
+            for c in 0..n {
+                let col = quu_chol.solve(&qux.column(c))?;
+                for row in 0..m {
+                    k[(row, c)] = col[row];
+                }
+            }
+            return Ok(DareSolution {
+                p,
+                k,
+                quu_inv: quu_chol.inverse(),
+                iterations: iter + 1,
+            });
+        }
+    }
+    Err(Error::DidNotConverge {
+        iterations: options.max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+/// Convenience wrapper returning just the LQR gain pair `(K∞, P∞)`.
+///
+/// # Errors
+///
+/// Propagates every error of [`dare`].
+pub fn lqr_gains<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    q: &Matrix<T>,
+    r: &Matrix<T>,
+) -> Result<(Matrix<T>, Matrix<T>)> {
+    let sol = dare(a, b, q, r, DareOptions::default())?;
+    Ok((sol.k, sol.p))
+}
+
+/// Verifies the Riccati residual `‖P − (Q + AᵀPA − AᵀPB·Quu⁻¹·BᵀPA)‖∞`.
+///
+/// Exposed for tests and for validating cached TinyMPC matrices loaded from
+/// other sources.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] on inconsistent shapes.
+pub fn dare_residual<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    q: &Matrix<T>,
+    r: &Matrix<T>,
+    p: &Matrix<T>,
+) -> Result<f64> {
+    let at = a.transpose();
+    let bt = b.transpose();
+    let quu = r.add(&bt.matmul(&p.matmul(b)?)?)?;
+    let qux = bt.matmul(&p.matmul(a)?)?;
+    let chol = Cholesky::new(&quu)?;
+    let n = a.rows();
+    let m = b.cols();
+    let mut k = Matrix::zeros(m, n);
+    for c in 0..n {
+        let col = chol.solve(&qux.column(c))?;
+        for row in 0..m {
+            k[(row, c)] = col[row];
+        }
+    }
+    let abk = a.sub(&b.matmul(&k)?)?;
+    let p_next = q.add(&at.matmul(&p.matmul(&abk)?)?)?;
+    p_next.max_abs_diff(p)
+}
+
+/// Propagates one closed-loop step `x' = (A − B K) x` — a helper used by
+/// tests and closed-loop examples.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] on inconsistent shapes.
+pub fn closed_loop_step<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    k: &Matrix<T>,
+    x: &Vector<T>,
+) -> Result<Vector<T>> {
+    let u = k.matvec(x)?.neg();
+    let ax = a.matvec(x)?;
+    let bu = b.matvec(&u)?;
+    ax.add(&bu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_integrator() -> (Matrix<f64>, Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let dt = 0.1;
+        let a = Matrix::from_rows(&[&[1.0, dt], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.5 * dt * dt], &[dt]]).unwrap();
+        let q = Matrix::identity(2);
+        let r = Matrix::from_diagonal(&[0.1]);
+        (a, b, q, r)
+    }
+
+    #[test]
+    fn dare_converges_on_double_integrator() {
+        let (a, b, q, r) = double_integrator();
+        let sol = dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        assert!(sol.iterations > 1);
+        assert!(dare_residual(&a, &b, &q, &r, &sol.p).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn dare_gain_stabilizes() {
+        let (a, b, q, r) = double_integrator();
+        let sol = dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        // Simulate the closed loop from a nonzero state; it must contract.
+        let mut x = Vector::from_slice(&[1.0, 1.0]);
+        for _ in 0..300 {
+            x = closed_loop_step(&a, &b, &sol.k, &x).unwrap();
+        }
+        assert!(x.max_abs() < 1e-3, "closed loop did not stabilize: {x:?}");
+    }
+
+    #[test]
+    fn dare_quu_inv_is_inverse() {
+        let (a, b, q, r) = double_integrator();
+        let sol = dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        let bt = b.transpose();
+        let quu = r
+            .add(&bt.matmul(&sol.p.matmul(&b).unwrap()).unwrap())
+            .unwrap();
+        let prod = quu.matmul(&sol.quu_inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(1)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn dare_rejects_bad_shapes() {
+        let (a, b, q, _) = double_integrator();
+        let bad_r = Matrix::<f64>::identity(2);
+        assert!(dare(&a, &b, &q, &bad_r, DareOptions::default()).is_err());
+    }
+
+    #[test]
+    fn dare_budget_exhaustion() {
+        let (a, b, q, r) = double_integrator();
+        let opts = DareOptions {
+            max_iterations: 1,
+            tolerance: 1e-16,
+        };
+        assert!(matches!(
+            dare(&a, &b, &q, &r, opts),
+            Err(Error::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn lqr_gains_wrapper() {
+        let (a, b, q, r) = double_integrator();
+        let (k, p) = lqr_gains(&a, &b, &q, &r).unwrap();
+        assert_eq!(k.shape(), (1, 2));
+        assert_eq!(p.shape(), (2, 2));
+        // P must be symmetric (within tolerance) and positive on diagonal.
+        assert!(p.max_abs_diff(&p.transpose()).unwrap() < 1e-8);
+        assert!(p[(0, 0)] > 0.0 && p[(1, 1)] > 0.0);
+    }
+}

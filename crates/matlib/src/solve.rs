@@ -1,0 +1,368 @@
+//! Direct factorizations: Cholesky and LU with partial pivoting.
+//!
+//! These cover the "non-typical domain-specific operations" the paper calls
+//! out (Cholesky decomposition) and provide the matrix inverses TinyMPC
+//! precomputes into its cache (`Quu⁻¹`).
+
+use crate::{Error, Matrix, Result, Scalar, Vector};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// # Examples
+///
+/// ```
+/// use matlib::{Cholesky, Matrix, Vector};
+///
+/// # fn main() -> Result<(), matlib::Error> {
+/// let a = Matrix::<f64>::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&Vector::from_slice(&[1.0, 1.0]))?;
+/// // Verify A x = b.
+/// let b = a.matvec(&x)?;
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Cholesky<T> {
+    l: Matrix<T>,
+}
+
+impl<T: Scalar> std::fmt::Debug for Cholesky<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cholesky").field("l", &self.l).finish()
+    }
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factorizes `a`, reading only its lower triangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a non-square input and
+    /// [`Error::NotPositiveDefinite`] if a pivot is not strictly positive.
+    pub fn new(a: &Matrix<T>) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::DimensionMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= T::ZERO || !sum.is_finite() {
+                        return Err(Error::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len()` differs from the
+    /// factorized dimension.
+    pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column.
+    pub fn inverse(&self) -> Matrix<T> {
+        let n = self.l.rows();
+        let mut inv = Matrix::zeros(n, n);
+        for c in 0..n {
+            let mut e = Vector::zeros(n);
+            e[c] = T::ONE;
+            let col = self.solve(&e).expect("length matches by construction");
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        inv
+    }
+}
+
+/// LU factorization with partial pivoting, `P·A = L·U`.
+#[derive(Clone)]
+pub struct Lu<T> {
+    /// Combined L (strictly lower, unit diagonal implied) and U storage.
+    lu: Matrix<T>,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> std::fmt::Debug for Lu<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lu")
+            .field("lu", &self.lu)
+            .field("perm", &self.perm)
+            .finish()
+    }
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a non-square input and
+    /// [`Error::Singular`] if no usable pivot exists at some column.
+    pub fn new(a: &Matrix<T>) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::DimensionMismatch {
+                op: "lu",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivot: largest magnitude in the column at or below the
+            // diagonal.
+            let mut pivot_row = col;
+            let mut pivot_mag = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let mag = lu[(r, col)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag <= T::EPSILON || !pivot_mag.is_finite() {
+                return Err(Error::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                perm.swap(col, pivot_row);
+                for c in 0..n {
+                    let tmp = lu[(col, c)];
+                    lu[(col, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+            }
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] / lu[(col, col)];
+                lu[(r, col)] = factor;
+                for c in (col + 1)..n {
+                    let upd = lu[(col, c)];
+                    lu[(r, c)] -= factor * upd;
+                }
+            }
+        }
+        Ok(Lu { lu, perm })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len()` differs from the
+    /// factorized dimension.
+    pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-diagonal L.
+        let mut y = Vector::from_fn(n, |i| b[self.perm[i]]);
+        for i in 0..n {
+            for k in 0..i {
+                let yk = y[k];
+                y[i] -= self.lu[(i, k)] * yk;
+            }
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let xk = x[k];
+                x[i] -= self.lu[(i, k)] * xk;
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column.
+    pub fn inverse(&self) -> Matrix<T> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        for c in 0..n {
+            let mut e = Vector::zeros(n);
+            e[c] = T::ONE;
+            let col = self.solve(&e).expect("length matches by construction");
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        inv
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> T {
+        let n = self.lu.rows();
+        let mut det = T::ONE;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        // Sign of the permutation.
+        let mut seen = vec![false; n];
+        let mut transpositions = 0usize;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0usize;
+            let mut i = start;
+            while !seen[i] {
+                seen[i] = true;
+                i = self.perm[i];
+                len += 1;
+            }
+            transpositions += len - 1;
+        }
+        if transpositions % 2 == 1 {
+            det = -det;
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd4() -> Matrix<f64> {
+        // A = M Mᵀ + 4I is symmetric positive definite.
+        let m = Matrix::from_fn(4, 4, |r, c| ((r * 4 + c) % 7) as f64 * 0.3 - 0.8);
+        let mt = m.transpose();
+        let mm = m.matmul(&mt).unwrap();
+        mm.add(&Matrix::from_diagonal(&[4.0; 4])).unwrap()
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd4();
+        let chol = Cholesky::new(&a).unwrap();
+        let rec = chol.l().matmul(&chol.l().transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solve_residual() {
+        let a = spd4();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Vector::from_fn(4, |i| (i as f64) - 1.5);
+        let x = chol.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap().sub(&b).unwrap();
+        assert!(r.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_inverse() {
+        let a = spd4();
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn lu_solve_with_pivoting() {
+        // Needs pivoting: zero on the (0,0) entry.
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 1.0], &[3.0, 1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let b = Vector::from_slice(&[5.0, 3.0, 4.0]);
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap().sub(&b).unwrap();
+        assert!(r.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_inverse_and_det() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - 5.0).abs() < 1e-12);
+        let prod = a.matmul(&lu.inverse()).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn lu_det_sign_under_permutation() {
+        // Swapping two rows of the identity gives det = -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(Error::Singular { .. })));
+    }
+}

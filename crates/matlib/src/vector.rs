@@ -1,0 +1,370 @@
+use crate::{Error, Result, Scalar};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense column vector.
+///
+/// The strip-mining and reduction operators of the TinyMPC workload
+/// ([`clip`](Vector::clip), [`abs`](Vector::abs),
+/// [`max_abs_diff`](Vector::max_abs_diff), …) live here.
+///
+/// # Examples
+///
+/// ```
+/// use matlib::Vector;
+///
+/// let v = Vector::from_slice(&[-3.0f64, 0.5, 2.0]);
+/// let clipped = v.clip(-1.0, 1.0);
+/// assert_eq!(clipped.as_slice(), &[-1.0, 0.5, 1.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Vector<T> {
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Vector<T> {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector {
+            data: vec![T::ZERO; n],
+        }
+    }
+
+    /// Creates a vector by copying a slice.
+    pub fn from_slice(s: &[T]) -> Self {
+        Vector { data: s.to_vec() }
+    }
+
+    /// Creates a vector whose element `i` is `f(i)`.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> T) -> Self {
+        Vector {
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Creates a vector of length `n` with every element equal to `v`.
+    pub fn splat(n: usize, v: T) -> Self {
+        Vector { data: vec![v; n] }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrows the elements.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the lengths differ.
+    pub fn add(&self, other: &Vector<T>) -> Result<Vector<T>> {
+        self.zip_with(other, "vadd", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the lengths differ.
+    pub fn sub(&self, other: &Vector<T>) -> Result<Vector<T>> {
+        self.zip_with(other, "vsub", |a, b| a - b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: T) -> Vector<T> {
+        self.map(|x| x * s)
+    }
+
+    /// Negates every element.
+    pub fn neg(&self) -> Vector<T> {
+        self.map(|x| -x)
+    }
+
+    /// `self + alpha * other` (BLAS `axpy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the lengths differ.
+    pub fn axpy(&self, alpha: T, other: &Vector<T>) -> Result<Vector<T>> {
+        self.zip_with(other, "axpy", |a, b| b.mul_add(alpha, a))
+    }
+
+    /// Dot product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the lengths differ.
+    pub fn dot(&self, other: &Vector<T>) -> Result<T> {
+        if self.len() != other.len() {
+            return Err(Error::DimensionMismatch {
+                op: "dot",
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .fold(T::ZERO, |s, (&a, &b)| a.mul_add(b, s)))
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Vector<T> {
+        self.map(T::abs)
+    }
+
+    /// Element-wise (Hadamard) product — the diagonal-cost application of
+    /// TinyMPC's `UPDATE_LINEAR_COST_2` (`q = -(xref ⊙ Qdiag)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the lengths differ.
+    pub fn hadamard(&self, other: &Vector<T>) -> Result<Vector<T>> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    /// Euclidean (2-) norm.
+    pub fn norm2(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::ZERO, |s, &x| x.mul_add(x, s))
+            .sqrt()
+    }
+
+    /// Saturates every element into `[lo, hi]`.
+    ///
+    /// This is the slack-variable projection of TinyMPC:
+    /// `min(hi, max(lo, x))` applied element-wise.
+    pub fn clip(&self, lo: T, hi: T) -> Vector<T> {
+        self.map(|x| x.max(lo).min(hi))
+    }
+
+    /// Saturates element-wise into `[lo[i], hi[i]]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the bound lengths differ from
+    /// `self.len()`.
+    pub fn clip_elementwise(&self, lo: &Vector<T>, hi: &Vector<T>) -> Result<Vector<T>> {
+        if lo.len() != self.len() || hi.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "clip_elementwise",
+                lhs: (self.len(), 1),
+                rhs: (lo.len(), hi.len()),
+            });
+        }
+        Ok(Vector::from_fn(self.len(), |i| {
+            self[i].max(lo[i]).min(hi[i])
+        }))
+    }
+
+    /// Largest absolute element (infinity norm); `0` for an empty vector.
+    pub fn max_abs(&self) -> T {
+        self.data.iter().fold(T::ZERO, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest element; `-inf`-like behaviour is avoided by requiring a
+    /// non-empty vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is empty.
+    pub fn max(&self) -> T {
+        assert!(!self.is_empty(), "max of empty vector");
+        self.data.iter().copied().fold(self.data[0], T::max)
+    }
+
+    /// `max(|self - other|)` — the residual reduction of TinyMPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the lengths differ.
+    pub fn max_abs_diff(&self, other: &Vector<T>) -> Result<T> {
+        if self.len() != other.len() {
+            return Err(Error::DimensionMismatch {
+                op: "max_abs_diff",
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .fold(T::ZERO, |m, (&a, &b)| m.max((a - b).abs())))
+    }
+
+    /// Applies `f` element-wise, producing a new vector.
+    pub fn map(&self, f: impl Fn(T) -> T) -> Vector<T> {
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Converts every element to another scalar type via `f64`.
+    pub fn cast<U: Scalar>(&self) -> Vector<U> {
+        Vector {
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+        }
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+
+    fn zip_with(
+        &self,
+        other: &Vector<T>,
+        op: &'static str,
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Vector<T>> {
+        if self.len() != other.len() {
+            return Err(Error::DimensionMismatch {
+                op,
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            });
+        }
+        Ok(Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl<T: Scalar> Index<usize> for Vector<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T: Scalar> IndexMut<usize> for Vector<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T: Scalar> FromIterator<T> for Vector<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Vector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector{:?}", self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Vector::<f64>::zeros(3).as_slice(), &[0.0; 3]);
+        assert_eq!(Vector::splat(2, 5.0f32).as_slice(), &[5.0, 5.0]);
+        assert_eq!(
+            Vector::from_fn(3, |i| i as f64).as_slice(),
+            &[0.0, 1.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from_slice(&[1.0f64, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0f64, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.axpy(2.0, &b).unwrap().as_slice(), &[9.0, 12.0, 15.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = Vector::from_slice(&[1.0f64]);
+        let b = Vector::from_slice(&[1.0f64, 2.0]);
+        assert!(a.add(&b).is_err());
+        assert!(a.dot(&b).is_err());
+        assert!(a.max_abs_diff(&b).is_err());
+    }
+
+    #[test]
+    fn clip_and_abs() {
+        let v = Vector::from_slice(&[-2.0f64, -0.5, 0.5, 2.0]);
+        assert_eq!(v.clip(-1.0, 1.0).as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+        assert_eq!(v.abs().as_slice(), &[2.0, 0.5, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn clip_elementwise_bounds() {
+        let v = Vector::from_slice(&[-2.0f64, 0.0, 2.0]);
+        let lo = Vector::from_slice(&[-1.0f64, -1.0, -1.0]);
+        let hi = Vector::from_slice(&[1.0f64, 0.5, 1.5]);
+        assert_eq!(
+            v.clip_elementwise(&lo, &hi).unwrap().as_slice(),
+            &[-1.0, 0.0, 1.5]
+        );
+    }
+
+    #[test]
+    fn hadamard_and_norm2() {
+        let a = Vector::from_slice(&[1.0f64, -2.0, 3.0]);
+        let b = Vector::from_slice(&[2.0f64, 0.5, -1.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[2.0, -1.0, -3.0]);
+        assert!((a.norm2() - 14.0f64.sqrt()).abs() < 1e-12);
+        assert!(a.hadamard(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Vector::from_slice(&[1.0f64, -4.0, 3.0]);
+        let b = Vector::from_slice(&[0.0f64, 0.0, 0.0]);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max of empty vector")]
+    fn max_of_empty_panics() {
+        Vector::<f64>::zeros(0).max();
+    }
+}

@@ -1,0 +1,580 @@
+//! A small two-pass RV32IMF assembler: labels, ABI register names, and
+//! the common pseudo-instructions — enough to write real kernels in tests
+//! and examples.
+
+use crate::{AluOp, BranchOp, FmaOp, FpOp, Inst, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn int_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let named = match tok {
+        "zero" => 0,
+        "ra" => 1,
+        "sp" => 2,
+        "gp" => 3,
+        "tp" => 4,
+        "fp" => 8,
+        _ => {
+            if let Some(n) = tok.strip_prefix('x').and_then(|s| s.parse::<u8>().ok()) {
+                n
+            } else if let Some(n) = tok.strip_prefix('a').and_then(|s| s.parse::<u8>().ok()) {
+                10 + n
+            } else if let Some(n) = tok.strip_prefix('s').and_then(|s| s.parse::<u8>().ok()) {
+                if n < 2 {
+                    8 + n
+                } else {
+                    16 + n
+                }
+            } else if let Some(n) = tok.strip_prefix('t').and_then(|s| s.parse::<u8>().ok()) {
+                if n < 3 {
+                    5 + n
+                } else {
+                    25 + n
+                }
+            } else {
+                return Err(err(line, format!("unknown integer register `{tok}`")));
+            }
+        }
+    };
+    if named >= 32 {
+        return Err(err(line, format!("register `{tok}` out of range")));
+    }
+    Ok(Reg(named))
+}
+
+fn fp_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let n = if let Some(n) = tok.strip_prefix("ft").and_then(|s| s.parse::<u8>().ok()) {
+        if n < 8 {
+            n
+        } else {
+            20 + n
+        }
+    } else if let Some(n) = tok.strip_prefix("fs").and_then(|s| s.parse::<u8>().ok()) {
+        if n < 2 {
+            8 + n
+        } else {
+            16 + n
+        }
+    } else if let Some(n) = tok.strip_prefix("fa").and_then(|s| s.parse::<u8>().ok()) {
+        10 + n
+    } else if let Some(n) = tok.strip_prefix('f').and_then(|s| s.parse::<u8>().ok()) {
+        n
+    } else {
+        return Err(err(line, format!("unknown FP register `{tok}`")));
+    };
+    if n >= 32 {
+        return Err(err(line, format!("register `{tok}` out of range")));
+    }
+    Ok(Reg(n))
+}
+
+fn imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        tok.parse::<i64>().ok()
+    };
+    parsed
+        .and_then(|v| i32::try_from(v).ok())
+        .ok_or_else(|| err(line, format!("bad immediate `{tok}`")))
+}
+
+/// `offset(base)` memory operand.
+fn mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected off(reg), got `{tok}`")))?;
+    let close = tok
+        .find(')')
+        .ok_or_else(|| err(line, format!("expected off(reg), got `{tok}`")))?;
+    let off = if open == 0 {
+        0
+    } else {
+        imm(&tok[..open], line)?
+    };
+    let base = int_reg(&tok[open + 1..close], line)?;
+    Ok((off, base))
+}
+
+enum Item {
+    Inst(Inst),
+    /// Branch/jump needing a label: (mnemonic pieces resolved later).
+    BranchTo {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    JumpTo {
+        rd: Reg,
+        label: String,
+    },
+}
+
+/// Assembles a program. Returns instructions in order; labels resolve to
+/// instruction addresses at 4-byte granularity from base 0.
+///
+/// Supported: the full [`Inst`] surface plus pseudo-instructions `li`,
+/// `mv`, `nop`, `j`, `ret`, `fmv.s`, `fabs.s`, `fneg.s`. Comments start
+/// with `#`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any parse failure or
+/// unknown label.
+pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut items: Vec<(usize, Item)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.chars().all(|c| c.is_alphanumeric() || c == '_') && !label.is_empty() {
+                labels.insert(label.to_string(), items.len());
+                rest = after[1..].trim();
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty");
+        let operand_str: String = parts.collect::<Vec<_>>().join(" ");
+        let ops: Vec<&str> = operand_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let n = ops.len();
+        let need = |want: usize| {
+            if n == want {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("{mnemonic} expects {want} operands, got {n}"),
+                ))
+            }
+        };
+
+        let item = match mnemonic {
+            "nop" => Item::Inst(Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg(0),
+                rs1: Reg(0),
+                imm: 0,
+            }),
+            "li" => {
+                need(2)?;
+                let rd = int_reg(ops[0], line)?;
+                let v = imm(ops[1], line)?;
+                if (-2048..2048).contains(&v) {
+                    Item::Inst(Inst::OpImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg(0),
+                        imm: v,
+                    })
+                } else {
+                    // lui + addi pair; emit lui now, addi below via two
+                    // pushes.
+                    let upper = (v + 0x800) & !0xfff;
+                    items.push((line, Item::Inst(Inst::Lui { rd, imm: upper })));
+                    Item::Inst(Inst::OpImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: v - upper,
+                    })
+                }
+            }
+            "mv" => {
+                need(2)?;
+                Item::Inst(Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: int_reg(ops[0], line)?,
+                    rs1: int_reg(ops[1], line)?,
+                    imm: 0,
+                })
+            }
+            "j" => {
+                need(1)?;
+                Item::JumpTo {
+                    rd: Reg(0),
+                    label: ops[0].to_string(),
+                }
+            }
+            "jal" => {
+                need(2)?;
+                Item::JumpTo {
+                    rd: int_reg(ops[0], line)?,
+                    label: ops[1].to_string(),
+                }
+            }
+            "ret" => Item::Inst(Inst::Jalr {
+                rd: Reg(0),
+                rs1: Reg(1),
+                offset: 0,
+            }),
+            "ecall" => Item::Inst(Inst::Ecall),
+            "lui" => {
+                need(2)?;
+                Item::Inst(Inst::Lui {
+                    rd: int_reg(ops[0], line)?,
+                    imm: imm(ops[1], line)? << 12,
+                })
+            }
+            "lw" | "flw" => {
+                need(2)?;
+                let (offset, rs1) = mem_operand(ops[1], line)?;
+                if mnemonic == "lw" {
+                    Item::Inst(Inst::Lw {
+                        rd: int_reg(ops[0], line)?,
+                        rs1,
+                        offset,
+                    })
+                } else {
+                    Item::Inst(Inst::Flw {
+                        rd: fp_reg(ops[0], line)?,
+                        rs1,
+                        offset,
+                    })
+                }
+            }
+            "sw" | "fsw" => {
+                need(2)?;
+                let (offset, rs1) = mem_operand(ops[1], line)?;
+                if mnemonic == "sw" {
+                    Item::Inst(Inst::Sw {
+                        rs2: int_reg(ops[0], line)?,
+                        rs1,
+                        offset,
+                    })
+                } else {
+                    Item::Inst(Inst::Fsw {
+                        rs2: fp_reg(ops[0], line)?,
+                        rs1,
+                        offset,
+                    })
+                }
+            }
+            "addi" | "andi" | "ori" | "xori" | "slti" | "slli" | "srli" | "srai" => {
+                need(3)?;
+                let op = match mnemonic {
+                    "addi" => AluOp::Add,
+                    "andi" => AluOp::And,
+                    "ori" => AluOp::Or,
+                    "xori" => AluOp::Xor,
+                    "slti" => AluOp::Slt,
+                    "slli" => AluOp::Sll,
+                    "srli" => AluOp::Srl,
+                    _ => AluOp::Sra,
+                };
+                Item::Inst(Inst::OpImm {
+                    op,
+                    rd: int_reg(ops[0], line)?,
+                    rs1: int_reg(ops[1], line)?,
+                    imm: imm(ops[2], line)?,
+                })
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+            | "mul" | "mulh" | "div" | "divu" | "rem" | "remu" => {
+                need(3)?;
+                let op = match mnemonic {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "and" => AluOp::And,
+                    "or" => AluOp::Or,
+                    "xor" => AluOp::Xor,
+                    "sll" => AluOp::Sll,
+                    "srl" => AluOp::Srl,
+                    "sra" => AluOp::Sra,
+                    "slt" => AluOp::Slt,
+                    "sltu" => AluOp::Sltu,
+                    "mul" => AluOp::Mul,
+                    "mulh" => AluOp::Mulh,
+                    "div" => AluOp::Div,
+                    "divu" => AluOp::Divu,
+                    "rem" => AluOp::Rem,
+                    _ => AluOp::Remu,
+                };
+                Item::Inst(Inst::Op {
+                    op,
+                    rd: int_reg(ops[0], line)?,
+                    rs1: int_reg(ops[1], line)?,
+                    rs2: int_reg(ops[2], line)?,
+                })
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let op = match mnemonic {
+                    "beq" => BranchOp::Eq,
+                    "bne" => BranchOp::Ne,
+                    "blt" => BranchOp::Lt,
+                    "bge" => BranchOp::Ge,
+                    "bltu" => BranchOp::Ltu,
+                    _ => BranchOp::Geu,
+                };
+                Item::BranchTo {
+                    op,
+                    rs1: int_reg(ops[0], line)?,
+                    rs2: int_reg(ops[1], line)?,
+                    label: ops[2].to_string(),
+                }
+            }
+            "fadd.s" | "fsub.s" | "fmul.s" | "fdiv.s" | "fmin.s" | "fmax.s" | "fsgnj.s"
+            | "fsgnjn.s" | "fsgnjx.s" => {
+                need(3)?;
+                let op = match mnemonic {
+                    "fadd.s" => FpOp::Add,
+                    "fsub.s" => FpOp::Sub,
+                    "fmul.s" => FpOp::Mul,
+                    "fdiv.s" => FpOp::Div,
+                    "fmin.s" => FpOp::Min,
+                    "fmax.s" => FpOp::Max,
+                    "fsgnj.s" => FpOp::SgnJ,
+                    "fsgnjn.s" => FpOp::SgnJn,
+                    _ => FpOp::SgnJx,
+                };
+                Item::Inst(Inst::Fp {
+                    op,
+                    rd: fp_reg(ops[0], line)?,
+                    rs1: fp_reg(ops[1], line)?,
+                    rs2: fp_reg(ops[2], line)?,
+                })
+            }
+            "fmv.s" | "fabs.s" | "fneg.s" => {
+                need(2)?;
+                let op = match mnemonic {
+                    "fmv.s" => FpOp::SgnJ,
+                    "fabs.s" => FpOp::SgnJx,
+                    _ => FpOp::SgnJn,
+                };
+                let rs = fp_reg(ops[1], line)?;
+                Item::Inst(Inst::Fp {
+                    op,
+                    rd: fp_reg(ops[0], line)?,
+                    rs1: rs,
+                    rs2: rs,
+                })
+            }
+            "feq.s" | "flt.s" | "fle.s" => {
+                need(3)?;
+                let op = match mnemonic {
+                    "feq.s" => FpOp::Eq,
+                    "flt.s" => FpOp::Lt,
+                    _ => FpOp::Le,
+                };
+                Item::Inst(Inst::Fp {
+                    op,
+                    rd: int_reg(ops[0], line)?,
+                    rs1: fp_reg(ops[1], line)?,
+                    rs2: fp_reg(ops[2], line)?,
+                })
+            }
+            "fmv.x.w" => {
+                need(2)?;
+                Item::Inst(Inst::Fp {
+                    op: FpOp::MvXW,
+                    rd: int_reg(ops[0], line)?,
+                    rs1: fp_reg(ops[1], line)?,
+                    rs2: Reg(0),
+                })
+            }
+            "fmv.w.x" => {
+                need(2)?;
+                Item::Inst(Inst::Fp {
+                    op: FpOp::MvWX,
+                    rd: fp_reg(ops[0], line)?,
+                    rs1: int_reg(ops[1], line)?,
+                    rs2: Reg(0),
+                })
+            }
+            "fcvt.s.w" => {
+                need(2)?;
+                Item::Inst(Inst::Fp {
+                    op: FpOp::CvtSW,
+                    rd: fp_reg(ops[0], line)?,
+                    rs1: int_reg(ops[1], line)?,
+                    rs2: Reg(0),
+                })
+            }
+            "fcvt.w.s" => {
+                need(2)?;
+                Item::Inst(Inst::Fp {
+                    op: FpOp::CvtWS,
+                    rd: int_reg(ops[0], line)?,
+                    rs1: fp_reg(ops[1], line)?,
+                    rs2: Reg(0),
+                })
+            }
+            "fmadd.s" | "fmsub.s" | "fnmsub.s" | "fnmadd.s" => {
+                need(4)?;
+                let op = match mnemonic {
+                    "fmadd.s" => FmaOp::Madd,
+                    "fmsub.s" => FmaOp::Msub,
+                    "fnmsub.s" => FmaOp::Nmsub,
+                    _ => FmaOp::Nmadd,
+                };
+                Item::Inst(Inst::Fma {
+                    op,
+                    rd: fp_reg(ops[0], line)?,
+                    rs1: fp_reg(ops[1], line)?,
+                    rs2: fp_reg(ops[2], line)?,
+                    rs3: fp_reg(ops[3], line)?,
+                })
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        items.push((line, item));
+    }
+
+    // Second pass: resolve labels.
+    let mut out = Vec::with_capacity(items.len());
+    for (idx, (line, item)) in items.iter().enumerate() {
+        let resolve = |label: &str| -> Result<i32, AsmError> {
+            let target = labels
+                .get(label)
+                .ok_or_else(|| err(*line, format!("unknown label `{label}`")))?;
+            Ok((*target as i32 - idx as i32) * 4)
+        };
+        let inst = match item {
+            Item::Inst(i) => *i,
+            Item::BranchTo {
+                op,
+                rs1,
+                rs2,
+                label,
+            } => Inst::Branch {
+                op: *op,
+                rs1: *rs1,
+                rs2: *rs2,
+                offset: resolve(label)?,
+            },
+            Item::JumpTo { rd, label } => Inst::Jal {
+                rd: *rd,
+                offset: resolve(label)?,
+            },
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_register_names() {
+        assert_eq!(int_reg("zero", 1).unwrap(), Reg(0));
+        assert_eq!(int_reg("ra", 1).unwrap(), Reg(1));
+        assert_eq!(int_reg("sp", 1).unwrap(), Reg(2));
+        assert_eq!(int_reg("a0", 1).unwrap(), Reg(10));
+        assert_eq!(int_reg("a7", 1).unwrap(), Reg(17));
+        assert_eq!(int_reg("s0", 1).unwrap(), Reg(8));
+        assert_eq!(int_reg("s2", 1).unwrap(), Reg(18));
+        assert_eq!(int_reg("t0", 1).unwrap(), Reg(5));
+        assert_eq!(int_reg("t3", 1).unwrap(), Reg(28));
+        assert_eq!(int_reg("x31", 1).unwrap(), Reg(31));
+        assert_eq!(fp_reg("fa0", 1).unwrap(), Reg(10));
+        assert_eq!(fp_reg("ft0", 1).unwrap(), Reg(0));
+        assert_eq!(fp_reg("fs1", 1).unwrap(), Reg(9));
+        assert_eq!(fp_reg("f15", 1).unwrap(), Reg(15));
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let prog = assemble(
+            r#"
+            li a1, 3
+        loop:
+            addi a1, a1, -1
+            bne a1, zero, loop
+            ecall
+        "#,
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        match prog[2] {
+            Inst::Branch { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_expands_large_immediates() {
+        let prog = assemble("li a0, 0x12345\necall").unwrap();
+        assert_eq!(prog.len(), 3); // lui + addi + ecall
+        assert!(matches!(prog[0], Inst::Lui { .. }));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate a0, a1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        assert!(assemble("j nowhere").is_err());
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let prog = assemble("flw ft0, 8(a0)\nfsw ft0, (a1)\necall").unwrap();
+        assert_eq!(
+            prog[0],
+            Inst::Flw {
+                rd: Reg(0),
+                rs1: Reg(10),
+                offset: 8
+            }
+        );
+        assert_eq!(
+            prog[1],
+            Inst::Fsw {
+                rs2: Reg(0),
+                rs1: Reg(11),
+                offset: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Bridge from executed RISC-V instruction streams to the workspace's
+//! micro-op timing IR.
+//!
+//! The rest of the workspace prices *generated* traces; this bridge prices
+//! *real* instruction streams executed by [`crate::Machine`], closing the
+//! loop between ISA-level ground truth and the timing models.
+
+use crate::{AluOp, FpOp, Inst, Retired};
+use soc_isa::{MicroOp, OpClass, Trace, VReg};
+
+/// Converts a retired-instruction stream into a [`Trace`].
+///
+/// Architectural registers are renamed into the trace's SSA-like virtual
+/// register space (separate integer and FP rename maps), preserving true
+/// (read-after-write) dependencies. Store-to-load memory dependencies are
+/// conservatively serialized through a memory token, matching how the
+/// trace builders express library-boundary round-trips.
+pub fn trace_from_execution(retired: &[Retired]) -> Trace {
+    let mut next = 0u32;
+    let mut fresh = || {
+        let r = VReg(next);
+        next += 1;
+        r
+    };
+    // Rename tables: architectural -> last producing virtual register.
+    let mut xmap: [Option<VReg>; 32] = [None; 32];
+    let mut fmap: [Option<VReg>; 32] = [None; 32];
+    let mut mem_token: Option<VReg> = None;
+
+    let mut ops: Vec<MicroOp> = Vec::with_capacity(retired.len());
+    for r in retired {
+        let mut srcs: Vec<VReg> = Vec::new();
+        let push_x = |srcs: &mut Vec<VReg>, xmap: &[Option<VReg>; 32], reg: u8| {
+            if reg != 0 {
+                if let Some(v) = xmap[reg as usize] {
+                    srcs.push(v);
+                }
+            }
+        };
+        let push_f = |srcs: &mut Vec<VReg>, fmap: &[Option<VReg>; 32], reg: u8| {
+            if let Some(v) = fmap[reg as usize] {
+                srcs.push(v);
+            }
+        };
+
+        let (class, xdst, fdst): (OpClass, Option<u8>, Option<u8>) = match r.inst {
+            Inst::Lui { rd, .. } | Inst::Auipc { rd, .. } => (OpClass::IntAlu, Some(rd.0), None),
+            Inst::Jal { rd, .. } => (OpClass::Branch, Some(rd.0), None),
+            Inst::Jalr { rd, rs1, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                (OpClass::Branch, Some(rd.0), None)
+            }
+            Inst::Branch { rs1, rs2, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                push_x(&mut srcs, &xmap, rs2.0);
+                (OpClass::Branch, None, None)
+            }
+            Inst::Lw { rd, rs1, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                if let Some(t) = mem_token {
+                    srcs.push(t);
+                }
+                (OpClass::Load, Some(rd.0), None)
+            }
+            Inst::Flw { rd, rs1, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                if let Some(t) = mem_token {
+                    srcs.push(t);
+                }
+                (OpClass::Load, None, Some(rd.0))
+            }
+            Inst::Sw { rs2, rs1, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                push_x(&mut srcs, &xmap, rs2.0);
+                (OpClass::Store, None, None)
+            }
+            Inst::Fsw { rs2, rs1, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                push_f(&mut srcs, &fmap, rs2.0);
+                (OpClass::Store, None, None)
+            }
+            Inst::OpImm { op, rd, rs1, .. } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                let class = if op.requires_mul_unit() {
+                    OpClass::IntMul
+                } else {
+                    OpClass::IntAlu
+                };
+                (class, Some(rd.0), None)
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                push_x(&mut srcs, &xmap, rs1.0);
+                push_x(&mut srcs, &xmap, rs2.0);
+                let class = if op.requires_mul_unit() {
+                    OpClass::IntMul
+                } else {
+                    OpClass::IntAlu
+                };
+                (class, Some(rd.0), None)
+            }
+            Inst::Fp { op, rd, rs1, rs2 } => match op {
+                FpOp::Add | FpOp::Sub => {
+                    push_f(&mut srcs, &fmap, rs1.0);
+                    push_f(&mut srcs, &fmap, rs2.0);
+                    (OpClass::FpAdd, None, Some(rd.0))
+                }
+                FpOp::Mul => {
+                    push_f(&mut srcs, &fmap, rs1.0);
+                    push_f(&mut srcs, &fmap, rs2.0);
+                    (OpClass::FpMul, None, Some(rd.0))
+                }
+                FpOp::Div => {
+                    push_f(&mut srcs, &fmap, rs1.0);
+                    push_f(&mut srcs, &fmap, rs2.0);
+                    (OpClass::FpDiv, None, Some(rd.0))
+                }
+                FpOp::Min | FpOp::Max | FpOp::SgnJ | FpOp::SgnJn | FpOp::SgnJx => {
+                    push_f(&mut srcs, &fmap, rs1.0);
+                    push_f(&mut srcs, &fmap, rs2.0);
+                    (OpClass::FpSimple, None, Some(rd.0))
+                }
+                FpOp::Eq | FpOp::Lt | FpOp::Le | FpOp::CvtWS | FpOp::MvXW => {
+                    push_f(&mut srcs, &fmap, rs1.0);
+                    if !matches!(op, FpOp::CvtWS | FpOp::MvXW) {
+                        push_f(&mut srcs, &fmap, rs2.0);
+                    }
+                    (OpClass::FpSimple, Some(rd.0), None)
+                }
+                FpOp::MvWX | FpOp::CvtSW => {
+                    push_x(&mut srcs, &xmap, rs1.0);
+                    (OpClass::FpSimple, None, Some(rd.0))
+                }
+            },
+            Inst::Fma {
+                rd, rs1, rs2, rs3, ..
+            } => {
+                push_f(&mut srcs, &fmap, rs1.0);
+                push_f(&mut srcs, &fmap, rs2.0);
+                push_f(&mut srcs, &fmap, rs3.0);
+                (OpClass::FpFma, None, Some(rd.0))
+            }
+            Inst::Ecall => (OpClass::IntAlu, None, None),
+        };
+
+        srcs.truncate(3);
+        let dst = match (xdst, fdst) {
+            (Some(0), None) => None, // writes to x0 vanish
+            (Some(x), None) => {
+                let v = fresh();
+                xmap[x as usize] = Some(v);
+                Some(v)
+            }
+            (None, Some(fr)) => {
+                let v = fresh();
+                fmap[fr as usize] = Some(v);
+                Some(v)
+            }
+            _ => None,
+        };
+        if class == OpClass::Store {
+            let t = fresh();
+            mem_token = Some(t);
+            let mut op = MicroOp::scalar(class, Some(t), &srcs);
+            op.dst = Some(t);
+            ops.push(op);
+            continue;
+        }
+        ops.push(MicroOp::scalar(class, dst, &srcs));
+    }
+    ops.into_iter().collect()
+}
+
+impl AluOp {
+    /// Whether the op needs the multiply/divide unit.
+    fn requires_mul_unit(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul | AluOp::Mulh | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble, Machine};
+
+    #[test]
+    fn trace_preserves_dependencies() {
+        let prog = assemble(
+            r#"
+            flw  ft0, 0(a0)
+            flw  ft1, 4(a0)
+            fmadd.s ft2, ft0, ft1, ft2
+            fsw  ft2, 8(a0)
+            ecall
+        "#,
+        )
+        .unwrap();
+        let mut m = Machine::new(4096);
+        m.record_trace();
+        m.load_program(0, &prog);
+        m.run(100).unwrap();
+        let trace = trace_from_execution(m.retired().unwrap());
+        assert_eq!(trace.len(), 5);
+        let fma = trace.ops()[2];
+        assert_eq!(fma.class, OpClass::FpFma);
+        // The fmadd reads both loaded registers.
+        let load0 = trace.ops()[0].dst.unwrap();
+        let load1 = trace.ops()[1].dst.unwrap();
+        let fma_srcs: Vec<_> = fma.sources().collect();
+        assert!(fma_srcs.contains(&load0) && fma_srcs.contains(&load1));
+        // The store reads the fma result.
+        let store_srcs: Vec<_> = trace.ops()[3].sources().collect();
+        assert!(store_srcs.contains(&fma.dst.unwrap()));
+    }
+
+    #[test]
+    fn loops_unroll_into_the_trace() {
+        let prog = assemble(
+            r#"
+            li a1, 5
+        loop:
+            addi a1, a1, -1
+            bne a1, zero, loop
+            ecall
+        "#,
+        )
+        .unwrap();
+        let mut m = Machine::new(4096);
+        m.record_trace();
+        m.load_program(0, &prog);
+        m.run(100).unwrap();
+        let trace = trace_from_execution(m.retired().unwrap());
+        // li + 5*(addi+bne) + ecall.
+        assert_eq!(trace.len(), 1 + 10 + 1);
+        assert_eq!(trace.stats().branches, 5);
+    }
+}

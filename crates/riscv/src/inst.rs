@@ -1,0 +1,646 @@
+//! Typed RV32IMF instructions with exact encode/decode.
+
+use std::fmt;
+
+/// A register index (x0–x31 for integer, f0–f31 for FP; which file is
+/// implied by the instruction field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    fn field(self) -> u32 {
+        (self.0 & 0x1f) as u32
+    }
+}
+
+/// Integer ALU operations (OP / OP-IMM, plus the M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    // M extension (register form only).
+    Mul,
+    Mulh,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl AluOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AluOp::Add | AluOp::Sub => 0,
+            AluOp::Sll => 1,
+            AluOp::Slt => 2,
+            AluOp::Sltu => 3,
+            AluOp::Xor => 4,
+            AluOp::Srl | AluOp::Sra => 5,
+            AluOp::Or => 6,
+            AluOp::And => 7,
+            AluOp::Mul => 0,
+            AluOp::Mulh => 1,
+            AluOp::Div => 4,
+            AluOp::Divu => 5,
+            AluOp::Rem => 6,
+            AluOp::Remu => 7,
+        }
+    }
+
+    fn is_m(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul | AluOp::Mulh | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
+        )
+    }
+}
+
+/// Branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BranchOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchOp {
+    fn funct3(self) -> u32 {
+        match self {
+            BranchOp::Eq => 0,
+            BranchOp::Ne => 1,
+            BranchOp::Lt => 4,
+            BranchOp::Ge => 5,
+            BranchOp::Ltu => 6,
+            BranchOp::Geu => 7,
+        }
+    }
+}
+
+/// Single-precision FP register-register operations (OP-FP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FpOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// fsgnj.s — also `fmv.s` when rs1 == rs2.
+    SgnJ,
+    /// fsgnjn.s — also `fneg.s` when rs1 == rs2.
+    SgnJn,
+    /// fsgnjx.s — also `fabs.s` when rs1 == rs2.
+    SgnJx,
+    Min,
+    Max,
+    /// feq.s (writes an integer register).
+    Eq,
+    /// flt.s.
+    Lt,
+    /// fle.s.
+    Le,
+    /// fmv.x.w — bit-move FP to integer.
+    MvXW,
+    /// fmv.w.x — bit-move integer to FP.
+    MvWX,
+    /// fcvt.w.s — float to signed int (round to nearest even here).
+    CvtWS,
+    /// fcvt.s.w — signed int to float.
+    CvtSW,
+}
+
+/// Fused multiply-add family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FmaOp {
+    /// fmadd.s: rd = rs1*rs2 + rs3
+    Madd,
+    /// fmsub.s: rd = rs1*rs2 - rs3
+    Msub,
+    /// fnmsub.s: rd = -(rs1*rs2) + rs3
+    Nmsub,
+    /// fnmadd.s: rd = -(rs1*rs2) - rs3
+    Nmadd,
+}
+
+/// One RV32IMF instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub enum Inst {
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// lw
+    Lw {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// sw
+    Sw {
+        rs2: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Register-immediate ALU op (no Sub/M forms).
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    /// Register-register ALU op.
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// flw
+    Flw {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// fsw
+    Fsw {
+        rs2: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// OP-FP register-register.
+    Fp {
+        op: FpOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// Fused multiply-add.
+    Fma {
+        op: FmaOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        rs3: Reg,
+    },
+    /// Environment call — halts the [`crate::Machine`].
+    Ecall,
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP: u32 = 0x33;
+const OP_IMM: u32 = 0x13;
+const LOAD: u32 = 0x03;
+const STORE: u32 = 0x23;
+const BRANCH: u32 = 0x63;
+const JAL: u32 = 0x6f;
+const JALR: u32 = 0x67;
+const LUI: u32 = 0x37;
+const AUIPC: u32 = 0x17;
+const SYSTEM: u32 = 0x73;
+const LOAD_FP: u32 = 0x07;
+const STORE_FP: u32 = 0x27;
+const OP_FP: u32 = 0x53;
+const MADD: u32 = 0x43;
+const MSUB: u32 = 0x47;
+const NMSUB: u32 = 0x4b;
+const NMADD: u32 = 0x4f;
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
+}
+
+fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | BRANCH
+}
+
+fn j_type(offset: i32, rd: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | JAL
+}
+
+impl Inst {
+    /// Encodes to the standard 32-bit word.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Inst::Lui { rd, imm } => ((imm as u32) & 0xfffff000) | (rd.field() << 7) | LUI,
+            Inst::Auipc { rd, imm } => ((imm as u32) & 0xfffff000) | (rd.field() << 7) | AUIPC,
+            Inst::Jal { rd, offset } => j_type(offset, rd.field()),
+            Inst::Jalr { rd, rs1, offset } => i_type(offset, rs1.field(), 0, rd.field(), JALR),
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => b_type(offset, rs2.field(), rs1.field(), op.funct3()),
+            Inst::Lw { rd, rs1, offset } => i_type(offset, rs1.field(), 2, rd.field(), LOAD),
+            Inst::Sw { rs2, rs1, offset } => s_type(offset, rs2.field(), rs1.field(), 2, STORE),
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let funct3 = op.funct3();
+                let imm = if op == AluOp::Sra {
+                    imm | (0x20 << 5)
+                } else {
+                    imm
+                };
+                i_type(imm, rs1.field(), funct3, rd.field(), OP_IMM)
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let funct7 = if op.is_m() {
+                    1
+                } else if matches!(op, AluOp::Sub | AluOp::Sra) {
+                    0x20
+                } else {
+                    0
+                };
+                r_type(
+                    funct7,
+                    rs2.field(),
+                    rs1.field(),
+                    op.funct3(),
+                    rd.field(),
+                    OP,
+                )
+            }
+            Inst::Flw { rd, rs1, offset } => i_type(offset, rs1.field(), 2, rd.field(), LOAD_FP),
+            Inst::Fsw { rs2, rs1, offset } => s_type(offset, rs2.field(), rs1.field(), 2, STORE_FP),
+            Inst::Fp { op, rd, rs1, rs2 } => {
+                // Rounding mode: dynamic (0b111) where applicable.
+                let (funct7, funct3, rs2f) = match op {
+                    FpOp::Add => (0x00, 7, rs2.field()),
+                    FpOp::Sub => (0x04, 7, rs2.field()),
+                    FpOp::Mul => (0x08, 7, rs2.field()),
+                    FpOp::Div => (0x0c, 7, rs2.field()),
+                    FpOp::SgnJ => (0x10, 0, rs2.field()),
+                    FpOp::SgnJn => (0x10, 1, rs2.field()),
+                    FpOp::SgnJx => (0x10, 2, rs2.field()),
+                    FpOp::Min => (0x14, 0, rs2.field()),
+                    FpOp::Max => (0x14, 1, rs2.field()),
+                    FpOp::Eq => (0x50, 2, rs2.field()),
+                    FpOp::Lt => (0x50, 1, rs2.field()),
+                    FpOp::Le => (0x50, 0, rs2.field()),
+                    FpOp::MvXW => (0x70, 0, 0),
+                    FpOp::MvWX => (0x78, 0, 0),
+                    FpOp::CvtWS => (0x60, 7, 0),
+                    FpOp::CvtSW => (0x68, 7, 0),
+                };
+                r_type(funct7, rs2f, rs1.field(), funct3, rd.field(), OP_FP)
+            }
+            Inst::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
+                let opcode = match op {
+                    FmaOp::Madd => MADD,
+                    FmaOp::Msub => MSUB,
+                    FmaOp::Nmsub => NMSUB,
+                    FmaOp::Nmadd => NMADD,
+                };
+                (rs3.field() << 27)
+                    | (rs2.field() << 20)
+                    | (rs1.field() << 15)
+                    | (7 << 12)
+                    | (rd.field() << 7)
+                    | opcode
+            }
+            Inst::Ecall => SYSTEM,
+        }
+    }
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words outside the supported RV32IMF subset.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word & 0x7f;
+    let rd = Reg(((word >> 7) & 0x1f) as u8);
+    let funct3 = (word >> 12) & 7;
+    let rs1 = Reg(((word >> 15) & 0x1f) as u8);
+    let rs2 = Reg(((word >> 20) & 0x1f) as u8);
+    let funct7 = word >> 25;
+    let err = || DecodeError { word };
+
+    let inst = match opcode {
+        LUI => Inst::Lui {
+            rd,
+            imm: (word & 0xfffff000) as i32,
+        },
+        AUIPC => Inst::Auipc {
+            rd,
+            imm: (word & 0xfffff000) as i32,
+        },
+        JAL => {
+            let imm = ((word >> 31 & 1) << 20)
+                | ((word >> 21 & 0x3ff) << 1)
+                | ((word >> 20 & 1) << 11)
+                | ((word >> 12 & 0xff) << 12);
+            Inst::Jal {
+                rd,
+                offset: sign_extend(imm, 21),
+            }
+        }
+        JALR => Inst::Jalr {
+            rd,
+            rs1,
+            offset: sign_extend(word >> 20, 12),
+        },
+        BRANCH => {
+            let imm = ((word >> 31 & 1) << 12)
+                | ((word >> 25 & 0x3f) << 5)
+                | ((word >> 8 & 0xf) << 1)
+                | ((word >> 7 & 1) << 11);
+            let op = match funct3 {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return Err(err()),
+            };
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 13),
+            }
+        }
+        LOAD if funct3 == 2 => Inst::Lw {
+            rd,
+            rs1,
+            offset: sign_extend(word >> 20, 12),
+        },
+        STORE if funct3 == 2 => {
+            let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1f);
+            Inst::Sw {
+                rs2,
+                rs1,
+                offset: sign_extend(imm, 12),
+            }
+        }
+        LOAD_FP if funct3 == 2 => Inst::Flw {
+            rd,
+            rs1,
+            offset: sign_extend(word >> 20, 12),
+        },
+        STORE_FP if funct3 == 2 => {
+            let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1f);
+            Inst::Fsw {
+                rs2,
+                rs1,
+                offset: sign_extend(imm, 12),
+            }
+        }
+        OP_IMM => {
+            let op = match funct3 {
+                0 => AluOp::Add,
+                1 => AluOp::Sll,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 => {
+                    if funct7 == 0x20 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return Err(err()),
+            };
+            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                (word >> 20 & 0x1f) as i32
+            } else {
+                sign_extend(word >> 20, 12)
+            };
+            Inst::OpImm { op, rd, rs1, imm }
+        }
+        OP => {
+            let op = match (funct7, funct3) {
+                (0, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0, 1) => AluOp::Sll,
+                (0, 2) => AluOp::Slt,
+                (0, 3) => AluOp::Sltu,
+                (0, 4) => AluOp::Xor,
+                (0, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0, 6) => AluOp::Or,
+                (0, 7) => AluOp::And,
+                (1, 0) => AluOp::Mul,
+                (1, 1) => AluOp::Mulh,
+                (1, 4) => AluOp::Div,
+                (1, 5) => AluOp::Divu,
+                (1, 6) => AluOp::Rem,
+                (1, 7) => AluOp::Remu,
+                _ => return Err(err()),
+            };
+            Inst::Op { op, rd, rs1, rs2 }
+        }
+        OP_FP => {
+            let op = match funct7 {
+                0x00 => FpOp::Add,
+                0x04 => FpOp::Sub,
+                0x08 => FpOp::Mul,
+                0x0c => FpOp::Div,
+                0x10 => match funct3 {
+                    0 => FpOp::SgnJ,
+                    1 => FpOp::SgnJn,
+                    2 => FpOp::SgnJx,
+                    _ => return Err(err()),
+                },
+                0x14 => match funct3 {
+                    0 => FpOp::Min,
+                    1 => FpOp::Max,
+                    _ => return Err(err()),
+                },
+                0x50 => match funct3 {
+                    2 => FpOp::Eq,
+                    1 => FpOp::Lt,
+                    0 => FpOp::Le,
+                    _ => return Err(err()),
+                },
+                0x70 => FpOp::MvXW,
+                0x78 => FpOp::MvWX,
+                0x60 => FpOp::CvtWS,
+                0x68 => FpOp::CvtSW,
+                _ => return Err(err()),
+            };
+            Inst::Fp { op, rd, rs1, rs2 }
+        }
+        MADD | MSUB | NMSUB | NMADD => {
+            let op = match opcode {
+                MADD => FmaOp::Madd,
+                MSUB => FmaOp::Msub,
+                NMSUB => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            Inst::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3: Reg((word >> 27) as u8),
+            }
+        }
+        SYSTEM if word == SYSTEM => Inst::Ecall,
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // addi x1, x0, 42  => 0x02A00093
+        let i = Inst::OpImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(0),
+            imm: 42,
+        };
+        assert_eq!(i.encode(), 0x02a0_0093);
+        // add x3, x1, x2 => 0x002081B3
+        let i = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
+        assert_eq!(i.encode(), 0x0020_81b3);
+        // lw x5, 8(x2) => 0x00812283
+        let i = Inst::Lw {
+            rd: Reg(5),
+            rs1: Reg(2),
+            offset: 8,
+        };
+        assert_eq!(i.encode(), 0x0081_2283);
+        // ecall => 0x00000073
+        assert_eq!(Inst::Ecall.encode(), 0x0000_0073);
+    }
+
+    #[test]
+    fn branch_offset_roundtrip() {
+        for offset in [-4096i32, -2048, -2, 0, 2, 14, 2046, 4094] {
+            let i = Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: Reg(4),
+                rs2: Reg(5),
+                offset,
+            };
+            assert_eq!(decode(i.encode()).unwrap(), i, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn jal_offset_roundtrip() {
+        for offset in [-1048576i32, -2, 0, 2, 4096, 1048574] {
+            let i = Inst::Jal { rd: Reg(1), offset };
+            assert_eq!(decode(i.encode()).unwrap(), i, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn fma_roundtrip() {
+        let i = Inst::Fma {
+            op: FmaOp::Madd,
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(3),
+            rs3: Reg(4),
+        };
+        assert_eq!(decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn undecodable_word_errors() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # soc-riscv — RV32IMF functional simulator and assembler
+//!
+//! The paper's workloads are RISC-V binaries running on RTL simulations of
+//! Rocket-class SoCs. The rest of this workspace models *timing* with an
+//! abstract micro-op IR; this crate supplies the missing ISA-level ground
+//! truth:
+//!
+//! * [`Inst`] — a typed RV32I + M + F instruction set with exact
+//!   [`encode`](Inst::encode)/[`decode`] round-tripping of the standard
+//!   32-bit encodings;
+//! * [`assemble`] — a small assembler (labels, ABI register names, the
+//!   usual pseudo-instructions) sufficient to write real kernels;
+//! * [`Machine`] — a functional interpreter with byte-addressed memory,
+//!   used in tests to validate `matlib` kernels against genuine RISC-V
+//!   semantics;
+//! * [`trace_from_execution`] — a bridge that converts an executed
+//!   instruction stream into a [`soc_isa::Trace`], so real assembly can be
+//!   priced on the workspace's pipeline models.
+//!
+//! ## Example
+//!
+//! ```
+//! use soc_riscv::{assemble, Machine};
+//!
+//! let prog = assemble(r#"
+//!     li   a0, 0        # sum
+//!     li   a1, 10       # counter
+//! loop:
+//!     add  a0, a0, a1
+//!     addi a1, a1, -1
+//!     bne  a1, zero, loop
+//!     ecall
+//! "#).unwrap();
+//! let mut m = Machine::new(4096);
+//! m.load_program(0, &prog);
+//! m.run(1_000).unwrap();
+//! assert_eq!(m.x(10), 55); // a0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod bridge;
+mod inst;
+mod machine;
+
+pub use asm::{assemble, AsmError};
+pub use bridge::trace_from_execution;
+pub use inst::{decode, AluOp, BranchOp, DecodeError, FmaOp, FpOp, Inst, Reg};
+pub use machine::{ExecError, Machine, Retired};

@@ -1,0 +1,526 @@
+//! Functional RV32IMF interpreter.
+
+use crate::{decode, AluOp, BranchOp, FmaOp, FpOp, Inst};
+use std::fmt;
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// PC or data access outside memory.
+    OutOfBounds {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Word at PC failed to decode.
+    Decode {
+        /// PC of the undecodable word.
+        pc: u32,
+        /// The word.
+        word: u32,
+    },
+    /// `run` hit its step budget without reaching `ecall`.
+    StepBudgetExhausted,
+    /// Misaligned word access.
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { addr } => write!(f, "memory access out of bounds: {addr:#x}"),
+            ExecError::Decode { pc, word } => {
+                write!(f, "undecodable instruction {word:#010x} at pc {pc:#x}")
+            }
+            ExecError::StepBudgetExhausted => write!(f, "step budget exhausted before ecall"),
+            ExecError::Misaligned { addr } => write!(f, "misaligned word access at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A retired instruction (for the timing bridge).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retired {
+    /// PC the instruction retired from.
+    pub pc: u32,
+    /// The instruction.
+    pub inst: Inst,
+}
+
+/// A minimal RV32IMF hart with flat byte-addressed memory.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    x: [u32; 32],
+    f: [f32; 32],
+    pc: u32,
+    mem: Vec<u8>,
+    halted: bool,
+    /// Retired-instruction log (enabled via [`Machine::record_trace`]).
+    log: Option<Vec<Retired>>,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_bytes` of zeroed memory, PC 0.
+    pub fn new(mem_bytes: usize) -> Self {
+        Machine {
+            x: [0; 32],
+            f: [0.0; 32],
+            pc: 0,
+            mem: vec![0; mem_bytes],
+            halted: false,
+            log: None,
+        }
+    }
+
+    /// Enables retired-instruction logging (for [`crate::trace_from_execution`]).
+    pub fn record_trace(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// The retired-instruction log, if recording was enabled.
+    pub fn retired(&self) -> Option<&[Retired]> {
+        self.log.as_deref()
+    }
+
+    /// Loads encoded instructions at byte address `base`.
+    pub fn load_program(&mut self, base: u32, program: &[Inst]) {
+        for (i, inst) in program.iter().enumerate() {
+            let word = inst.encode();
+            let addr = base as usize + i * 4;
+            self.mem[addr..addr + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.pc = base;
+    }
+
+    /// Integer register value (x0 is always 0).
+    pub fn x(&self, r: usize) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.x[r]
+        }
+    }
+
+    /// Sets an integer register.
+    pub fn set_x(&mut self, r: usize, v: u32) {
+        if r != 0 {
+            self.x[r] = v;
+        }
+    }
+
+    /// FP register value.
+    pub fn f(&self, r: usize) -> f32 {
+        self.f[r]
+    }
+
+    /// Sets an FP register.
+    pub fn set_f(&mut self, r: usize, v: f32) {
+        self.f[r] = v;
+    }
+
+    /// Whether `ecall` has been executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a little-endian f32 from memory.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds or misaligned accesses.
+    pub fn read_f32(&self, addr: u32) -> Result<f32, ExecError> {
+        Ok(f32::from_bits(self.read_u32(addr)?))
+    }
+
+    /// Writes a little-endian f32 to memory.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds or misaligned accesses.
+    pub fn write_f32(&mut self, addr: u32, v: f32) -> Result<(), ExecError> {
+        self.write_u32(addr, v.to_bits())
+    }
+
+    fn read_u32(&self, addr: u32) -> Result<u32, ExecError> {
+        if !addr.is_multiple_of(4) {
+            return Err(ExecError::Misaligned { addr });
+        }
+        let a = addr as usize;
+        if a + 4 > self.mem.len() {
+            return Err(ExecError::OutOfBounds { addr });
+        }
+        Ok(u32::from_le_bytes([
+            self.mem[a],
+            self.mem[a + 1],
+            self.mem[a + 2],
+            self.mem[a + 3],
+        ]))
+    }
+
+    fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), ExecError> {
+        if !addr.is_multiple_of(4) {
+            return Err(ExecError::Misaligned { addr });
+        }
+        let a = addr as usize;
+        if a + 4 > self.mem.len() {
+            return Err(ExecError::OutOfBounds { addr });
+        }
+        self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Decode and memory errors; no-op if already halted.
+    pub fn step(&mut self) -> Result<(), ExecError> {
+        if self.halted {
+            return Ok(());
+        }
+        let word = self.read_u32(self.pc)?;
+        let inst = decode(word).map_err(|e| ExecError::Decode {
+            pc: self.pc,
+            word: e.word,
+        })?;
+        if let Some(log) = self.log.as_mut() {
+            log.push(Retired { pc: self.pc, inst });
+        }
+        let mut next_pc = self.pc.wrapping_add(4);
+        match inst {
+            Inst::Lui { rd, imm } => self.set_x(rd.0 as usize, imm as u32),
+            Inst::Auipc { rd, imm } => self.set_x(rd.0 as usize, self.pc.wrapping_add(imm as u32)),
+            Inst::Jal { rd, offset } => {
+                self.set_x(rd.0 as usize, next_pc);
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.x(rs1.0 as usize).wrapping_add(offset as u32) & !1;
+                self.set_x(rd.0 as usize, next_pc);
+                next_pc = target;
+            }
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let (a, b) = (self.x(rs1.0 as usize), self.x(rs2.0 as usize));
+                let taken = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            Inst::Lw { rd, rs1, offset } => {
+                let addr = self.x(rs1.0 as usize).wrapping_add(offset as u32);
+                let v = self.read_u32(addr)?;
+                self.set_x(rd.0 as usize, v);
+            }
+            Inst::Sw { rs2, rs1, offset } => {
+                let addr = self.x(rs1.0 as usize).wrapping_add(offset as u32);
+                self.write_u32(addr, self.x(rs2.0 as usize))?;
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = alu(op, self.x(rs1.0 as usize), imm as u32);
+                self.set_x(rd.0 as usize, v);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.x(rs1.0 as usize), self.x(rs2.0 as usize));
+                self.set_x(rd.0 as usize, v);
+            }
+            Inst::Flw { rd, rs1, offset } => {
+                let addr = self.x(rs1.0 as usize).wrapping_add(offset as u32);
+                let v = self.read_f32(addr)?;
+                self.set_f(rd.0 as usize, v);
+            }
+            Inst::Fsw { rs2, rs1, offset } => {
+                let addr = self.x(rs1.0 as usize).wrapping_add(offset as u32);
+                self.write_f32(addr, self.f(rs2.0 as usize))?;
+            }
+            Inst::Fp { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.f(rs1.0 as usize), self.f(rs2.0 as usize));
+                match op {
+                    FpOp::Add => self.set_f(rd.0 as usize, a + b),
+                    FpOp::Sub => self.set_f(rd.0 as usize, a - b),
+                    FpOp::Mul => self.set_f(rd.0 as usize, a * b),
+                    FpOp::Div => self.set_f(rd.0 as usize, a / b),
+                    FpOp::SgnJ => self.set_f(rd.0 as usize, a.copysign(b)),
+                    FpOp::SgnJn => self.set_f(rd.0 as usize, a.copysign(-b)),
+                    FpOp::SgnJx => {
+                        let sign = if (a.is_sign_negative()) ^ (b.is_sign_negative()) {
+                            -1.0f32
+                        } else {
+                            1.0
+                        };
+                        self.set_f(rd.0 as usize, a.abs().copysign(sign));
+                    }
+                    FpOp::Min => self.set_f(rd.0 as usize, a.min(b)),
+                    FpOp::Max => self.set_f(rd.0 as usize, a.max(b)),
+                    FpOp::Eq => self.set_x(rd.0 as usize, (a == b) as u32),
+                    FpOp::Lt => self.set_x(rd.0 as usize, (a < b) as u32),
+                    FpOp::Le => self.set_x(rd.0 as usize, (a <= b) as u32),
+                    FpOp::MvXW => self.set_x(rd.0 as usize, a.to_bits()),
+                    FpOp::MvWX => self.set_f(rd.0 as usize, f32::from_bits(self.x(rs1.0 as usize))),
+                    FpOp::CvtWS => self.set_x(rd.0 as usize, (a.round_ties_even()) as i32 as u32),
+                    FpOp::CvtSW => self.set_f(rd.0 as usize, self.x(rs1.0 as usize) as i32 as f32),
+                }
+            }
+            Inst::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
+                let (a, b, c) = (
+                    self.f(rs1.0 as usize),
+                    self.f(rs2.0 as usize),
+                    self.f(rs3.0 as usize),
+                );
+                let v = match op {
+                    FmaOp::Madd => a.mul_add(b, c),
+                    FmaOp::Msub => a.mul_add(b, -c),
+                    FmaOp::Nmsub => (-a).mul_add(b, c),
+                    FmaOp::Nmadd => (-a).mul_add(b, -c),
+                };
+                self.set_f(rd.0 as usize, v);
+            }
+            Inst::Ecall => {
+                self.halted = true;
+            }
+        }
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Runs until `ecall` or the step budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors; [`ExecError::StepBudgetExhausted`] if the
+    /// program does not halt in time.
+    pub fn run(&mut self, max_steps: usize) -> Result<usize, ExecError> {
+        for step in 0..max_steps {
+            if self.halted {
+                return Ok(step);
+            }
+            self.step()?;
+        }
+        if self.halted {
+            Ok(max_steps)
+        } else {
+            Err(ExecError::StepBudgetExhausted)
+        }
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1f),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1f),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let prog = [
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 21,
+            },
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg(2),
+                rs1: Reg(1),
+                rs2: Reg(1),
+            },
+            Inst::Ecall,
+        ];
+        let mut m = Machine::new(1024);
+        m.load_program(0, &prog);
+        m.run(10).unwrap();
+        assert!(m.is_halted());
+        assert_eq!(m.x(2), 42);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let prog = [
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg(0),
+                rs1: Reg(0),
+                imm: 99,
+            },
+            Inst::Ecall,
+        ];
+        let mut m = Machine::new(1024);
+        m.load_program(0, &prog);
+        m.run(10).unwrap();
+        assert_eq!(m.x(0), 0);
+    }
+
+    #[test]
+    fn loads_stores_roundtrip_memory() {
+        let prog = [
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 512,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg(2),
+                rs1: Reg(0),
+                imm: 1234,
+            },
+            Inst::Sw {
+                rs2: Reg(2),
+                rs1: Reg(1),
+                offset: 4,
+            },
+            Inst::Lw {
+                rd: Reg(3),
+                rs1: Reg(1),
+                offset: 4,
+            },
+            Inst::Ecall,
+        ];
+        let mut m = Machine::new(1024);
+        m.load_program(0, &prog);
+        m.run(10).unwrap();
+        assert_eq!(m.x(3), 1234);
+    }
+
+    #[test]
+    fn fp_fma_semantics() {
+        let mut m = Machine::new(1024);
+        m.set_f(1, 2.0);
+        m.set_f(2, 3.0);
+        m.set_f(3, 1.0);
+        let prog = [
+            Inst::Fma {
+                op: FmaOp::Madd,
+                rd: Reg(4),
+                rs1: Reg(1),
+                rs2: Reg(2),
+                rs3: Reg(3),
+            },
+            Inst::Fma {
+                op: FmaOp::Nmadd,
+                rd: Reg(5),
+                rs1: Reg(1),
+                rs2: Reg(2),
+                rs3: Reg(3),
+            },
+            Inst::Ecall,
+        ];
+        m.load_program(0, &prog);
+        m.run(10).unwrap();
+        assert_eq!(m.f(4), 7.0);
+        assert_eq!(m.f(5), -7.0);
+    }
+
+    #[test]
+    fn fabs_via_sgnjx() {
+        let mut m = Machine::new(1024);
+        m.set_f(1, -3.5);
+        let prog = [
+            Inst::Fp {
+                op: FpOp::SgnJx,
+                rd: Reg(2),
+                rs1: Reg(1),
+                rs2: Reg(1),
+            },
+            Inst::Ecall,
+        ];
+        m.load_program(0, &prog);
+        m.run(10).unwrap();
+        assert_eq!(m.f(2), 3.5);
+    }
+
+    #[test]
+    fn div_by_zero_follows_spec() {
+        assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let prog = [
+            Inst::Lw {
+                rd: Reg(1),
+                rs1: Reg(0),
+                offset: 2000,
+            },
+            Inst::Ecall,
+        ];
+        let mut m = Machine::new(1024);
+        m.load_program(0, &prog);
+        assert!(matches!(m.run(10), Err(ExecError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn budget_exhaustion_detected() {
+        // Infinite loop: jal x0, 0.
+        let prog = [Inst::Jal {
+            rd: Reg(0),
+            offset: 0,
+        }];
+        let mut m = Machine::new(1024);
+        m.load_program(0, &prog);
+        assert_eq!(m.run(100), Err(ExecError::StepBudgetExhausted));
+    }
+}

@@ -1,0 +1,122 @@
+//! The precomputed Riccati cache (TinyMPC's core memory optimization).
+
+use crate::{Error, Result, TinyMpcProblem};
+use matlib::{dare, DareOptions, Matrix, Scalar};
+
+/// Cached infinite-horizon LQR quantities.
+///
+/// TinyMPC computes these once per problem (offline, or at solver
+/// construction) and reuses them every ADMM iteration, so the online
+/// iteration contains no factorizations — only matrix-vector products.
+///
+/// The Riccati recursion is run on the **ρ-augmented** costs
+/// `Q + ρI`, `R + ρI`, because ADMM's augmented Lagrangian adds a
+/// quadratic penalty to both primal blocks.
+#[derive(Debug, Clone)]
+pub struct TinyMpcCache<T> {
+    /// Infinite-horizon feedback gain `K∞` (`nu × nx`).
+    pub kinf: Matrix<T>,
+    /// `K∞ᵀ` (`nx × nu`), cached to avoid transposing in the hot loop.
+    pub kinf_t: Matrix<T>,
+    /// Infinite-horizon cost-to-go `P∞` (`nx × nx`).
+    pub pinf: Matrix<T>,
+    /// `(R̃ + Bᵀ P∞ B)⁻¹` (`nu × nu`).
+    pub quu_inv: Matrix<T>,
+    /// `(A − B·K∞)ᵀ` (`nx × nx`) — the backward-pass propagation matrix.
+    pub am_bk_t: Matrix<T>,
+    /// `Bᵀ` (`nu × nx`), cached for the backward pass.
+    pub b_t: Matrix<T>,
+    /// Riccati iterations taken to converge.
+    pub riccati_iterations: usize,
+}
+
+impl<T: Scalar> TinyMpcCache<T> {
+    /// Computes the cache for a problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Cache`] if the Riccati recursion fails (e.g. the
+    /// augmented costs are not positive definite or the recursion
+    /// diverges).
+    pub fn compute(problem: &TinyMpcProblem<T>) -> Result<Self> {
+        let nx = problem.a.rows();
+        let nu = problem.b.cols();
+        // ρ-augmented diagonal costs.
+        let q_aug = Matrix::from_fn(nx, nx, |r, c| {
+            if r == c {
+                problem.q_diag[r] + problem.rho
+            } else {
+                T::ZERO
+            }
+        });
+        let r_aug = Matrix::from_fn(nu, nu, |r, c| {
+            if r == c {
+                problem.r_diag[r] + problem.rho
+            } else {
+                T::ZERO
+            }
+        });
+        let sol = dare(
+            &problem.a,
+            &problem.b,
+            &q_aug,
+            &r_aug,
+            DareOptions::default(),
+        )
+        .map_err(Error::Cache)?;
+        let bk = problem.b.matmul(&sol.k)?;
+        let am_bk_t = problem.a.sub(&bk)?.transpose();
+        Ok(TinyMpcCache {
+            kinf_t: sol.k.transpose(),
+            kinf: sol.k,
+            pinf: sol.p,
+            quu_inv: sol.quu_inv,
+            am_bk_t,
+            b_t: problem.b.transpose(),
+            riccati_iterations: sol.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems;
+
+    #[test]
+    fn cache_shapes_are_consistent() {
+        let p = problems::quadrotor_hover::<f64>(10).unwrap();
+        let c = TinyMpcCache::compute(&p).unwrap();
+        assert_eq!(c.kinf.shape(), (4, 12));
+        assert_eq!(c.kinf_t.shape(), (12, 4));
+        assert_eq!(c.pinf.shape(), (12, 12));
+        assert_eq!(c.quu_inv.shape(), (4, 4));
+        assert_eq!(c.am_bk_t.shape(), (12, 12));
+        assert!(c.riccati_iterations > 1);
+    }
+
+    #[test]
+    fn closed_loop_with_kinf_is_stable() {
+        let p = problems::quadrotor_hover::<f64>(10).unwrap();
+        let c = TinyMpcCache::compute(&p).unwrap();
+        let mut x = p.hover_offset_state(0.5);
+        for _ in 0..500 {
+            x = matlib::closed_loop_step(&p.a, &p.b, &c.kinf, &x).unwrap();
+        }
+        assert!(
+            x.max_abs() < 1e-2,
+            "closed loop diverged: {:?}",
+            x.max_abs()
+        );
+    }
+
+    #[test]
+    fn pinf_is_symmetric_positive() {
+        let p = problems::double_integrator::<f64>(15).unwrap();
+        let c = TinyMpcCache::compute(&p).unwrap();
+        assert!(c.pinf.max_abs_diff(&c.pinf.transpose()).unwrap() < 1e-6);
+        for i in 0..c.pinf.rows() {
+            assert!(c.pinf[(i, i)] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Errors from problem construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A dimension in the problem definition is inconsistent.
+    BadProblem {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The Riccati cache could not be computed.
+    Cache(matlib::Error),
+    /// A linear-algebra operation failed during solving (indicates an
+    /// internal inconsistency).
+    Numeric(matlib::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadProblem { reason } => write!(f, "invalid problem: {reason}"),
+            Error::Cache(e) => write!(f, "failed to compute the Riccati cache: {e}"),
+            Error::Numeric(e) => write!(f, "numeric failure while solving: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Cache(e) | Error::Numeric(e) => Some(e),
+            Error::BadProblem { .. } => None,
+        }
+    }
+}
+
+impl From<matlib::Error> for Error {
+    fn from(e: matlib::Error) -> Self {
+        Error::Numeric(e)
+    }
+}

@@ -1,0 +1,43 @@
+//! The timing-oracle interface between the solver and hardware back-ends.
+
+use crate::{KernelId, ProblemDims};
+
+/// Prices TinyMPC kernel invocations on some hardware back-end.
+///
+/// The solver computes functionally with `matlib` and calls the executor
+/// once per kernel invocation to accumulate simulated cycles. Executors
+/// for the scalar CPUs, Saturn and Gemmini live in the `soc-dse` crate;
+/// they internally generate the kernel's micro-op trace for their software
+/// mapping, replay it through the back-end's pipeline model, and memoize
+/// the result per `(kernel, dims)`.
+pub trait KernelExecutor {
+    /// Human-readable back-end name for reports (e.g.
+    /// `"Saturn V512D256 / Rocket (fused, LMUL=2)"`).
+    fn name(&self) -> String;
+
+    /// Simulated cycles of one invocation of `kernel` at the given problem
+    /// dimensions.
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64;
+
+    /// One-time per-solve setup cost (e.g. Gemmini's workspace preload
+    /// into the scratchpad). Defaults to zero.
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> u64 {
+        let _ = dims;
+        0
+    }
+}
+
+/// An executor that charges nothing — used for purely functional solves
+/// (reference trajectories, correctness tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullExecutor;
+
+impl KernelExecutor for NullExecutor {
+    fn name(&self) -> String {
+        "reference (no timing)".to_string()
+    }
+
+    fn kernel_cycles(&mut self, _kernel: KernelId, _dims: &ProblemDims) -> u64 {
+        0
+    }
+}

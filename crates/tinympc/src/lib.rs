@@ -1,0 +1,60 @@
+//! # tinympc — model-predictive control for resource-constrained robots
+//!
+//! A from-scratch Rust implementation of **TinyMPC** (Nguyen et al., 2024),
+//! the target workload of the paper's design-space exploration. TinyMPC
+//! solves a convex, box-constrained linear MPC problem with the alternating
+//! direction method of multipliers (ADMM), alternating between primal,
+//! slack and dual updates until the residuals converge.
+//!
+//! The key memory/compute optimization is the **infinite-horizon Riccati
+//! cache**: instead of a full horizon of time-varying LQR gains, the solver
+//! caches only `K∞`, `P∞`, `(R+BᵀP∞B)⁻¹` and `(A−BK∞)ᵀ` — computed once
+//! per problem — so the online iteration consists purely of small
+//! matrix-vector products, strip-mined element-wise vector operations, and
+//! global max reductions (Algorithms 1–3 of the paper; see [`KernelId`]).
+//!
+//! ## Architecture-aware accounting
+//!
+//! The solver is generic over a [`KernelExecutor`]: a timing oracle that
+//! prices each kernel invocation on some hardware back-end. The functional
+//! math is always computed with [`matlib`] (so every back-end produces the
+//! same trajectory up to float rounding); executors for the scalar cores,
+//! Saturn and Gemmini live in the `soc-dse` crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tinympc::{AdmmSolver, NullExecutor, problems, SolverSettings};
+//!
+//! # fn main() -> Result<(), tinympc::Error> {
+//! let problem = problems::quadrotor_hover::<f64>(10)?;
+//! let mut solver = AdmmSolver::new(problem, SolverSettings::default())?;
+//! let x0 = solver.problem().hover_offset_state(0.2);
+//! let result = solver.solve(&x0, &mut NullExecutor)?;
+//! assert!(result.converged);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod executor;
+mod kernel;
+mod problem;
+pub mod problems;
+mod solver;
+mod workspace;
+
+pub use cache::TinyMpcCache;
+pub use error::Error;
+pub use executor::{KernelExecutor, NullExecutor};
+pub use kernel::{KernelClass, KernelId, KernelProfile, ProblemDims};
+pub use problem::TinyMpcProblem;
+pub use solver::{AdmmSolver, SolveResult, SolverSettings};
+pub use workspace::TinyMpcWorkspace;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

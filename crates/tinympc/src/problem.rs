@@ -1,0 +1,93 @@
+//! MPC problem definition.
+
+use crate::{Error, ProblemDims, Result};
+use matlib::{Matrix, Scalar, Vector};
+
+/// A box-constrained linear MPC problem:
+///
+/// minimize   Σ (xᵢ−xrefᵢ)ᵀQ(xᵢ−xrefᵢ) + uᵢᵀRuᵢ
+/// subject to xᵢ₊₁ = A xᵢ + B uᵢ,  u_min ≤ uᵢ ≤ u_max,  x_min ≤ xᵢ ≤ x_max.
+///
+/// `Q` and `R` are diagonal (stored as vectors), matching TinyMPC.
+#[derive(Debug, Clone)]
+pub struct TinyMpcProblem<T> {
+    /// Discrete dynamics matrix (`nx × nx`).
+    pub a: Matrix<T>,
+    /// Discrete input matrix (`nx × nu`).
+    pub b: Matrix<T>,
+    /// Diagonal of the state cost (`nx`).
+    pub q_diag: Vector<T>,
+    /// Diagonal of the input cost (`nu`).
+    pub r_diag: Vector<T>,
+    /// Horizon length (knot points).
+    pub horizon: usize,
+    /// ADMM penalty parameter.
+    pub rho: T,
+    /// Input box constraints.
+    pub u_min: T,
+    /// Upper input bound.
+    pub u_max: T,
+    /// State box constraints.
+    pub x_min: T,
+    /// Upper state bound.
+    pub x_max: T,
+}
+
+impl<T: Scalar> TinyMpcProblem<T> {
+    /// Validates the problem shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadProblem`] for inconsistent dimensions, a
+    /// horizon below 2, or inverted bounds.
+    pub fn validate(&self) -> Result<()> {
+        let nx = self.a.rows();
+        let nu = self.b.cols();
+        let bad = |reason: String| Err(Error::BadProblem { reason });
+        if self.a.cols() != nx {
+            return bad(format!("A must be square, got {:?}", self.a.shape()));
+        }
+        if self.b.rows() != nx {
+            return bad(format!("B must have {nx} rows, got {:?}", self.b.shape()));
+        }
+        if self.q_diag.len() != nx {
+            return bad(format!(
+                "Q diagonal must have {nx} entries, got {}",
+                self.q_diag.len()
+            ));
+        }
+        if self.r_diag.len() != nu {
+            return bad(format!(
+                "R diagonal must have {nu} entries, got {}",
+                self.r_diag.len()
+            ));
+        }
+        if self.horizon < 2 {
+            return bad(format!("horizon must be at least 2, got {}", self.horizon));
+        }
+        if self.u_min > self.u_max || self.x_min > self.x_max {
+            return bad("bounds are inverted".to_string());
+        }
+        if self.rho <= T::ZERO {
+            return bad("rho must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> ProblemDims {
+        ProblemDims {
+            nx: self.a.rows(),
+            nu: self.b.cols(),
+            horizon: self.horizon,
+        }
+    }
+
+    /// A convenience initial state: hover with the first position
+    /// coordinate offset by `offset` (used by examples and tests).
+    pub fn hover_offset_state(&self, offset: f64) -> Vector<T> {
+        let mut x = Vector::zeros(self.a.rows());
+        x[0] = T::from_f64(offset);
+        x
+    }
+}

@@ -1,0 +1,384 @@
+//! Canonical problem instances: the Crazyflie-class quadrotor the paper's
+//! workload sizes come from (12 states × 4 inputs), and a double
+//! integrator for tests.
+
+use crate::{Result, TinyMpcProblem};
+use matlib::{Matrix, Scalar, Vector};
+
+/// Number of series terms used to discretize the continuous dynamics.
+const EXP_TERMS: usize = 8;
+
+/// Zero-order-hold discretization via truncated matrix exponential:
+/// `Ad = Σ (Ac·dt)ⁱ/i!`, `Bd = (Σ Acⁱ·dtⁱ⁺¹/(i+1)!)·Bc`.
+fn discretize<T: Scalar>(ac: &Matrix<T>, bc: &Matrix<T>, dt: f64) -> (Matrix<T>, Matrix<T>) {
+    let n = ac.rows();
+    let dt_t = T::from_f64(dt);
+    // Ad = Σ tᵢ with t₀ = I, tᵢ = tᵢ₋₁ · Ac · dt / i.
+    let mut ad = Matrix::<T>::identity(n);
+    let mut term = Matrix::<T>::identity(n);
+    // ∫exp = Σ cᵢ with c₀ = I·dt, cᵢ = cᵢ₋₁ · Ac · dt / (i+1).
+    let mut c = Matrix::<T>::identity(n).scale(dt_t);
+    let mut b_integral = c.clone();
+    for i in 1..=EXP_TERMS {
+        term = term
+            .matmul(ac)
+            .expect("square")
+            .scale(dt_t / T::from_f64(i as f64));
+        ad = ad.add(&term).expect("same shape");
+        c = c
+            .matmul(ac)
+            .expect("square")
+            .scale(dt_t / T::from_f64(i as f64 + 1.0));
+        b_integral = b_integral.add(&c).expect("same shape");
+    }
+    let bd = b_integral.matmul(bc).expect("inner dims");
+    (ad, bd)
+}
+
+/// The Crazyflie-class quadrotor linearized about hover: 12 states
+/// (position, roll-pitch-yaw, linear velocity, angular velocity) and 4
+/// motor-thrust inputs — the `12 × 4` operand sizes the paper quotes for
+/// UAV MPC.
+///
+/// Control runs at 100 Hz (`dt = 0.01 s`). Inputs are thrust deltas from
+/// hover, box-constrained so a motor can neither reverse nor exceed its
+/// maximum.
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2` (propagated from validation).
+///
+/// # Examples
+///
+/// ```
+/// let p = tinympc::problems::quadrotor_hover::<f64>(10)?;
+/// assert_eq!(p.dims().nx, 12);
+/// assert_eq!(p.dims().nu, 4);
+/// # Ok::<(), tinympc::Error>(())
+/// ```
+pub fn quadrotor_hover<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
+    let dt = 0.01;
+    let g = 9.81;
+    let mass = 0.035;
+    let jx = 1.66e-5;
+    let jy = 1.66e-5;
+    let jz = 2.93e-5;
+    let arm = 0.046 / std::f64::consts::SQRT_2; // X-configuration lever arm
+    let yaw_coeff = 0.0055; // motor torque-to-thrust ratio
+
+    // States: [px py pz, roll pitch yaw, vx vy vz, wx wy wz].
+    let mut ac = Matrix::<T>::zeros(12, 12);
+    for i in 0..3 {
+        ac[(i, 6 + i)] = T::ONE; // position' = velocity
+        ac[(3 + i, 9 + i)] = T::ONE; // attitude' = angular rate
+    }
+    // Small-angle gravity coupling: ax = g·pitch, ay = −g·roll.
+    ac[(6, 4)] = T::from_f64(g);
+    ac[(7, 3)] = T::from_f64(-g);
+
+    // Inputs: per-motor thrust deltas (N). Motor sign conventions for an
+    // X-configuration (front-left, back-left, back-right, front-right).
+    let roll_sign = [-1.0, -1.0, 1.0, 1.0];
+    let pitch_sign = [-1.0, 1.0, 1.0, -1.0];
+    let yaw_sign = [-1.0, 1.0, -1.0, 1.0];
+    let mut bc = Matrix::<T>::zeros(12, 4);
+    for j in 0..4 {
+        bc[(8, j)] = T::from_f64(1.0 / mass); // vertical acceleration
+        bc[(9, j)] = T::from_f64(arm * roll_sign[j] / jx);
+        bc[(10, j)] = T::from_f64(arm * pitch_sign[j] / jy);
+        bc[(11, j)] = T::from_f64(yaw_coeff * yaw_sign[j] / jz);
+    }
+
+    let (a, b) = discretize(&ac, &bc, dt);
+
+    // TinyMPC-style diagonal costs: position and yaw weighted heavily.
+    let q_diag = Vector::from_fn(12, |i| {
+        T::from_f64(match i {
+            0 | 1 => 100.0, // x, y position
+            2 => 400.0,     // altitude
+            3 | 4 => 4.0,   // roll, pitch
+            5 => 100.0,     // yaw
+            6..=8 => 4.0,   // linear velocity
+            _ => 2.0,       // angular rate
+        })
+    });
+    let r_diag = Vector::splat(4, T::from_f64(4.0));
+
+    // Hover thrust per motor is m·g/4 ≈ 0.086 N; deltas are bounded so
+    // total thrust stays within [0, 2× hover].
+    let u_lim = mass * g / 4.0;
+
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag,
+        r_diag,
+        horizon,
+        rho: T::from_f64(1.0),
+        u_min: T::from_f64(-u_lim),
+        u_max: T::from_f64(u_lim),
+        x_min: T::from_f64(-1.0e3),
+        x_max: T::from_f64(1.0e3),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// A 1-axis double integrator (2 states, 1 input) — the smallest useful
+/// MPC problem, used for fast tests.
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2`.
+pub fn double_integrator<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
+    let dt = 0.05;
+    let a = Matrix::from_vec(2, 2, vec![T::ONE, T::from_f64(dt), T::ZERO, T::ONE])
+        .expect("static shape");
+    let b = Matrix::from_vec(2, 1, vec![T::from_f64(0.5 * dt * dt), T::from_f64(dt)])
+        .expect("static shape");
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag: Vector::from_slice(&[T::from_f64(10.0), T::ONE]),
+        r_diag: Vector::from_slice(&[T::from_f64(0.5)]),
+        horizon,
+        rho: T::ONE,
+        u_min: T::from_f64(-2.0),
+        u_max: T::from_f64(2.0),
+        x_min: T::from_f64(-100.0),
+        x_max: T::from_f64(100.0),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// An inverted pendulum on a cart (4 states, 1 input), linearized about
+/// the upright equilibrium — the classic underactuated benchmark.
+///
+/// States: `[cart position, cart velocity, pole angle, pole rate]`;
+/// input: horizontal force on the cart (N).
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2`.
+pub fn cartpole<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
+    let dt = 0.02;
+    let g = 9.81;
+    let m_cart = 1.0;
+    let m_pole = 0.2;
+    let length = 0.5; // distance to the pole's center of mass
+
+    // Continuous linearization about the upright fixed point.
+    let denom = m_cart; // small-mass approximation for the cart row
+    let mut ac = Matrix::<T>::zeros(4, 4);
+    ac[(0, 1)] = T::ONE;
+    ac[(2, 3)] = T::ONE;
+    ac[(1, 2)] = T::from_f64(-m_pole * g / denom);
+    ac[(3, 2)] = T::from_f64((m_cart + m_pole) * g / (denom * length));
+    let mut bc = Matrix::<T>::zeros(4, 1);
+    bc[(1, 0)] = T::from_f64(1.0 / denom);
+    bc[(3, 0)] = T::from_f64(-1.0 / (denom * length));
+
+    let (a, b) = discretize(&ac, &bc, dt);
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag: Vector::from_slice(&[T::from_f64(10.0), T::ONE, T::from_f64(50.0), T::ONE]),
+        r_diag: Vector::from_slice(&[T::from_f64(0.1)]),
+        horizon,
+        rho: T::ONE,
+        u_min: T::from_f64(-10.0),
+        u_max: T::from_f64(10.0),
+        x_min: T::from_f64(-50.0),
+        x_max: T::from_f64(50.0),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// A 3-DoF planar rocket-landing problem (6 states, 2 inputs): lateral and
+/// vertical position/velocity plus a pitch state, controlled by gimballed
+/// thrust deltas about the hover trim.
+///
+/// States: `[x, z, pitch, vx, vz, pitch rate]`; inputs:
+/// `[thrust delta, gimbal torque]`.
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2`.
+pub fn rocket_landing<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
+    let dt = 0.05;
+    let g = 9.81;
+    let mass = 10.0;
+    let inertia = 5.0;
+
+    let mut ac = Matrix::<T>::zeros(6, 6);
+    ac[(0, 3)] = T::ONE;
+    ac[(1, 4)] = T::ONE;
+    ac[(2, 5)] = T::ONE;
+    // Pitching tilts the (trimmed, gravity-cancelling) thrust vector
+    // sideways.
+    ac[(3, 2)] = T::from_f64(g);
+    let mut bc = Matrix::<T>::zeros(6, 2);
+    bc[(4, 0)] = T::from_f64(1.0 / mass); // thrust delta -> vertical accel
+    bc[(5, 1)] = T::from_f64(1.0 / inertia); // gimbal torque -> pitch accel
+
+    let (a, b) = discretize(&ac, &bc, dt);
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag: Vector::from_slice(&[
+            T::from_f64(50.0),
+            T::from_f64(100.0),
+            T::from_f64(10.0),
+            T::from_f64(5.0),
+            T::from_f64(10.0),
+            T::ONE,
+        ]),
+        r_diag: Vector::from_slice(&[T::from_f64(1.0), T::from_f64(1.0)]),
+        horizon,
+        rho: T::ONE,
+        u_min: T::from_f64(-50.0),
+        u_max: T::from_f64(50.0),
+        x_min: T::from_f64(-1.0e3),
+        x_max: T::from_f64(1.0e3),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// A randomized stable MPC problem for fuzzing the solver: a contraction
+/// plus controllable input directions, diagonal costs, loose box bounds.
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2` or the generated dimensions are
+/// degenerate (not expected for valid inputs).
+pub fn random_stable<T: Scalar>(
+    nx: usize,
+    nu: usize,
+    horizon: usize,
+    seed: u64,
+) -> Result<TinyMpcProblem<T>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    // Strictly diagonally-dominant contraction: |diag| + Σ|off-diag| < 1
+    // by the Gershgorin bound, so A is stable for every seed.
+    let off_scale = 0.08 / nx.max(1) as f64;
+    let mut a = Matrix::<T>::zeros(nx, nx);
+    for r in 0..nx {
+        for c in 0..nx {
+            let v = if r == c { 0.9 } else { off_scale * next() };
+            a[(r, c)] = T::from_f64(v);
+        }
+    }
+    let b = Matrix::from_fn(nx, nu, |_, _| T::from_f64(0.5 * next()));
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag: Vector::from_fn(nx, |_| T::from_f64(1.0 + next().abs())),
+        r_diag: Vector::from_fn(nu, |_| T::from_f64(0.5 + next().abs())),
+        horizon,
+        rho: T::ONE,
+        u_min: T::from_f64(-5.0),
+        u_max: T::from_f64(5.0),
+        x_min: T::from_f64(-100.0),
+        x_max: T::from_f64(100.0),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartpole_is_open_loop_unstable_but_stabilizable() {
+        let p = cartpole::<f64>(20).unwrap();
+        // Open loop: the pole falls (angle grows from a perturbation).
+        let mut x = Vector::from_slice(&[0.0, 0.0, 0.05, 0.0]);
+        for _ in 0..100 {
+            x = p.a.matvec(&x).unwrap();
+        }
+        assert!(
+            x[2].abs() > 0.5,
+            "upright pendulum should be unstable: {:?}",
+            x[2]
+        );
+        // But the Riccati cache exists, i.e. (A, B) is stabilizable.
+        assert!(crate::TinyMpcCache::compute(&p).is_ok());
+    }
+
+    #[test]
+    fn rocket_landing_dimensions() {
+        let p = rocket_landing::<f64>(12).unwrap();
+        assert_eq!(p.dims().nx, 6);
+        assert_eq!(p.dims().nu, 2);
+        assert!(crate::TinyMpcCache::compute(&p).is_ok());
+    }
+
+    #[test]
+    fn random_stable_is_deterministic() {
+        let a = random_stable::<f64>(6, 2, 10, 42).unwrap();
+        let b = random_stable::<f64>(6, 2, 10, 42).unwrap();
+        assert_eq!(a.a, b.a);
+        assert!(
+            a.a.max_abs_diff(&random_stable::<f64>(6, 2, 10, 43).unwrap().a)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn quadrotor_dimensions() {
+        let p = quadrotor_hover::<f64>(10).unwrap();
+        assert_eq!(p.a.shape(), (12, 12));
+        assert_eq!(p.b.shape(), (12, 4));
+        assert!(p.a.is_finite() && p.b.is_finite());
+    }
+
+    #[test]
+    fn quadrotor_discretization_sane() {
+        let p = quadrotor_hover::<f64>(10).unwrap();
+        // Ad ≈ I for small dt: diagonal near one.
+        for i in 0..12 {
+            assert!(
+                (p.a[(i, i)] - 1.0).abs() < 0.1,
+                "A[{i}][{i}] = {}",
+                p.a[(i, i)]
+            );
+        }
+        // Equal thrust on all motors accelerates purely vertically.
+        let u = Vector::splat(4, 0.01);
+        let dx = p.b.matvec(&u).unwrap();
+        assert!(dx[8] > 0.0, "vertical velocity must increase");
+        assert!(dx[9].abs() < 1e-9 && dx[10].abs() < 1e-9 && dx[11].abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadrotor_is_controllable_enough_for_dare() {
+        // The cache computation exercises stabilizability.
+        let p = quadrotor_hover::<f64>(10).unwrap();
+        let c = crate::TinyMpcCache::compute(&p).unwrap();
+        assert!(c.kinf.is_finite());
+    }
+
+    #[test]
+    fn double_integrator_valid() {
+        let p = double_integrator::<f32>(20).unwrap();
+        assert_eq!(p.dims().nx, 2);
+        assert_eq!(p.dims().nu, 1);
+    }
+
+    #[test]
+    fn horizon_of_one_rejected() {
+        assert!(double_integrator::<f64>(1).is_err());
+    }
+}

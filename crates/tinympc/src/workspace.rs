@@ -1,0 +1,94 @@
+//! The solver's mutable state (the "TinyMPC workspace" of the paper's
+//! Figure 11).
+
+use matlib::{Scalar, Vector};
+
+/// Per-solve mutable trajectories and ADMM variables.
+///
+/// All trajectories are stored as one vector per knot point, matching the
+/// per-timestep access pattern of the iterative kernels. Dual and slack
+/// variables persist across calls to `solve` for warm starting.
+#[derive(Debug, Clone)]
+pub struct TinyMpcWorkspace<T> {
+    /// State trajectory `x[0..N]`.
+    pub x: Vec<Vector<T>>,
+    /// Input trajectory `u[0..N-1]`.
+    pub u: Vec<Vector<T>>,
+    /// Linear state cost terms `q[0..N]`.
+    pub q: Vec<Vector<T>>,
+    /// Linear input cost terms `r[0..N-1]`.
+    pub r: Vec<Vector<T>>,
+    /// Cost-to-go linear terms `p[0..N]`.
+    pub p: Vec<Vector<T>>,
+    /// Feed-forward terms `d[0..N-1]`.
+    pub d: Vec<Vector<T>>,
+    /// State slack trajectory `v[0..N]` (previous iterate).
+    pub v: Vec<Vector<T>>,
+    /// State slack trajectory `vnew[0..N]`.
+    pub vnew: Vec<Vector<T>>,
+    /// Input slack trajectory `z[0..N-1]` (previous iterate).
+    pub z: Vec<Vector<T>>,
+    /// Input slack trajectory `znew[0..N-1]`.
+    pub znew: Vec<Vector<T>>,
+    /// Input duals `y[0..N-1]`.
+    pub y: Vec<Vector<T>>,
+    /// State duals `g[0..N]`.
+    pub g: Vec<Vector<T>>,
+    /// Reference state trajectory `xref[0..N]`.
+    pub xref: Vec<Vector<T>>,
+}
+
+impl<T: Scalar> TinyMpcWorkspace<T> {
+    /// Creates a zeroed workspace for the given dimensions.
+    pub fn new(nx: usize, nu: usize, horizon: usize) -> Self {
+        let states = || (0..horizon).map(|_| Vector::zeros(nx)).collect::<Vec<_>>();
+        let inputs = || {
+            (0..horizon - 1)
+                .map(|_| Vector::zeros(nu))
+                .collect::<Vec<_>>()
+        };
+        TinyMpcWorkspace {
+            x: states(),
+            u: inputs(),
+            q: states(),
+            r: inputs(),
+            p: states(),
+            d: inputs(),
+            v: states(),
+            vnew: states(),
+            z: inputs(),
+            znew: inputs(),
+            y: inputs(),
+            g: states(),
+            xref: states(),
+        }
+    }
+
+    /// Resets the ADMM variables (duals and slacks) to zero — a cold
+    /// start.
+    pub fn cold_start(&mut self) {
+        for v in self
+            .y
+            .iter_mut()
+            .chain(self.g.iter_mut())
+            .chain(self.v.iter_mut())
+            .chain(self.vnew.iter_mut())
+            .chain(self.z.iter_mut())
+            .chain(self.znew.iter_mut())
+        {
+            for e in v.as_mut_slice() {
+                *e = T::ZERO;
+            }
+        }
+    }
+
+    /// Whether every stored value is finite (divergence guard for tests).
+    pub fn is_finite(&self) -> bool {
+        self.x
+            .iter()
+            .chain(&self.u)
+            .chain(&self.p)
+            .chain(&self.y)
+            .all(|v| v.is_finite())
+    }
+}

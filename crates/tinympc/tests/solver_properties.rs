@@ -1,0 +1,119 @@
+//! Property-based tests of the ADMM solver over randomized problems.
+
+use matlib::Vector;
+use proptest::prelude::*;
+use tinympc::{problems, AdmmSolver, NullExecutor, SolverSettings};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random stable problems solve without numerical blowup, the applied
+    /// input respects the box constraints, and the workspace stays finite.
+    #[test]
+    fn random_problems_stay_feasible(
+        nx in 2usize..10,
+        nu in 1usize..4,
+        horizon in 3usize..15,
+        seed in 0u64..500,
+        x_scale in 0.1f64..10.0,
+    ) {
+        let problem = problems::random_stable::<f64>(nx, nu, horizon, seed).unwrap();
+        let (u_min, u_max) = (problem.u_min, problem.u_max);
+        let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
+        let x0 = Vector::from_fn(nx, |i| x_scale * if i % 2 == 0 { 1.0 } else { -0.5 });
+        let r = solver.solve(&x0, &mut NullExecutor).unwrap();
+        prop_assert!(solver.workspace().is_finite());
+        for &u in r.u0.as_slice() {
+            prop_assert!(u >= u_min - 1e-9 && u <= u_max + 1e-9, "u0 {u} violates bounds");
+        }
+    }
+
+    /// Scaling the tolerance down never increases the final residuals.
+    #[test]
+    fn tighter_tolerance_tightens_residuals(seed in 0u64..100) {
+        let mk = |tol: f64| {
+            let problem = problems::random_stable::<f64>(6, 2, 10, seed).unwrap();
+            let settings = SolverSettings { max_iterations: 300, tolerance: tol, check_interval: 1 };
+            let mut solver = AdmmSolver::new(problem, settings).unwrap();
+            let x0 = Vector::from_fn(6, |i| (i as f64 - 2.5) * 0.3);
+            solver.solve(&x0, &mut NullExecutor).unwrap()
+        };
+        let loose = mk(1e-2);
+        let tight = mk(1e-6);
+        prop_assert!(tight.iterations >= loose.iterations);
+        if loose.converged && tight.converged {
+            prop_assert!(tight.residuals.0 <= loose.residuals.0 + 1e-12);
+        }
+    }
+
+    /// Zero initial state with a zero reference is a fixed point: the
+    /// solver converges immediately to (near-)zero control.
+    #[test]
+    fn origin_is_fixed_point(seed in 0u64..200) {
+        let problem = problems::random_stable::<f64>(5, 2, 8, seed).unwrap();
+        let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
+        let r = solver.solve(&Vector::zeros(5), &mut NullExecutor).unwrap();
+        prop_assert!(r.converged);
+        prop_assert!(r.u0.max_abs() < 1e-6, "u0 {:?} should be ~0", r.u0);
+    }
+
+    /// Scaling rho changes the path but not feasibility of the answer.
+    #[test]
+    fn rho_robustness(seed in 0u64..100, rho in 0.1f64..10.0) {
+        let mut problem = problems::random_stable::<f64>(4, 1, 10, seed).unwrap();
+        problem.rho = rho;
+        let (u_min, u_max) = (problem.u_min, problem.u_max);
+        let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
+        let x0 = Vector::from_slice(&[2.0, -1.0, 0.5, 0.0]);
+        let r = solver.solve(&x0, &mut NullExecutor).unwrap();
+        prop_assert!(solver.workspace().is_finite());
+        for &u in r.u0.as_slice() {
+            prop_assert!(u >= u_min - 1e-9 && u <= u_max + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn cartpole_closed_loop_balances() {
+    let p = problems::cartpole::<f64>(25).unwrap();
+    let a = p.a.clone();
+    let b = p.b.clone();
+    let mut solver = AdmmSolver::new(p, SolverSettings::default()).unwrap();
+    // 0.15 rad initial pole tilt.
+    let mut x = Vector::from_slice(&[0.0, 0.0, 0.15, 0.0]);
+    for _ in 0..600 {
+        let r = solver.solve(&x, &mut NullExecutor).unwrap();
+        x = a
+            .matvec(&x)
+            .unwrap()
+            .add(&b.matvec(&r.u0).unwrap())
+            .unwrap();
+        assert!(x.is_finite());
+    }
+    assert!(x[2].abs() < 0.01, "pole not balanced: {:?}", x[2]);
+    assert!(x[0].abs() < 0.5, "cart drifted: {:?}", x[0]);
+}
+
+#[test]
+fn rocket_landing_reaches_pad() {
+    let p = problems::rocket_landing::<f64>(15).unwrap();
+    let a = p.a.clone();
+    let b = p.b.clone();
+    let mut solver = AdmmSolver::new(p, SolverSettings::default()).unwrap();
+    // 20 m up, 8 m off to the side, descending.
+    let mut x = Vector::from_slice(&[8.0, 20.0, 0.0, 0.0, -2.0, 0.0]);
+    for _ in 0..600 {
+        let r = solver.solve(&x, &mut NullExecutor).unwrap();
+        x = a
+            .matvec(&x)
+            .unwrap()
+            .add(&b.matvec(&r.u0).unwrap())
+            .unwrap();
+        assert!(x.is_finite());
+    }
+    assert!(
+        x[0].abs() < 0.2 && x[1].abs() < 0.2,
+        "missed the pad: {:?}",
+        x
+    );
+}

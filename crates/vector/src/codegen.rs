@@ -1,0 +1,465 @@
+//! Vector software mappings of the linear-algebra kernels (Section V-A of
+//! the paper).
+//!
+//! Two styles:
+//!
+//! * [`VectorStyle::Matlib`] — the vectorized-`matlib` library: every
+//!   operator is a separate function (store results, reload in the next
+//!   call), with a scalar strip-mining loop (`vsetvli` + bookkeeping +
+//!   branch per stripe) and no unrolling.
+//! * [`VectorStyle::Fused`] — the hand-optimized mapping: operators fused
+//!   across calls (temporaries stay in vector registers), loops fully
+//!   unrolled (no scalar bookkeeping), and `vfmacc.vf` broadcast-scalar
+//!   GEMV with column-major accumulation.
+//!
+//! Both styles are parameterized by LMUL so the paper's Figure 4 sweep can
+//! be reproduced.
+
+use crate::SaturnConfig;
+use soc_isa::{OpClass, TraceBuilder, VReg, VecOpKind, VectorSpec};
+
+/// Vector code-generation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorStyle {
+    /// Vectorized `matlib` library calls.
+    Matlib,
+    /// Hand-optimized: fused operators + software unrolling.
+    Fused,
+}
+
+/// Vector kernel code generator for a given Saturn configuration.
+///
+/// # Examples
+///
+/// ```
+/// use soc_cpu::{simulate_with_accel, CoreConfig};
+/// use soc_isa::TraceBuilder;
+/// use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
+///
+/// let cfg = SaturnConfig::v512d256();
+/// let mut b = TraceBuilder::new();
+/// VectorKernels::new(cfg, VectorStyle::Fused, 1).gemv(&mut b, 12, 4);
+/// let mut saturn = SaturnUnit::new(cfg);
+/// let cycles = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut saturn);
+/// assert!(cycles > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VectorKernels {
+    config: SaturnConfig,
+    style: VectorStyle,
+    lmul: u8,
+}
+
+impl VectorKernels {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lmul` is not 1, 2, 4 or 8.
+    pub fn new(config: SaturnConfig, style: VectorStyle, lmul: u8) -> Self {
+        assert!(matches!(lmul, 1 | 2 | 4 | 8), "LMUL must be 1, 2, 4 or 8");
+        VectorKernels {
+            config,
+            style,
+            lmul,
+        }
+    }
+
+    /// The configured style.
+    pub fn style(&self) -> VectorStyle {
+        self.style
+    }
+
+    /// The configured LMUL.
+    pub fn lmul(&self) -> u8 {
+        self.lmul
+    }
+
+    fn is_matlib(&self) -> bool {
+        self.style == VectorStyle::Matlib
+    }
+
+    /// RVV unit-stride memory ops have no immediate address offsets, so
+    /// every distinct vector load needs scalar address generation.
+    fn vload(&self, b: &mut TraceBuilder, vl: u32) -> VReg {
+        b.int_ops(1);
+        b.vector(VectorSpec::f32(VecOpKind::Load, vl, self.lmul), &[])
+    }
+
+    /// Vector store with its scalar address generation.
+    fn vstore(&self, b: &mut TraceBuilder, vl: u32, src: VReg) {
+        b.int_ops(1);
+        b.vector(VectorSpec::f32(VecOpKind::Store, vl, self.lmul), &[src]);
+    }
+
+    fn vlmax(&self) -> u32 {
+        self.config.vlmax(32, self.lmul)
+    }
+
+    fn call_overhead(&self, b: &mut TraceBuilder) {
+        if self.is_matlib() {
+            b.int_ops(5);
+        }
+    }
+
+    fn loop_overhead(&self, b: &mut TraceBuilder) {
+        if self.is_matlib() {
+            b.int_ops(2);
+            b.branch(&[]);
+        }
+    }
+
+    /// Element-wise strip-mining pass over `n` elements: `inputs` vector
+    /// loads per stripe, a chain of `arith_ops` dependent vector arithmetic
+    /// ops, one vector store.
+    pub fn stripmine(&self, b: &mut TraceBuilder, n: usize, inputs: usize, arith_ops: usize) {
+        self.call_overhead(b);
+        let vlmax = self.vlmax() as usize;
+        let mut remaining = n;
+        while remaining > 0 {
+            let vl = remaining.min(vlmax) as u32;
+            b.vset();
+            let loaded: Vec<VReg> = (0..inputs).map(|_| self.vload(b, vl)).collect();
+            let mut v = if arith_ops == 0 {
+                *loaded.first().expect("stripmine needs inputs or arith ops")
+            } else {
+                b.vector(
+                    VectorSpec::f32(VecOpKind::Arith, vl, self.lmul),
+                    &loaded[..loaded.len().min(2)],
+                )
+            };
+            for _ in 1..arith_ops {
+                v = b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[v]);
+            }
+            self.vstore(b, vl, v);
+            remaining -= vl as usize;
+            self.loop_overhead(b);
+        }
+    }
+
+    /// A chain of element-wise operators over `n` elements.
+    ///
+    /// In the fused style this is a single strip-mining pass with the whole
+    /// chain in registers; in `matlib` style each operator is a separate
+    /// library call, paying the store/reload round-trip the paper's
+    /// operator-fusion optimization removes.
+    pub fn fused_stripmine(&self, b: &mut TraceBuilder, n: usize, inputs: usize, arith_ops: usize) {
+        match self.style {
+            VectorStyle::Matlib => {
+                for i in 0..arith_ops.max(1) {
+                    let ins = if i == 0 { inputs } else { 2 };
+                    self.stripmine(b, n, ins, 1.min(arith_ops));
+                }
+            }
+            VectorStyle::Fused => self.stripmine(b, n, inputs, arith_ops),
+        }
+    }
+
+    /// GEMV `y = A·x` (`A` is `m × k`).
+    ///
+    /// The hand-optimized (fused) style uses the column-major `vfmacc.vf`
+    /// broadcast mapping the paper converged on; the `matlib` style uses
+    /// the naive vectorization of a row-wise dot-product loop —
+    /// `vfmul` + serial `vfredosum` per row — which is what "vectorize
+    /// every matlib function" yields and why hand-optimization was needed.
+    pub fn gemv(&self, b: &mut TraceBuilder, m: usize, k: usize) {
+        if self.is_matlib() {
+            self.gemv_with_reduction(b, m, k);
+            return;
+        }
+        self.call_overhead(b);
+        let vlmax = self.vlmax() as usize;
+        let mut row = 0;
+        while row < m {
+            let vl = (m - row).min(vlmax) as u32;
+            b.vset();
+            let mut acc = if self.is_matlib() {
+                // Function boundary: the accumulator starts from memory.
+                self.vload(b, vl)
+            } else {
+                b.vector(VectorSpec::f32(VecOpKind::Move, vl, self.lmul), &[])
+            };
+            for _p in 0..k {
+                // Scalar load of x[p], broadcast by vfmacc.vf.
+                let x = b.load();
+                let col = self.vload(b, vl);
+                acc = b.vector(
+                    VectorSpec::f32(VecOpKind::MulAdd, vl, self.lmul),
+                    &[col, x, acc],
+                );
+                self.loop_overhead(b);
+            }
+            self.vstore(b, vl, acc);
+            row += vl as usize;
+            self.loop_overhead(b);
+        }
+    }
+
+    /// Row-wise GEMV using in-register reductions (`vfredosum`) — the
+    /// alternative mapping the paper evaluated and rejected because Saturn
+    /// reduces serially. Kept for the ablation benchmarks.
+    pub fn gemv_with_reduction(&self, b: &mut TraceBuilder, m: usize, k: usize) {
+        self.call_overhead(b);
+        let vlmax = self.vlmax() as usize;
+        for _i in 0..m {
+            let mut partials: Vec<VReg> = Vec::new();
+            let mut remaining = k;
+            while remaining > 0 {
+                let vl = remaining.min(vlmax) as u32;
+                b.vset();
+                let a = self.vload(b, vl);
+                let x = self.vload(b, vl);
+                let prod = b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[a, x]);
+                partials.push(b.vector(
+                    VectorSpec::f32(VecOpKind::Reduction, vl, self.lmul),
+                    &[prod],
+                ));
+                remaining -= vl as usize;
+                self.loop_overhead(b);
+            }
+            // Move the reduced scalar out and store.
+            let s = b.vector(
+                VectorSpec::f32(VecOpKind::Move, 1, 1),
+                &partials[..partials.len().min(2)],
+            );
+            b.store(&[s]);
+            self.loop_overhead(b);
+        }
+    }
+
+    /// GEMM `C = A·B` (`A` is `m × k`, `B` is `k × n`), mapped as column
+    /// GEMVs with `vfmacc.vf`.
+    ///
+    /// The hand-optimized style blocks the `j` loop four output columns at
+    /// a time so each loaded column of `A` is reused by four `vfmacc.vf`
+    /// instructions with different broadcast scalars — quartering the
+    /// vector-load pressure on the frontend. The `matlib` style computes
+    /// one output column per call, reloading `A` every time.
+    pub fn gemm(&self, b: &mut TraceBuilder, m: usize, n: usize, k: usize) {
+        self.call_overhead(b);
+        let vlmax = self.vlmax() as usize;
+        let j_block = if self.is_matlib() { 1 } else { 4 };
+        let mut row = 0;
+        while row < m {
+            let vl = (m - row).min(vlmax) as u32;
+            b.vset();
+            let mut j = 0;
+            while j < n {
+                let jb = j_block.min(n - j);
+                let mut accs: Vec<VReg> = (0..jb)
+                    .map(|_| {
+                        if self.is_matlib() {
+                            self.vload(b, vl)
+                        } else {
+                            b.vector(VectorSpec::f32(VecOpKind::Move, vl, self.lmul), &[])
+                        }
+                    })
+                    .collect();
+                for _p in 0..k {
+                    let col = self.vload(b, vl);
+                    for acc in accs.iter_mut() {
+                        let x = b.load();
+                        *acc = b.vector(
+                            VectorSpec::f32(VecOpKind::MulAdd, vl, self.lmul),
+                            &[col, x, *acc],
+                        );
+                    }
+                    self.loop_overhead(b);
+                }
+                for acc in &accs {
+                    self.vstore(b, vl, *acc);
+                }
+                self.loop_overhead(b);
+                j += jb;
+            }
+            row += vl as usize;
+        }
+    }
+
+    /// Global reduction `max(|x - y|)` over `n` elements. Returns the
+    /// register holding the scalar result.
+    ///
+    /// The fused style keeps a running element-wise max in a vector
+    /// register across stripes and reduces once at the end; the library
+    /// style reduces serially inside the call.
+    pub fn reduce_max_abs_diff(&self, b: &mut TraceBuilder, n: usize) -> VReg {
+        self.call_overhead(b);
+        let vlmax = self.vlmax() as usize;
+        let mut remaining = n;
+        let mut running: Option<VReg> = None;
+        let mut first_vl = 0u32;
+        while remaining > 0 {
+            let vl = remaining.min(vlmax) as u32;
+            if first_vl == 0 {
+                first_vl = vl;
+            }
+            b.vset();
+            let x = self.vload(b, vl);
+            let y = self.vload(b, vl);
+            let d = b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[x, y]);
+            let a = b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[d]);
+            running = Some(match running {
+                Some(r) => b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[r, a]),
+                None => a,
+            });
+            remaining -= vl as usize;
+            self.loop_overhead(b);
+        }
+        let acc = running.unwrap_or_else(|| b.vector(VectorSpec::f32(VecOpKind::Move, 1, 1), &[]));
+        // Final serial reduction over one vector register's worth.
+        let red = b.vector(
+            VectorSpec::f32(VecOpKind::Reduction, first_vl.max(1), self.lmul),
+            &[acc],
+        );
+        // vfmv.f.s: move the scalar element to the FP register file.
+        let s = b.vector(VectorSpec::f32(VecOpKind::Move, 1, 1), &[red]);
+        b.fp(OpClass::FpSimple, &[s])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SaturnUnit;
+    use soc_cpu::{simulate_with_accel, CoreConfig};
+    use soc_isa::Trace;
+
+    fn run(cfg: SaturnConfig, core: CoreConfig, f: impl Fn(&mut TraceBuilder)) -> u64 {
+        let mut b = TraceBuilder::new();
+        f(&mut b);
+        let t: Trace = b.finish();
+        let mut saturn = SaturnUnit::new(cfg);
+        simulate_with_accel(&core, &t, &mut saturn)
+    }
+
+    #[test]
+    fn lmul_helps_long_stripmines_on_rocket() {
+        let cfg = SaturnConfig::v512d256();
+        let n = 240; // TinyMPC-scale strip-mining length (nx * horizon * 2)
+        let l1 = run(cfg, CoreConfig::rocket(), |b| {
+            VectorKernels::new(cfg, VectorStyle::Fused, 1).stripmine(b, n, 2, 2)
+        });
+        let l8 = run(cfg, CoreConfig::rocket(), |b| {
+            VectorKernels::new(cfg, VectorStyle::Fused, 8).stripmine(b, n, 2, 2)
+        });
+        assert!(
+            l8 < l1,
+            "LMUL=8 ({l8}) should beat LMUL=1 ({l1}) on long stripmines"
+        );
+    }
+
+    #[test]
+    fn lmul_hurts_short_iterative_kernels() {
+        let cfg = SaturnConfig::v512d256();
+        // A 4-element kernel (TinyMPC's input dimension).
+        let l1 = run(cfg, CoreConfig::rocket(), |b| {
+            let k = VectorKernels::new(cfg, VectorStyle::Fused, 1);
+            for _ in 0..20 {
+                k.gemv(b, 4, 12);
+            }
+        });
+        let l8 = run(cfg, CoreConfig::rocket(), |b| {
+            let k = VectorKernels::new(cfg, VectorStyle::Fused, 8);
+            for _ in 0..20 {
+                k.gemv(b, 4, 12);
+            }
+        });
+        assert!(
+            l8 > l1,
+            "LMUL=8 ({l8}) should hurt short GEMV vs LMUL=1 ({l1})"
+        );
+    }
+
+    #[test]
+    fn fused_beats_matlib() {
+        let cfg = SaturnConfig::v512d256();
+        let lib = run(cfg, CoreConfig::rocket(), |b| {
+            VectorKernels::new(cfg, VectorStyle::Matlib, 1).fused_stripmine(b, 120, 2, 3)
+        });
+        let fused = run(cfg, CoreConfig::rocket(), |b| {
+            VectorKernels::new(cfg, VectorStyle::Fused, 1).fused_stripmine(b, 120, 2, 3)
+        });
+        assert!(
+            (fused as f64) < lib as f64 * 0.7,
+            "fused {fused} should clearly beat matlib {lib}"
+        );
+    }
+
+    #[test]
+    fn vfmacc_gemv_beats_serial_reduction_gemv() {
+        let cfg = SaturnConfig::v512d256();
+        let k = VectorKernels::new(cfg, VectorStyle::Fused, 1);
+        let bcast = run(cfg, CoreConfig::rocket(), |b| k.gemv(b, 12, 12));
+        let reduce = run(cfg, CoreConfig::rocket(), |b| {
+            k.gemv_with_reduction(b, 12, 12)
+        });
+        assert!(bcast < reduce, "vfmacc {bcast} vs reduction {reduce}");
+    }
+
+    #[test]
+    fn shuttle_frontend_helps_short_vectors() {
+        let cfg = SaturnConfig::v512d256();
+        let mk = |core: CoreConfig| {
+            run(cfg, core, |b| {
+                let k = VectorKernels::new(cfg, VectorStyle::Fused, 1);
+                for _ in 0..10 {
+                    k.gemv(b, 4, 12);
+                    k.stripmine(b, 4, 2, 1);
+                }
+            })
+        };
+        let rocket = mk(CoreConfig::rocket());
+        let shuttle = mk(CoreConfig::shuttle());
+        assert!(shuttle < rocket, "shuttle {shuttle} vs rocket {rocket}");
+    }
+
+    #[test]
+    fn dlen_scales_long_but_not_short() {
+        let long = |cfg: SaturnConfig| {
+            run(cfg, CoreConfig::shuttle(), |b| {
+                VectorKernels::new(cfg, VectorStyle::Fused, 8).stripmine(b, 1024, 2, 2)
+            })
+        };
+        let d128 = long(SaturnConfig::v512d128());
+        let d256 = long(SaturnConfig::v512d256());
+        assert!(
+            (d256 as f64) < d128 as f64 * 0.7,
+            "D256 {d256} should clearly beat D128 {d128} on long vectors"
+        );
+
+        let short = |cfg: SaturnConfig| {
+            run(cfg, CoreConfig::rocket(), |b| {
+                let k = VectorKernels::new(cfg, VectorStyle::Fused, 1);
+                for _ in 0..50 {
+                    k.gemv(b, 4, 12);
+                }
+            })
+        };
+        let s128 = short(SaturnConfig::v512d128());
+        let s256 = short(SaturnConfig::v512d256());
+        let ratio = s128 as f64 / s256 as f64;
+        assert!(
+            ratio < 1.15,
+            "short kernels should not benefit from DLEN: {s128} vs {s256}"
+        );
+    }
+
+    #[test]
+    fn reduction_result_reaches_scalar_core() {
+        let cfg = SaturnConfig::v512d128();
+        let cycles = run(cfg, CoreConfig::rocket(), |b| {
+            let k = VectorKernels::new(cfg, VectorStyle::Fused, 1);
+            let r = k.reduce_max_abs_diff(b, 100);
+            // Scalar consumer of the reduction result.
+            b.fp(OpClass::FpSimple, &[r]);
+        });
+        // Must include the serial reduction tail.
+        assert!(cycles > 30, "got {cycles}");
+    }
+
+    #[test]
+    #[should_panic(expected = "LMUL must be 1, 2, 4 or 8")]
+    fn rejects_bad_lmul() {
+        VectorKernels::new(SaturnConfig::v512d128(), VectorStyle::Fused, 3);
+    }
+}

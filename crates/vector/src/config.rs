@@ -1,0 +1,116 @@
+//! Saturn configuration points.
+
+/// Configuration of a Saturn vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturnConfig {
+    /// Configuration name, e.g. `"V512D256"`.
+    pub name: &'static str,
+    /// Vector register length in bits.
+    pub vlen: u32,
+    /// Datapath width in bits (element groups of `dlen/sew` elements are
+    /// processed per cycle).
+    pub dlen: u32,
+    /// Depth of the scalar-to-vector command queue.
+    pub queue_depth: usize,
+    /// Dispatch-to-first-element latency of a vector instruction.
+    pub startup_latency: u64,
+    /// Extra cycles before a chained consumer can start behind its
+    /// producer.
+    pub chain_latency: u64,
+    /// Scalar-to-vector dispatch-port occupancy per vector instruction:
+    /// the handshake between the scalar pipeline and the vector sequencer
+    /// sustains at most one vector instruction per `dispatch_penalty`
+    /// cycles. This is the frontend bottleneck that motivates both the
+    /// Shuttle frontend and LMUL register grouping in the paper.
+    pub dispatch_penalty: u64,
+}
+
+impl SaturnConfig {
+    /// The reference V512 D128 design (4 f32 lanes).
+    pub fn v512d128() -> Self {
+        SaturnConfig {
+            name: "V512D128",
+            vlen: 512,
+            dlen: 128,
+            queue_depth: 4,
+            startup_latency: 4,
+            chain_latency: 2,
+            dispatch_penalty: 3,
+        }
+    }
+
+    /// The reference V512 D256 design (8 f32 lanes).
+    pub fn v512d256() -> Self {
+        SaturnConfig {
+            name: "V512D256",
+            ..Self::v512d128()
+        }
+        .with_dlen(256)
+    }
+
+    /// A V512 D512 design (16 f32 lanes) — the equal-PE comparison point
+    /// against a 4×4 Gemmini mesh in the paper's Figure 19.
+    pub fn v512d512() -> Self {
+        SaturnConfig {
+            name: "V512D512",
+            ..Self::v512d128()
+        }
+        .with_dlen(512)
+    }
+
+    /// An area-minimal V256 D64 design (2 f32 lanes) — the paper's open
+    /// question: "minimal Saturn configurations could result in improved
+    /// performance in this domain due to Saturn's instruction sequencing".
+    pub fn v256d64() -> Self {
+        SaturnConfig {
+            name: "V256D64",
+            vlen: 256,
+            ..Self::v512d128()
+        }
+        .with_dlen(64)
+    }
+
+    /// A small V256 D128 design (4 f32 lanes, half the register file).
+    pub fn v256d128() -> Self {
+        SaturnConfig {
+            name: "V256D128",
+            vlen: 256,
+            ..Self::v512d128()
+        }
+    }
+
+    fn with_dlen(mut self, dlen: u32) -> Self {
+        self.dlen = dlen;
+        self
+    }
+
+    /// Number of `sew`-bit lanes (elements processed per cycle).
+    pub fn lanes(&self, sew: u8) -> u32 {
+        (self.dlen / sew as u32).max(1)
+    }
+
+    /// Maximum vector length for a given element width and LMUL.
+    pub fn vlmax(&self, sew: u8, lmul: u8) -> u32 {
+        self.vlen * lmul as u32 / sew as u32
+    }
+
+    /// All Saturn configurations profiled in the paper.
+    pub fn all() -> Vec<SaturnConfig> {
+        vec![Self::v512d128(), Self::v512d256(), Self::v512d512()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlmax_and_lanes() {
+        let c = SaturnConfig::v512d128();
+        assert_eq!(c.lanes(32), 4);
+        assert_eq!(c.vlmax(32, 1), 16);
+        assert_eq!(c.vlmax(32, 8), 128);
+        assert_eq!(SaturnConfig::v512d256().lanes(32), 8);
+        assert_eq!(SaturnConfig::v512d512().lanes(32), 16);
+    }
+}

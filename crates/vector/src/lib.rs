@@ -1,0 +1,37 @@
+//! # soc-vector — Saturn short-vector unit timing model
+//!
+//! Models the vector-machine corner of the paper's design space: **Saturn**,
+//! a compact RVV vector unit tightly integrated with an in-order scalar
+//! core (Rocket or Shuttle). The model captures the microarchitectural
+//! mechanisms the paper's Saturn analysis turns on:
+//!
+//! * **Occupancy accounting** — a vector instruction occupies its pipe for
+//!   `⌈VL·SEW/DLEN⌉` cycles (one element group per cycle), so halving DLEN
+//!   halves throughput for long vectors but changes nothing for the 4- and
+//!   12-element operands of TinyMPC's iterative kernels.
+//! * **LMUL register grouping** — grouped instructions cover more elements
+//!   per instruction (relieving the scalar frontend, the win for
+//!   strip-mining kernels) but occupy the sequencer for at least `LMUL`
+//!   cycles, which *hurts* short-vector iterative kernels (Figure 4).
+//! * **Serial reductions** — Saturn implements `vfred*` one element per
+//!   cycle, which is why the hand-optimized GEMV uses `vfmacc.vf`
+//!   broadcast-scalar accumulation instead of in-register reductions.
+//! * **Decoupled command queue** — the scalar core stalls when the queue
+//!   fills; with single-issue Rocket in front, short-vector code becomes
+//!   frontend-bound, motivating both the Shuttle frontend and LMUL.
+//! * **Chaining** — dependent vector instructions overlap element groups.
+//!
+//! The crate also hosts the vector software mappings ([`VectorKernels`]):
+//! the vectorized-`matlib` library style and the hand-optimized fused +
+//! unrolled style of Section V-A of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod config;
+mod model;
+
+pub use codegen::{VectorKernels, VectorStyle};
+pub use config::SaturnConfig;
+pub use model::SaturnUnit;

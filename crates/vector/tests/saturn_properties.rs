@@ -1,0 +1,90 @@
+//! Property-based tests for the Saturn timing model.
+
+use proptest::prelude::*;
+use soc_cpu::{simulate_with_accel, CoreConfig};
+use soc_isa::{TraceBuilder, VecOpKind, VectorSpec};
+use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
+
+fn lmuls() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(1u8), Just(2), Just(4), Just(8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy is monotone in VL for every op kind and configuration.
+    #[test]
+    fn occupancy_monotone_in_vl(vl in 1u32..512, lmul in lmuls()) {
+        for cfg in SaturnConfig::all() {
+            let unit = SaturnUnit::new(cfg);
+            for kind in [VecOpKind::Arith, VecOpKind::MulAdd, VecOpKind::Load,
+                         VecOpKind::Store, VecOpKind::Reduction] {
+                let o1 = unit.occupancy(&VectorSpec::f32(kind, vl, lmul));
+                let o2 = unit.occupancy(&VectorSpec::f32(kind, vl + 1, lmul));
+                prop_assert!(o2 >= o1, "{cfg:?} {kind:?}: occ({}) {o2} < occ({vl}) {o1}", vl + 1);
+            }
+        }
+    }
+
+    /// A wider datapath never increases occupancy.
+    #[test]
+    fn wider_dlen_never_slower(vl in 1u32..512, lmul in lmuls()) {
+        let d128 = SaturnUnit::new(SaturnConfig::v512d128());
+        let d256 = SaturnUnit::new(SaturnConfig::v512d256());
+        for kind in [VecOpKind::Arith, VecOpKind::Load] {
+            let spec = VectorSpec::f32(kind, vl, lmul);
+            prop_assert!(d256.occupancy(&spec) <= d128.occupancy(&spec));
+        }
+    }
+
+    /// End-to-end: a GEMV of any MPC-plausible size completes, costs more
+    /// than zero, and grows with the reduction dimension.
+    #[test]
+    fn gemv_cost_grows_with_k(m in 1usize..32, k in 1usize..32) {
+        let cfg = SaturnConfig::v512d256();
+        let gen = VectorKernels::new(cfg, VectorStyle::Fused, 1);
+        let run = |m: usize, k: usize| {
+            let mut b = TraceBuilder::new();
+            gen.gemv(&mut b, m, k);
+            let mut unit = SaturnUnit::new(cfg);
+            simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit)
+        };
+        let base = run(m, k);
+        let deeper = run(m, k + 4);
+        prop_assert!(base > 0);
+        prop_assert!(deeper > base, "gemv({m},{}) {deeper} <= gemv({m},{k}) {base}", k + 4);
+    }
+
+    /// The vector unit's busy cycles never exceed elapsed time on any
+    /// single pipe (conservation of bandwidth, 2 pipes).
+    #[test]
+    fn busy_cycles_bounded(n_ops in 1usize..64, vl in 1u32..64) {
+        let cfg = SaturnConfig::v512d128();
+        let mut b = TraceBuilder::new();
+        for i in 0..n_ops {
+            if i % 2 == 0 {
+                b.vload(vl, 1);
+            } else {
+                b.vector(VectorSpec::f32(VecOpKind::Arith, vl, 1), &[]);
+            }
+        }
+        let mut unit = SaturnUnit::new(cfg);
+        let elapsed = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
+        prop_assert!(unit.busy_cycles() <= 2 * elapsed, "busy {} > 2x elapsed {elapsed}", unit.busy_cycles());
+    }
+
+    /// Matlib style is never faster than the fused style for the same
+    /// element-wise job.
+    #[test]
+    fn matlib_never_beats_fused(n in 4usize..200, inputs in 1usize..3, ops in 1usize..4) {
+        let cfg = SaturnConfig::v512d256();
+        let run = |style| {
+            let gen = VectorKernels::new(cfg, style, 1);
+            let mut b = TraceBuilder::new();
+            gen.fused_stripmine(&mut b, n, inputs, ops);
+            let mut unit = SaturnUnit::new(cfg);
+            simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit)
+        };
+        prop_assert!(run(VectorStyle::Fused) <= run(VectorStyle::Matlib));
+    }
+}

@@ -1,0 +1,75 @@
+//! Constraint-active MPC: a quadrotor descending from altitude with
+//! saturated thrust — the scenario where the ADMM slack projection
+//! actually earns its keep over plain LQR.
+//!
+//! ```sh
+//! cargo run --example constrained_landing --release
+//! ```
+
+use soc_dse_repro::matlib::Vector;
+use soc_dse_repro::tinympc::{problems, AdmmSolver, NullExecutor, SolverSettings};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = problems::quadrotor_hover::<f64>(15)?;
+    let a = problem.a.clone();
+    let b = problem.b.clone();
+    let kinf = {
+        // For comparison: the unconstrained LQR law from the solver cache.
+        let s = AdmmSolver::new(problem.clone(), SolverSettings::default())?;
+        s.cache().kinf.clone()
+    };
+    let (u_min, u_max) = (problem.u_min, problem.u_max);
+    let mut solver = AdmmSolver::new(problem, SolverSettings::default())?;
+
+    // Start 2 m above the setpoint, descending fast.
+    let mut x = Vector::zeros(12);
+    x[2] = 2.0;
+    x[8] = -1.5;
+    let mut x_lqr = x.clone();
+
+    let mut saturated_steps = 0usize;
+    let mut lqr_violations = 0usize;
+    for step in 0..400 {
+        let r = solver.solve(&x, &mut NullExecutor)?;
+        let u = &r.u0;
+        if u.as_slice()
+            .iter()
+            .any(|&v| (v - u_min).abs() < 1e-6 || (v - u_max).abs() < 1e-6)
+        {
+            saturated_steps += 1;
+        }
+        let ax = a.matvec(&x)?;
+        let bu = b.matvec(u)?;
+        x = ax.add(&bu)?;
+
+        // LQR baseline: the raw law violates the actuator limits and must
+        // be clipped, losing optimality.
+        let u_raw = kinf.matvec(&x_lqr)?.neg();
+        if u_raw.as_slice().iter().any(|&v| v < u_min || v > u_max) {
+            lqr_violations += 1;
+        }
+        let u_clipped = u_raw.clip(u_min, u_max);
+        x_lqr = a.matvec(&x_lqr)?.add(&b.matvec(&u_clipped)?)?;
+
+        if step % 80 == 0 {
+            println!(
+                "t={:4.2}s  MPC: z={:+.3} vz={:+.3} | clipped-LQR: z={:+.3} vz={:+.3}",
+                step as f64 * 0.01,
+                x[2],
+                x[8],
+                x_lqr[2],
+                x_lqr[8]
+            );
+        }
+    }
+
+    println!(
+        "\nMPC saturated its thrust bounds on {saturated_steps} steps (knowingly, via the\nslack projection); raw LQR demanded infeasible thrust on {lqr_violations} steps."
+    );
+    println!(
+        "final altitude error: MPC {:+.4} m, clipped LQR {:+.4} m",
+        x[2], x_lqr[2]
+    );
+    assert!(x[2].abs() < 0.05, "MPC failed to land");
+    Ok(())
+}

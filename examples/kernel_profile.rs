@@ -1,0 +1,60 @@
+//! Kernel-level profiling: where do the cycles go on each back-end, and
+//! which back-end wins each kernel class?
+//!
+//! ```sh
+//! cargo run --example kernel_profile --release
+//! ```
+
+use soc_dse_repro::soc_cpu::CoreConfig;
+use soc_dse_repro::soc_dse::experiments::{
+    kernel_breakdown, standalone_kernel, KernelShape, Residency,
+};
+use soc_dse_repro::soc_dse::platform::Platform;
+use soc_dse_repro::soc_gemmini::{GemminiConfig, GemminiOpts};
+use soc_dse_repro::soc_vector::SaturnConfig;
+use soc_dse_repro::tinympc::KernelId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rocket = Platform::rocket_eigen();
+    let saturn = Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
+    let gemmini = Platform::gemmini(
+        CoreConfig::rocket(),
+        GemminiConfig::os_4x4_32kb(),
+        GemminiOpts::optimized(),
+    );
+
+    println!("Per-kernel cycles for one TinyMPC solve (quadrotor, N=10):\n");
+    let br = kernel_breakdown(&rocket, 10)?;
+    let bs = kernel_breakdown(&saturn, 10)?;
+    let bg = kernel_breakdown(&gemmini, 10)?;
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "kernel", "Rocket", "Saturn", "Gemmini"
+    );
+    for k in KernelId::ALL {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            k.to_string(),
+            br.get(&k).copied().unwrap_or(0),
+            bs.get(&k).copied().unwrap_or(0),
+            bg.get(&k).copied().unwrap_or(0),
+        );
+    }
+
+    println!("\nStandalone GEMV cycles (cold operands) across sizes:");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "I x K", "Rocket", "Saturn", "Gemmini"
+    );
+    for (i, k) in [(4usize, 12usize), (12, 12), (32, 32), (64, 64)] {
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            format!("{i}x{k}"),
+            standalone_kernel(&rocket, KernelShape::Gemv, Residency::Cold, i, k),
+            standalone_kernel(&saturn, KernelShape::Gemv, Residency::Cold, i, k),
+            standalone_kernel(&gemmini, KernelShape::Gemv, Residency::Cold, i, k),
+        );
+    }
+    println!("\nThe MPC-sized kernels (top rows) are where frontends, not PEs, decide\nthe outcome — the paper's central characterization result.");
+    Ok(())
+}

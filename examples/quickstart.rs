@@ -1,0 +1,44 @@
+//! Quickstart: solve one MPC problem and price it on two SoC designs.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use soc_dse_repro::soc_dse::experiments::solve_cycles;
+use soc_dse_repro::soc_dse::platform::Platform;
+use soc_dse_repro::tinympc::{problems, AdmmSolver, NullExecutor, SolverSettings};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the paper's flagship workload: a Crazyflie-class quadrotor
+    //    (12 states, 4 inputs) stabilizing to hover with a 10-step horizon.
+    let problem = problems::quadrotor_hover::<f64>(10)?;
+    let mut solver = AdmmSolver::new(problem, SolverSettings::default())?;
+
+    // 2. Solve it functionally (no hardware timing) from a 20 cm offset.
+    let x0 = solver.problem().hover_offset_state(0.2);
+    let result = solver.solve(&x0, &mut NullExecutor)?;
+    println!(
+        "ADMM converged = {} in {} iterations; first control input = {:?}",
+        result.converged, result.iterations, result.u0
+    );
+    println!(
+        "residuals (primal/dual state, primal/dual input): {:?}",
+        result.residuals
+    );
+
+    // 3. Price the same solve on two hardware design points.
+    for platform in [
+        Platform::rocket_eigen(),
+        Platform::table1_registry().remove(6),
+    ] {
+        let outcome = solve_cycles(&platform, 10)?;
+        println!(
+            "{:<24} {:>8} cycles/solve  -> {:>6.0} MPC Hz at 1 GHz  (area {:.3} mm^2)",
+            platform.name,
+            outcome.result.total_cycles,
+            1.0e9 / outcome.result.total_cycles as f64,
+            platform.area().total_mm2(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! ISA-level ground truth: write a GEMV in real RV32F assembly, execute it
+//! on the functional RISC-V machine, check it against `matlib`, and price
+//! the *actual executed instruction stream* on every scalar core model.
+//!
+//! ```sh
+//! cargo run --example riscv_kernel
+//! ```
+
+use soc_dse_repro::matlib::{Matrix, Vector};
+use soc_dse_repro::soc_cpu::{simulate_scalar, CoreConfig};
+use soc_dse_repro::soc_isa::disassemble;
+use soc_dse_repro::soc_riscv::{assemble, trace_from_execution, Machine};
+
+const GEMV_ASM: &str = r#"
+    li   t0, 0            # i
+row:
+    bge  t0, a3, done
+    fmv.w.x ft0, zero     # acc = 0
+    li   t1, 0            # j
+    mul  t4, t0, a4
+    slli t4, t4, 2
+    add  t2, a0, t4       # &A[i][0]
+    mv   t3, a1           # &x[0]
+col:
+    bge  t1, a4, rowend
+    flw  ft1, (t2)
+    flw  ft2, (t3)
+    fmadd.s ft0, ft1, ft2, ft0
+    addi t2, t2, 4
+    addi t3, t3, 4
+    addi t1, t1, 1
+    j    col
+rowend:
+    slli t5, t0, 2
+    add  t6, a2, t5
+    fsw  ft0, (t6)
+    addi t0, t0, 1
+    j    row
+done:
+    ecall
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (m, k) = (12usize, 12usize);
+    let a = Matrix::<f32>::from_fn(m, k, |r, c| ((r * 3 + c) % 7) as f32 * 0.3 - 0.9);
+    let x = Vector::<f32>::from_fn(k, |i| (i % 5) as f32 * 0.4 - 0.8);
+    let expected = a.matvec(&x)?;
+
+    let prog = assemble(GEMV_ASM)?;
+    let mut machine = Machine::new(64 * 1024);
+    machine.record_trace();
+    machine.load_program(0, &prog);
+    let (a_base, x_base, y_base) = (0x4000u32, 0x8000u32, 0xc000u32);
+    for r in 0..m {
+        for c in 0..k {
+            machine.write_f32(a_base + ((r * k + c) * 4) as u32, a[(r, c)])?;
+        }
+    }
+    for i in 0..k {
+        machine.write_f32(x_base + (i * 4) as u32, x[i])?;
+    }
+    machine.set_x(10, a_base);
+    machine.set_x(11, x_base);
+    machine.set_x(12, y_base);
+    machine.set_x(13, m as u32);
+    machine.set_x(14, k as u32);
+    let steps = machine.run(100_000)?;
+
+    let mut worst = 0.0f32;
+    for i in 0..m {
+        worst = worst.max((machine.read_f32(y_base + (i * 4) as u32)? - expected[i]).abs());
+    }
+    println!("executed {steps} RV32IMF instructions; max |riscv - matlib| = {worst:.2e}");
+    assert!(worst < 1e-5);
+
+    let trace = trace_from_execution(machine.retired().expect("recording enabled"));
+    println!(
+        "\nfirst retired micro-ops:\n{}",
+        disassemble(&trace)
+            .lines()
+            .take(8)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    println!("\npricing the executed stream on each scalar core:");
+    for core in CoreConfig::all_cpus() {
+        println!(
+            "  {:<12} {:>6} cycles",
+            core.name,
+            simulate_scalar(&core, &trace)
+        );
+    }
+    Ok(())
+}

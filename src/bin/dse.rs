@@ -1,0 +1,209 @@
+//! `dse` — the command-line front door to the design-space exploration
+//! framework.
+//!
+//! ```sh
+//! cargo run --bin dse -- list
+//! cargo run --bin dse -- table1
+//! cargo run --bin dse -- pareto
+//! cargo run --bin dse -- solve --platform OSGemminiRocket32KB --horizon 10
+//! cargo run --bin dse -- kernels --platform RefV512D256Rocket
+//! cargo run --bin dse -- tune --target saturn
+//! cargo run --bin dse -- energy
+//! ```
+
+use soc_dse_repro::soc_codegen::{tune, TuningSpace};
+use soc_dse_repro::soc_cpu::CoreConfig;
+use soc_dse_repro::soc_dse::energy::{solve_energy, EnergyParams};
+use soc_dse_repro::soc_dse::experiments::{
+    kernel_breakdown, pareto_frontier, solve_cycles, table1,
+};
+use soc_dse_repro::soc_dse::platform::Platform;
+use soc_dse_repro::soc_dse::report::markdown_table;
+use soc_dse_repro::soc_gemmini::GemminiConfig;
+use soc_dse_repro::soc_vector::SaturnConfig;
+use soc_dse_repro::tinympc::{KernelId, ProblemDims};
+
+const USAGE: &str = "\
+dse — embedded-SoC design-space exploration for real-time optimal control
+
+USAGE:
+    dse <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                       List every registered platform
+    table1                     Regenerate Table I (area + cycles/solve)
+    pareto                     Area-vs-performance Pareto analysis (Fig. 20)
+    energy                     Energy-per-solve analysis (extension)
+    solve   --platform NAME    Solve the quadrotor MPC on one platform
+            [--horizon N]      Horizon length (default 10)
+    kernels --platform NAME    Per-kernel cycle breakdown on one platform
+    tune    --target KIND      Auto-tune a solver (rocket|saturn|gemmini)
+
+Platform names are the Table-I identifiers shown by `dse list`.";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn find_platform(name: &str) -> Result<Platform, String> {
+    Platform::table1_registry()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown platform `{name}`; run `dse list`"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "list" => {
+            let rows: Vec<Vec<String>> = Platform::table1_registry()
+                .iter()
+                .map(|p| vec![p.name.clone(), format!("{:.3} mm^2", p.area().total_mm2())])
+                .collect();
+            println!("{}", markdown_table(&["platform", "area"], &rows));
+            Ok(())
+        }
+        "table1" => {
+            let rows = table1(10).map_err(|e| e.to_string())?;
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        format!("{:.0}", r.area_um2),
+                        r.cycles_per_solve.to_string(),
+                        format!("{:.0}", r.mpc_hz),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                markdown_table(
+                    &[
+                        "configuration",
+                        "area (um^2)",
+                        "cycles/solve",
+                        "MPC Hz @1GHz"
+                    ],
+                    &table
+                )
+            );
+            Ok(())
+        }
+        "pareto" => {
+            let mut rows = table1(10).map_err(|e| e.to_string())?;
+            rows.sort_by(|a, b| a.area_um2.total_cmp(&b.area_um2));
+            let frontier = pareto_frontier(
+                &rows
+                    .iter()
+                    .map(|r| (r.area_um2, r.cycles_per_solve as f64))
+                    .collect::<Vec<_>>(),
+            );
+            for (r, on) in rows.iter().zip(frontier) {
+                println!(
+                    "{}{:<24} {:>8.3} mm^2 {:>10} cycles",
+                    if on { "* " } else { "  " },
+                    r.name,
+                    r.area_um2 / 1e6,
+                    r.cycles_per_solve
+                );
+            }
+            println!("\n'*' = Pareto-optimal");
+            Ok(())
+        }
+        "energy" => {
+            let params = EnergyParams::default();
+            let rows: Vec<Vec<String>> = Platform::table1_registry()
+                .iter()
+                .map(|p| {
+                    let r = solve_energy(p, 10, &params).map_err(|e| e.to_string())?;
+                    Ok(vec![
+                        r.platform.clone(),
+                        format!("{:.0}", r.total_nj()),
+                        format!("{:.0}", r.solves_per_mj),
+                    ])
+                })
+                .collect::<Result<_, String>>()?;
+            println!(
+                "{}",
+                markdown_table(&["platform", "nJ/solve", "solves/mJ"], &rows)
+            );
+            Ok(())
+        }
+        "solve" => {
+            let name = flag(args, "--platform").ok_or("solve requires --platform NAME")?;
+            let horizon: usize = flag(args, "--horizon")
+                .map(|h| h.parse().map_err(|_| format!("bad horizon `{h}`")))
+                .transpose()?
+                .unwrap_or(10);
+            let platform = find_platform(&name)?;
+            let o = solve_cycles(&platform, horizon).map_err(|e| e.to_string())?;
+            println!(
+                "{}: converged={} in {} iterations\n{} cycles/solve -> {:.0} MPC Hz at 1 GHz",
+                platform.name,
+                o.result.converged,
+                o.result.iterations,
+                o.result.total_cycles,
+                1.0e9 / o.result.total_cycles as f64
+            );
+            Ok(())
+        }
+        "kernels" => {
+            let name = flag(args, "--platform").ok_or("kernels requires --platform NAME")?;
+            let platform = find_platform(&name)?;
+            let breakdown = kernel_breakdown(&platform, 10).map_err(|e| e.to_string())?;
+            let total: u64 = breakdown.values().sum();
+            let rows: Vec<Vec<String>> = KernelId::ALL
+                .iter()
+                .map(|k| {
+                    let c = breakdown.get(k).copied().unwrap_or(0);
+                    vec![
+                        k.to_string(),
+                        c.to_string(),
+                        format!("{:.1}%", 100.0 * c as f64 / total.max(1) as f64),
+                    ]
+                })
+                .collect();
+            println!("{}", markdown_table(&["kernel", "cycles", "share"], &rows));
+            Ok(())
+        }
+        "tune" => {
+            let target = flag(args, "--target").ok_or("tune requires --target KIND")?;
+            let space = match target.as_str() {
+                "rocket" => TuningSpace::Scalar(CoreConfig::rocket()),
+                "saturn" => TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+                "gemmini" => {
+                    TuningSpace::Gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb())
+                }
+                other => return Err(format!("unknown tuning target `{other}`")),
+            };
+            let dims = ProblemDims {
+                nx: 12,
+                nu: 4,
+                horizon: 10,
+            };
+            println!("{}", tune(&space, &dims).report());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

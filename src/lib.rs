@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the workspace's public API, plus the
+//! integration tests and examples that span crates.
+pub use matlib;
+pub use soc_area;
+pub use soc_codegen;
+pub use soc_cpu;
+pub use soc_dse;
+pub use soc_gemmini;
+pub use soc_isa;
+pub use soc_riscv;
+pub use soc_vector;
+pub use tinympc;

@@ -1,0 +1,46 @@
+//! Smoke tests for the `dse` CLI binary.
+
+use std::process::Command;
+
+fn dse(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dse"))
+        .args(args)
+        .output()
+        .expect("spawn dse")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dse(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn list_contains_registry() {
+    let out = dse(&["list"]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Rocket") && s.contains("OSGemminiRocket32KB"));
+}
+
+#[test]
+fn solve_reports_cycles() {
+    let out = dse(&["solve", "--platform", "Rocket", "--horizon", "8"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cycles/solve"));
+}
+
+#[test]
+fn unknown_platform_is_a_clean_error() {
+    let out = dse(&["solve", "--platform", "Cray1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown platform"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dse(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
