@@ -1,8 +1,27 @@
 //! Host-performance benchmarks of the `matlib` linear-algebra kernels at
 //! the operand sizes the workload exercises (order 10) and at sweep sizes.
+//!
+//! Plain self-timed harness (no external bench framework): run with
+//! `cargo bench -p soc-bench --bench matlib_perf`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use matlib::{dare, gemm, gemv, Cholesky, DareOptions, Matrix, Vector};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over enough iterations to be stable and prints ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up, then measure.
+    for _ in 0..10 {
+        f();
+    }
+    let iters = 200u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_nanos() / iters as u128;
+    println!("{name:<28} {per_iter:>10} ns/iter");
+}
 
 fn mat(n: usize, m: usize, seed: u64) -> Matrix<f64> {
     Matrix::from_fn(n, m, |r, c| {
@@ -16,43 +35,39 @@ fn mat(n: usize, m: usize, seed: u64) -> Matrix<f64> {
     })
 }
 
-fn bench_gemv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemv");
+fn bench_gemv() {
     for &(i, k) in &[(12usize, 4usize), (12, 12), (64, 64)] {
         let a = mat(i, k, 1);
         let x = Vector::from_fn(k, |j| j as f64 * 0.1);
-        g.bench_function(format!("{i}x{k}"), |b| {
-            b.iter(|| gemv(black_box(&a), black_box(&x)).unwrap())
+        bench(&format!("gemv/{i}x{k}"), || {
+            black_box(gemv(black_box(&a), black_box(&x)).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm");
+fn bench_gemm() {
     for &n in &[4usize, 12, 64] {
         let a = mat(n, n, 2);
         let b_m = mat(n, n, 3);
-        g.bench_function(format!("{n}x{n}x{n}"), |b| {
-            b.iter(|| gemm(black_box(&a), black_box(&b_m)).unwrap())
+        bench(&format!("gemm/{n}x{n}x{n}"), || {
+            black_box(gemm(black_box(&a), black_box(&b_m)).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_cholesky(c: &mut Criterion) {
+fn bench_cholesky() {
     let m = mat(12, 12, 4);
     let spd = m
         .matmul(&m.transpose())
         .unwrap()
         .add(&Matrix::from_diagonal(&[12.0; 12]))
         .unwrap();
-    c.bench_function("cholesky_12x12", |b| {
-        b.iter(|| Cholesky::new(black_box(&spd)).unwrap())
+    bench("cholesky_12x12", || {
+        black_box(Cholesky::new(black_box(&spd)).unwrap());
     });
 }
 
-fn bench_dare(c: &mut Criterion) {
+fn bench_dare() {
     let p = tinympc::problems::quadrotor_hover::<f64>(10).unwrap();
     let nx = 12;
     let q = Matrix::from_fn(
@@ -65,8 +80,8 @@ fn bench_dare(c: &mut Criterion) {
         4,
         |rr, cc| if rr == cc { p.r_diag[rr] + 1.0 } else { 0.0 },
     );
-    c.bench_function("dare_quadrotor", |b| {
-        b.iter(|| {
+    bench("dare_quadrotor", || {
+        black_box(
             dare(
                 black_box(&p.a),
                 black_box(&p.b),
@@ -74,14 +89,14 @@ fn bench_dare(c: &mut Criterion) {
                 &r,
                 DareOptions::default(),
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_gemv, bench_gemm, bench_cholesky, bench_dare
+fn main() {
+    bench_gemv();
+    bench_gemm();
+    bench_cholesky();
+    bench_dare();
 }
-criterion_main!(benches);

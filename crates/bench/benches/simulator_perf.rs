@@ -1,11 +1,31 @@
 //! Host-performance benchmarks of the microarchitecture simulators
 //! themselves: micro-ops replayed per second through each pipeline model.
+//!
+//! Plain self-timed harness (no external bench framework): run with
+//! `cargo bench -p soc-bench --bench simulator_perf`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use soc_cpu::{simulate_scalar, simulate_with_accel, CoreConfig, ScalarKernels, ScalarStyle};
 use soc_gemmini::{GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit, MatId};
 use soc_isa::TraceBuilder;
 use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` and prints ns/iter plus micro-ops replayed per second.
+fn bench(name: &str, ops: u64, mut f: impl FnMut()) {
+    for _ in 0..5 {
+        f();
+    }
+    let iters = 50u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / iters as u128;
+    let mops = ops as f64 * iters as f64 / elapsed.as_secs_f64() / 1e6;
+    println!("{name:<24} {per_iter:>10} ns/iter  {mops:>8.1} Mop/s");
+}
 
 fn scalar_trace() -> soc_isa::Trace {
     let mut b = TraceBuilder::new();
@@ -16,38 +36,41 @@ fn scalar_trace() -> soc_isa::Trace {
     b.finish()
 }
 
-fn bench_pipelines(c: &mut Criterion) {
+fn bench_pipelines() {
     let trace = scalar_trace();
-    let mut g = c.benchmark_group("pipeline_replay");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("inorder_rocket", |b| {
-        b.iter(|| simulate_scalar(black_box(&CoreConfig::rocket()), black_box(&trace)))
+    let n = trace.len() as u64;
+    bench("inorder_rocket", n, || {
+        black_box(simulate_scalar(
+            black_box(&CoreConfig::rocket()),
+            black_box(&trace),
+        ));
     });
-    g.bench_function("ooo_megaboom", |b| {
-        b.iter(|| simulate_scalar(black_box(&CoreConfig::mega_boom()), black_box(&trace)))
+    bench("ooo_megaboom", n, || {
+        black_box(simulate_scalar(
+            black_box(&CoreConfig::mega_boom()),
+            black_box(&trace),
+        ));
     });
-    g.finish();
 }
 
-fn bench_saturn(c: &mut Criterion) {
+fn bench_saturn() {
     let mut b = TraceBuilder::new();
     let gen = VectorKernels::new(SaturnConfig::v512d256(), VectorStyle::Fused, 1);
     for _ in 0..50 {
         gen.gemv(&mut b, 12, 12);
     }
     let trace = b.finish();
-    let mut g = c.benchmark_group("pipeline_replay");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("saturn_v512d256", |bch| {
-        bch.iter(|| {
-            let mut unit = SaturnUnit::new(SaturnConfig::v512d256());
-            simulate_with_accel(&CoreConfig::rocket(), black_box(&trace), &mut unit)
-        })
+    bench("saturn_v512d256", trace.len() as u64, || {
+        let mut unit = SaturnUnit::new(SaturnConfig::v512d256());
+        black_box(simulate_with_accel(
+            &CoreConfig::rocket(),
+            black_box(&trace),
+            &mut unit,
+        ));
     });
-    g.finish();
 }
 
-fn bench_gemmini(c: &mut Criterion) {
+fn bench_gemmini() {
     let cfg = GemminiConfig::os_4x4_32kb();
     let mut gen = GemminiKernels::new(cfg, GemminiOpts::optimized());
     let mut b = TraceBuilder::new();
@@ -55,20 +78,18 @@ fn bench_gemmini(c: &mut Criterion) {
         gen.gemv(&mut b, 12, 12, MatId(0), MatId(1), MatId(100 + i));
     }
     let trace = b.finish();
-    let mut g = c.benchmark_group("pipeline_replay");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("gemmini_os4x4", |bch| {
-        bch.iter(|| {
-            let mut unit = GemminiUnit::new(cfg);
-            simulate_with_accel(&CoreConfig::rocket(), black_box(&trace), &mut unit)
-        })
+    bench("gemmini_os4x4", trace.len() as u64, || {
+        let mut unit = GemminiUnit::new(cfg);
+        black_box(simulate_with_accel(
+            &CoreConfig::rocket(),
+            black_box(&trace),
+            &mut unit,
+        ));
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pipelines, bench_saturn, bench_gemmini
+fn main() {
+    bench_pipelines();
+    bench_saturn();
+    bench_gemmini();
 }
-criterion_main!(benches);

@@ -1,38 +1,49 @@
 //! Host-performance benchmarks of the TinyMPC solver: functional solves
 //! and hardware-priced solves (executor memoization makes the latter
 //! nearly as fast after warm-up).
+//!
+//! Plain self-timed harness (no external bench framework): run with
+//! `cargo bench -p soc-bench --bench solver_perf`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use soc_dse::platform::Platform;
+use std::hint::black_box;
+use std::time::Instant;
 use tinympc::{problems, AdmmSolver, NullExecutor, SolverSettings};
 
-fn bench_functional_solve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("admm_solve");
+/// Times `f` over a fixed iteration count and prints ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let iters = 20u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_nanos() / iters as u128;
+    println!("{name:<32} {per_iter:>10} ns/iter");
+}
+
+fn bench_functional_solve() {
     for horizon in [10usize, 20] {
         let problem = problems::quadrotor_hover::<f32>(horizon).unwrap();
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = solver.problem().hover_offset_state(0.2);
-        g.bench_function(format!("quadrotor_f32_n{horizon}"), |b| {
-            b.iter(|| {
-                solver.cold_start();
-                black_box(solver.solve(&x0, &mut NullExecutor).unwrap())
-            })
+        bench(&format!("admm_solve/quadrotor_f32_n{horizon}"), || {
+            solver.cold_start();
+            black_box(solver.solve(&x0, &mut NullExecutor).unwrap());
         });
     }
     let problem = problems::double_integrator::<f64>(20).unwrap();
     let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
     let x0 = matlib::Vector::from_slice(&[1.0, 0.0]);
-    g.bench_function("double_integrator_f64_n20", |b| {
-        b.iter(|| {
-            solver.cold_start();
-            black_box(solver.solve(&x0, &mut NullExecutor).unwrap())
-        })
+    bench("admm_solve/double_integrator_f64_n20", || {
+        solver.cold_start();
+        black_box(solver.solve(&x0, &mut NullExecutor).unwrap());
     });
-    g.finish();
 }
 
-fn bench_priced_solve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("priced_solve");
+fn bench_priced_solve() {
     for platform in [
         Platform::rocket_eigen(),
         Platform::table1_registry().remove(9),
@@ -43,19 +54,14 @@ fn bench_priced_solve(c: &mut Criterion) {
         // Warm the executor's per-kernel memo outside the loop.
         let mut executor = platform.executor();
         let _ = solver.solve(&x0, executor.as_mut()).unwrap();
-        g.bench_function(platform.name.clone(), |b| {
-            b.iter(|| {
-                solver.cold_start();
-                black_box(solver.solve(&x0, executor.as_mut()).unwrap())
-            })
+        bench(&format!("priced_solve/{}", platform.name), || {
+            solver.cold_start();
+            black_box(solver.solve(&x0, executor.as_mut()).unwrap());
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_functional_solve, bench_priced_solve
+fn main() {
+    bench_functional_solve();
+    bench_priced_solve();
 }
-criterion_main!(benches);

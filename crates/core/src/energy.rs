@@ -99,7 +99,7 @@ fn activity_of(trace: &soc_isa::Trace) -> Activity {
     for op in trace.ops() {
         if let Payload::Rocc(cmd) = op.payload {
             match cmd {
-                RoccCmd::Mvin { rows, cols } | RoccCmd::Mvout { rows, cols, .. } => {
+                RoccCmd::Mvin { rows, cols, .. } | RoccCmd::Mvout { rows, cols, .. } => {
                     let bytes = rows as u64 * cols as u64 * 4;
                     a.dram_bytes += bytes;
                     a.spad_bytes += bytes;

@@ -33,6 +33,20 @@ pub(crate) fn steady_cost(
     full.saturating_sub(head).max(1)
 }
 
+/// In debug builds, statically verifies a generated trace before it is
+/// fed to a timing model, and panics with the full report on any
+/// error-severity finding. Release builds skip the check entirely.
+pub(crate) fn debug_verify(trace: &Trace, config: &soc_verify::VerifyConfig, what: &str) {
+    if cfg!(debug_assertions) {
+        let report = soc_verify::verify(trace, config);
+        assert!(
+            report.is_clean(),
+            "{what} emitted an invalid trace:\n{}",
+            report.render()
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Scalar
 // ---------------------------------------------------------------------
@@ -128,6 +142,16 @@ impl ScalarExecutor {
         self.emit(&mut b, kernel, dims);
         b.finish()
     }
+
+    /// The double-emission trace the timing model replays, plus the op
+    /// index where the steady-state copy begins.
+    pub fn timed_trace(&self, kernel: KernelId, dims: &ProblemDims) -> (Trace, usize) {
+        let mut b = TraceBuilder::new();
+        self.emit(&mut b, kernel, dims);
+        let mark = b.len();
+        self.emit(&mut b, kernel, dims);
+        (b.finish(), mark)
+    }
 }
 
 impl KernelExecutor for ScalarExecutor {
@@ -143,11 +167,12 @@ impl KernelExecutor for ScalarExecutor {
         if let Some(&c) = self.memo.get(&(kernel, *dims)) {
             return c;
         }
-        let mut b = TraceBuilder::new();
-        self.emit(&mut b, kernel, dims);
-        let mark = b.len();
-        self.emit(&mut b, kernel, dims);
-        let trace = b.finish();
+        let (trace, mark) = self.timed_trace(kernel, dims);
+        debug_verify(
+            &trace,
+            &soc_verify::VerifyConfig::default(),
+            "ScalarExecutor",
+        );
         let c = steady_cost(&self.core, &trace, mark, || Box::new(NullAccelerator));
         self.memo.insert((kernel, *dims), c);
         c
@@ -266,6 +291,16 @@ impl SaturnExecutor {
         self.emit(&mut b, kernel, dims);
         b.finish()
     }
+
+    /// The double-emission trace the timing model replays, plus the op
+    /// index where the steady-state copy begins.
+    pub fn timed_trace(&self, kernel: KernelId, dims: &ProblemDims) -> (Trace, usize) {
+        let mut b = TraceBuilder::new();
+        self.emit(&mut b, kernel, dims);
+        let mark = b.len();
+        self.emit(&mut b, kernel, dims);
+        (b.finish(), mark)
+    }
 }
 
 impl KernelExecutor for SaturnExecutor {
@@ -281,11 +316,12 @@ impl KernelExecutor for SaturnExecutor {
         if let Some(&c) = self.memo.get(&(kernel, *dims)) {
             return c;
         }
-        let mut b = TraceBuilder::new();
-        self.emit(&mut b, kernel, dims);
-        let mark = b.len();
-        self.emit(&mut b, kernel, dims);
-        let trace = b.finish();
+        let (trace, mark) = self.timed_trace(kernel, dims);
+        debug_verify(
+            &trace,
+            &soc_verify::VerifyConfig::default(),
+            "SaturnExecutor",
+        );
         let saturn = self.saturn;
         let c = steady_cost(&self.core, &trace, mark, || {
             Box::new(SaturnUnit::new(saturn))
@@ -435,33 +471,25 @@ impl GemminiExecutor {
         self.emit(&mut gen, &mut b, kernel, dims);
         b.finish().ops()[mark..].iter().copied().collect()
     }
-}
 
-impl KernelExecutor for GemminiExecutor {
-    fn name(&self) -> String {
-        format!("Gemmini {} / {}", self.gemmini.name, self.core.name)
-    }
-
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
-        if let Some(&c) = self.memo.get(&(kernel, *dims)) {
-            return c;
-        }
+    /// The double-emission trace the timing model replays, plus the op
+    /// index where the steady-state copy begins.
+    pub fn timed_trace(&self, kernel: KernelId, dims: &ProblemDims) -> (Trace, usize) {
         let mut gen = GemminiKernels::new(self.gemmini, self.opts);
         let mut b = TraceBuilder::new();
         // First emission warms residency; second is the steady-state cost.
         self.emit(&mut gen, &mut b, kernel, dims);
         let mark = b.len();
         self.emit(&mut gen, &mut b, kernel, dims);
-        let trace = b.finish();
-        let cfg = self.gemmini;
-        let c = steady_cost(&self.core, &trace, mark, || Box::new(GemminiUnit::new(cfg)));
-        self.memo.insert((kernel, *dims), c);
-        c
+        (b.finish(), mark)
     }
 
-    fn setup_cycles(&mut self, dims: &ProblemDims) -> u64 {
+    /// The one-time workspace-preload trace charged by
+    /// [`KernelExecutor::setup_cycles`]. Empty when the configuration does
+    /// not cache the solver workspace in the scratchpad.
+    pub fn setup_trace(&self, dims: &ProblemDims) -> Trace {
         if !self.opts.scratchpad_resident {
-            return 0;
+            return Trace::new();
         }
         // One-time workspace preload: all cached matrices plus the
         // utility identities (Figure 10/11 of the paper).
@@ -486,8 +514,41 @@ impl KernelExecutor for GemminiExecutor {
             gen.preload(&mut b, id, r, c);
         }
         b.fence();
+        b.finish()
+    }
+
+    /// Verifier configuration matching this executor's scratchpad
+    /// geometry.
+    pub fn verify_config(&self) -> soc_verify::VerifyConfig {
+        soc_verify::VerifyConfig::with_spad(self.gemmini.spad_rows(), self.gemmini.dim)
+    }
+}
+
+impl KernelExecutor for GemminiExecutor {
+    fn name(&self) -> String {
+        format!("Gemmini {} / {}", self.gemmini.name, self.core.name)
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+        if let Some(&c) = self.memo.get(&(kernel, *dims)) {
+            return c;
+        }
+        let (trace, mark) = self.timed_trace(kernel, dims);
+        debug_verify(&trace, &self.verify_config(), "GemminiExecutor");
+        let cfg = self.gemmini;
+        let c = steady_cost(&self.core, &trace, mark, || Box::new(GemminiUnit::new(cfg)));
+        self.memo.insert((kernel, *dims), c);
+        c
+    }
+
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> u64 {
+        let trace = self.setup_trace(dims);
+        if trace.ops().is_empty() {
+            return 0;
+        }
+        debug_verify(&trace, &self.verify_config(), "GemminiExecutor setup");
         let mut unit = GemminiUnit::new(self.gemmini);
-        simulate_with_accel(&self.core, &b.finish(), &mut unit)
+        simulate_with_accel(&self.core, &trace, &mut unit)
     }
 }
 

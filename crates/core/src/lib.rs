@@ -21,6 +21,8 @@
 //!   reference trajectories.
 //! * [`energy`] — a first-order energy model (an extension beyond the
 //!   paper's published data; see its module docs).
+//! * [`verify`] — sweeps the `soc-verify` static analyzer over every
+//!   trace the executors feed their timing models.
 //! * [`report`] — plain-text/markdown rendering of results.
 //!
 //! ## Quickstart
@@ -46,4 +48,6 @@ pub mod executors;
 pub mod experiments;
 pub mod platform;
 pub mod report;
+pub mod rng;
+pub mod verify;
 pub mod workloads;

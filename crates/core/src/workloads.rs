@@ -1,9 +1,8 @@
 //! Workload generators: random kernel sizes for the heatmap sweeps and
 //! reference trajectories for closed-loop examples.
 
+use crate::rng::SplitMix64;
 use matlib::{Scalar, Vector};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// The matrix-height (I) axis used by the paper's heatmap figures.
 pub fn heatmap_heights() -> Vec<usize> {
@@ -17,9 +16,9 @@ pub fn heatmap_widths() -> Vec<usize> {
 
 /// `n` random `(I, K)` kernel sizes in the paper's sweep range.
 pub fn random_sizes(seed: u64, n: usize) -> Vec<(usize, usize)> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..n)
-        .map(|_| (rng.gen_range(4..=64), rng.gen_range(4..=64)))
+        .map(|_| (rng.range_usize(4, 64), rng.range_usize(4, 64)))
         .collect()
 }
 

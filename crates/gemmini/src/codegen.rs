@@ -77,13 +77,36 @@ impl GemminiOpts {
     }
 }
 
+/// A contiguous scratchpad allocation, in scratchpad rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpadRegion {
+    base: u32,
+    rows: u32,
+}
+
+impl SpadRegion {
+    fn end(&self) -> u32 {
+        self.base + self.rows
+    }
+}
+
 /// Gemmini kernel code generator with scratchpad-residency tracking.
 ///
 /// The generator is stateful: it remembers which [`MatId`]s are resident in
 /// the scratchpad and which RoCC command last wrote each of them (for
-/// intra-accelerator dependence chaining). Call
+/// intra-accelerator dependence chaining), and it places every matrix at a
+/// concrete scratchpad row address through a first-fit allocator sized
+/// from [`GemminiConfig::scratchpad_kb`]. Emitted `mvin`/`mvout`/compute
+/// commands carry those physical addresses, so a static analyzer can
+/// replay the allocation against the real capacity. Call
 /// [`invalidate`](Self::invalidate) when the CPU mutates a matrix behind
 /// Gemmini's back.
+///
+/// Matrices are laid out column-block-major: a `rows × cols` matrix
+/// occupies `rows * ceil(cols / DIM)` scratchpad rows, and the tile
+/// covering matrix rows `i..i+t` of column block `j/DIM` starts at
+/// `base + (j/DIM)*rows + i` — so every tile write is a contiguous row
+/// range inside its matrix's region.
 ///
 /// # Examples
 ///
@@ -106,6 +129,13 @@ pub struct GemminiKernels {
     opts: GemminiOpts,
     /// Token of the command that last wrote each resident matrix.
     resident: HashMap<MatId, Option<VReg>>,
+    /// Physical placement of every matrix the generator has seen.
+    regions: HashMap<MatId, SpadRegion>,
+    /// Allocation order, for FIFO eviction when the scratchpad fills.
+    alloc_order: Vec<MatId>,
+    /// Whether scalar stores have been emitted since the last fence: a
+    /// following DMA read (`mvin`) must fence first or it races them.
+    cpu_dirty: bool,
     /// Whether the execute pipe has been configured at least once.
     configured: bool,
     scalar: ScalarKernels,
@@ -119,9 +149,98 @@ impl GemminiKernels {
             config,
             opts,
             resident: HashMap::new(),
+            regions: HashMap::new(),
+            alloc_order: Vec::new(),
+            cpu_dirty: false,
             configured: false,
             scalar: ScalarKernels::new(ScalarStyle::Optimized),
         }
+    }
+
+    /// Scratchpad capacity in rows of `DIM` elements.
+    pub fn spad_rows(&self) -> u32 {
+        self.config.spad_rows()
+    }
+
+    /// Scratchpad rows a `rows × cols` matrix occupies.
+    fn footprint(&self, rows: usize, cols: usize) -> u32 {
+        (rows * cols.div_ceil(self.config.dim)) as u32
+    }
+
+    /// First-fit scan for a free gap of `need` rows.
+    fn first_fit(&self, need: u32) -> Option<u32> {
+        let mut taken: Vec<SpadRegion> = self.regions.values().copied().collect();
+        taken.sort_by_key(|r| r.base);
+        let mut cursor = 0u32;
+        for r in &taken {
+            if r.base.saturating_sub(cursor) >= need {
+                return Some(cursor);
+            }
+            cursor = cursor.max(r.end());
+        }
+        if self.spad_rows().saturating_sub(cursor) >= need {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    /// Evicts the oldest allocation not in `keep`; returns false if
+    /// nothing can be evicted.
+    fn evict_one(&mut self, keep: &[MatId]) -> bool {
+        let victim = self
+            .alloc_order
+            .iter()
+            .copied()
+            .find(|id| !keep.contains(id));
+        match victim {
+            Some(id) => {
+                self.regions.remove(&id);
+                self.resident.remove(&id);
+                self.alloc_order.retain(|&v| v != id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the scratchpad base row of `id`, allocating (or growing) a
+    /// region if needed. `keep` names matrices that must not be evicted to
+    /// make room (the current kernel's operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set of a single kernel exceeds the scratchpad.
+    fn region_for(&mut self, id: MatId, rows: usize, cols: usize, keep: &[MatId]) -> u32 {
+        let need = self.footprint(rows, cols);
+        if let Some(r) = self.regions.get(&id) {
+            if r.rows >= need {
+                return r.base;
+            }
+            // The matrix grew; release the old region and re-place it.
+            self.regions.remove(&id);
+            self.alloc_order.retain(|&v| v != id);
+        }
+        loop {
+            if let Some(base) = self.first_fit(need) {
+                self.regions.insert(id, SpadRegion { base, rows: need });
+                self.alloc_order.push(id);
+                return base;
+            }
+            assert!(
+                self.evict_one(keep),
+                "scratchpad exhausted: {need} rows for {id:?} exceed the \
+                 {} usable rows of {}",
+                self.spad_rows(),
+                self.config.name,
+            );
+        }
+    }
+
+    /// Emits a fence and clears the pending scalar-store hazard window.
+    fn fence(&mut self, b: &mut TraceBuilder) {
+        b.fence();
+        self.cpu_dirty = false;
     }
 
     /// The optimization set in effect.
@@ -135,16 +254,18 @@ impl GemminiKernels {
     }
 
     /// Marks a matrix as modified by the CPU: its scratchpad copy is
-    /// stale and the next use will mvin it again.
+    /// stale and the next use will mvin it again. The CPU's stores are
+    /// still draining, so that mvin must be fenced first.
     pub fn invalidate(&mut self, id: MatId) {
         self.resident.remove(&id);
+        self.cpu_dirty = true;
     }
 
     /// Explicitly loads a matrix into the scratchpad (the paper's
     /// "load all matrices used by TinyMPC onto the first bank" workspace
     /// preload, including the ±identity utility matrices).
     pub fn preload(&mut self, b: &mut TraceBuilder, id: MatId, rows: usize, cols: usize) {
-        self.ensure_resident(b, id, rows, cols);
+        self.ensure_resident(b, id, rows, cols, &[id]);
     }
 
     /// Scalar overhead of constructing one RoCC command.
@@ -182,6 +303,7 @@ impl GemminiKernels {
         id: MatId,
         rows: usize,
         cols: usize,
+        keep: &[MatId],
     ) -> Option<VReg> {
         if self.opts.scratchpad_resident {
             if let Some(tok) = self.resident.get(&id) {
@@ -189,11 +311,19 @@ impl GemminiKernels {
                 return *tok;
             }
         }
+        if self.cpu_dirty {
+            // The mvin's DMA read would race CPU stores still in flight
+            // (Gemmini's load queue is decoupled from the core's store
+            // buffer); drain them before reading the operand back.
+            self.fence(b);
+        }
+        let base = self.region_for(id, rows, cols, keep);
         self.rocc_overhead(b);
         let tok = b.rocc(
             RoccCmd::Mvin {
                 rows: rows as u16,
                 cols: cols as u16,
+                base,
             },
             &[],
         );
@@ -210,6 +340,7 @@ impl GemminiKernels {
         out: MatId,
         rows: usize,
         cols: usize,
+        base: u32,
         tok: Option<VReg>,
     ) {
         if self.opts.scratchpad_resident {
@@ -222,13 +353,14 @@ impl GemminiKernels {
                     rows: rows as u16,
                     cols: cols as u16,
                     pool_stride: 1,
+                    base,
                 },
                 &deps,
             );
             // Gemmini's RS does not track RAW hazards through memory: the
             // software must fence before the CPU (or a later mvin) can
             // safely read the result.
-            b.fence();
+            self.fence(b);
             self.resident.remove(&out);
         }
     }
@@ -247,15 +379,23 @@ impl GemminiKernels {
                     },
                     &[],
                 );
-                b.fence();
+                self.fence(b);
                 let _ = (a, x);
                 self.resident.remove(&y);
                 let _ = tok;
             }
             IsaStyle::Fine => {
                 let dim = self.config.dim;
-                let a_tok = self.ensure_resident(b, a, m, k);
-                let x_tok = self.ensure_resident(b, x, k, 1);
+                if self.footprint(m, k) + self.footprint(k, 1) + self.footprint(m, 1)
+                    > self.spad_rows()
+                {
+                    self.gemv_streaming(b, m, k, a, x, y);
+                    return;
+                }
+                let keep = [a, x, y];
+                let a_tok = self.ensure_resident(b, a, m, k, &keep);
+                let x_tok = self.ensure_resident(b, x, k, 1, &keep);
+                let y_base = self.region_for(y, m, 1, &keep);
                 let mut last = None;
                 for i in (0..m).step_by(dim) {
                     let rows = dim.min(m - i);
@@ -280,6 +420,7 @@ impl GemminiKernels {
                                 cols: 1,
                                 ks: ks as u16,
                                 gemv: self.config.gemv_support,
+                                out_base: y_base + i as u32,
                             },
                             &deps,
                         );
@@ -287,7 +428,7 @@ impl GemminiKernels {
                     }
                     last = acc;
                 }
-                self.finish_output(b, y, m, 1, last);
+                self.finish_output(b, y, m, 1, y_base, last);
             }
         }
     }
@@ -316,19 +457,29 @@ impl GemminiKernels {
                     },
                     &[],
                 );
-                b.fence();
+                self.fence(b);
                 let _ = (a, bm);
                 self.resident.remove(&c);
             }
             IsaStyle::Fine => {
                 let dim = self.config.dim;
-                let a_tok = self.ensure_resident(b, a, m, k);
-                let b_tok = self.ensure_resident(b, bm, k, n);
+                if self.footprint(m, k) + self.footprint(k, n) + self.footprint(m, n)
+                    > self.spad_rows()
+                {
+                    self.gemm_streaming(b, m, n, k, a, bm, c);
+                    return;
+                }
+                let keep = [a, bm, c];
+                let a_tok = self.ensure_resident(b, a, m, k, &keep);
+                let b_tok = self.ensure_resident(b, bm, k, n, &keep);
+                let c_base = self.region_for(c, m, n, &keep);
                 let mut last = None;
                 for i in (0..m).step_by(dim) {
                     let rows = dim.min(m - i);
                     for j in (0..n).step_by(dim) {
                         let cols = dim.min(n - j);
+                        // Column-block-major tile placement inside C's region.
+                        let out_base = c_base + ((j / dim) * m + i) as u32;
                         let mut acc: Option<VReg> = None;
                         for p in (0..k).step_by(dim) {
                             let ks = dim.min(k - p);
@@ -349,6 +500,7 @@ impl GemminiKernels {
                                     cols: cols as u16,
                                     ks: ks as u16,
                                     gemv: false,
+                                    out_base,
                                 },
                                 &deps,
                             ));
@@ -356,9 +508,164 @@ impl GemminiKernels {
                         last = acc;
                     }
                 }
-                self.finish_output(b, c, m, n, last);
+                self.finish_output(b, c, m, n, c_base, last);
             }
         }
+    }
+
+    /// GEMV fallback for matrices too large to be wholly resident: `A` is
+    /// streamed through a one-row-block bounce buffer while `x` and `y`
+    /// stay resident (they are `k` and `m` rows — tiny next to `A`).
+    fn gemv_streaming(
+        &mut self,
+        b: &mut TraceBuilder,
+        m: usize,
+        k: usize,
+        a: MatId,
+        x: MatId,
+        y: MatId,
+    ) {
+        let dim = self.config.dim;
+        let keep = [a, x, y];
+        self.resident.remove(&a);
+        let x_tok = self.ensure_resident(b, x, k, 1, &keep);
+        let a_base = self.region_for(a, dim, k, &keep);
+        let y_base = self.region_for(y, m, 1, &keep);
+        if self.cpu_dirty {
+            self.fence(b);
+        }
+        let mut last = None;
+        for i in (0..m).step_by(dim) {
+            let rows = dim.min(m - i);
+            self.rocc_overhead(b);
+            let a_tok = b.rocc(
+                RoccCmd::Mvin {
+                    rows: rows as u16,
+                    cols: k as u16,
+                    base: a_base,
+                },
+                &[],
+            );
+            let mut acc: Option<VReg> = None;
+            for p in (0..k).step_by(dim) {
+                let ks = dim.min(k - p);
+                self.rocc_overhead(b);
+                if p == 0 || self.config.dataflow == Dataflow::WeightStationary {
+                    b.rocc(RoccCmd::Preload, &[]);
+                }
+                let mut deps: Vec<VReg> = vec![a_tok];
+                deps.extend(x_tok);
+                if let Some(prev) = acc {
+                    deps.push(prev);
+                }
+                deps.truncate(3);
+                acc = Some(b.rocc(
+                    RoccCmd::ComputeTile {
+                        rows: rows as u16,
+                        cols: 1,
+                        ks: ks as u16,
+                        gemv: self.config.gemv_support,
+                        out_base: y_base + i as u32,
+                    },
+                    &deps,
+                ));
+            }
+            last = acc;
+        }
+        // `A`'s bounce buffer holds only its last row-block; don't treat
+        // the matrix as resident.
+        self.resident.remove(&a);
+        self.finish_output(b, y, m, 1, y_base, last);
+    }
+
+    /// GEMM fallback for working sets larger than the scratchpad: stream
+    /// row-blocks of `A` and column-blocks of `B` through bounce buffers
+    /// and move each `C` tile out as its reduction finishes. Nothing is
+    /// left resident — this is the cold, capacity-bound regime where the
+    /// paper's Figure 15 crossover favors the vector unit.
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature
+    fn gemm_streaming(
+        &mut self,
+        b: &mut TraceBuilder,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatId,
+        bm: MatId,
+        c: MatId,
+    ) {
+        let dim = self.config.dim;
+        let keep = [a, bm, c];
+        self.resident.remove(&a);
+        self.resident.remove(&bm);
+        self.resident.remove(&c);
+        let a_base = self.region_for(a, dim, k, &keep);
+        let b_base = self.region_for(bm, k, dim, &keep);
+        let c_base = self.region_for(c, dim, dim, &keep);
+        if self.cpu_dirty {
+            self.fence(b);
+        }
+        for i in (0..m).step_by(dim) {
+            let rows = dim.min(m - i);
+            self.rocc_overhead(b);
+            let a_tok = b.rocc(
+                RoccCmd::Mvin {
+                    rows: rows as u16,
+                    cols: k as u16,
+                    base: a_base,
+                },
+                &[],
+            );
+            for j in (0..n).step_by(dim) {
+                let cols = dim.min(n - j);
+                self.rocc_overhead(b);
+                let b_tok = b.rocc(
+                    RoccCmd::Mvin {
+                        rows: k as u16,
+                        cols: cols as u16,
+                        base: b_base,
+                    },
+                    &[],
+                );
+                let mut acc: Option<VReg> = None;
+                for p in (0..k).step_by(dim) {
+                    let ks = dim.min(k - p);
+                    self.rocc_overhead(b);
+                    if p == 0 || self.config.dataflow == Dataflow::WeightStationary {
+                        b.rocc(RoccCmd::Preload, &[]);
+                    }
+                    let mut deps: Vec<VReg> = vec![a_tok, b_tok];
+                    if let Some(prev) = acc {
+                        deps.push(prev);
+                    }
+                    deps.truncate(3);
+                    acc = Some(b.rocc(
+                        RoccCmd::ComputeTile {
+                            rows: rows as u16,
+                            cols: cols as u16,
+                            ks: ks as u16,
+                            gemv: false,
+                            out_base: c_base,
+                        },
+                        &deps,
+                    ));
+                }
+                self.rocc_overhead(b);
+                let deps: Vec<VReg> = acc.into_iter().collect();
+                b.rocc(
+                    RoccCmd::Mvout {
+                        rows: rows as u16,
+                        cols: cols as u16,
+                        pool_stride: 1,
+                        base: c_base,
+                    },
+                    &deps,
+                );
+            }
+        }
+        // The CPU may read C right after the kernel: drain the tile
+        // mvouts.
+        self.fence(b);
     }
 
     /// Element-wise pass(es) over an `n`-element vector on the mesh, using
@@ -374,10 +681,13 @@ impl GemminiKernels {
     ) {
         self.configure(b);
         let dim = self.config.dim;
+        let mut keep: Vec<MatId> = ins.to_vec();
+        keep.push(out);
         let mut deps: Vec<VReg> = Vec::new();
         for &id in ins {
-            deps.extend(self.ensure_resident(b, id, n, 1));
+            deps.extend(self.ensure_resident(b, id, n, 1, &keep));
         }
+        let out_base = self.region_for(out, n, 1, &keep);
         let mut last = None;
         for _pass in 0..passes {
             let mut pass_last = None;
@@ -393,13 +703,14 @@ impl GemminiKernels {
                         cols: 1,
                         ks: dim as u16,
                         gemv: self.config.gemv_support,
+                        out_base: out_base + i as u32,
                     },
                     &d,
                 ));
             }
             last = pass_last;
         }
-        self.finish_output(b, out, n, 1, last);
+        self.finish_output(b, out, n, 1, out_base, last);
     }
 
     /// Number of mesh passes an absolute value costs:
@@ -454,6 +765,7 @@ impl GemminiKernels {
     /// can read it.
     pub fn sync_to_cpu(&mut self, b: &mut TraceBuilder, n: usize, id: MatId) {
         if let Some(tok) = self.resident.remove(&id) {
+            let base = self.regions.get(&id).map_or(0, |r| r.base);
             self.rocc_overhead(b);
             let deps: Vec<VReg> = tok.into_iter().collect();
             b.rocc(
@@ -461,10 +773,11 @@ impl GemminiKernels {
                     rows: n as u16,
                     cols: 1,
                     pool_stride: 1,
+                    base,
                 },
                 &deps,
             );
-            b.fence();
+            self.fence(b);
         }
     }
 
@@ -473,7 +786,18 @@ impl GemminiKernels {
     /// finishes on `⌈n/4⌉` elements; otherwise the CPU reduces all `n`.
     /// Returns the scalar result register.
     pub fn max_reduce(&mut self, b: &mut TraceBuilder, n: usize, x: MatId) -> VReg {
-        let tok = self.resident.remove(&x).flatten();
+        // If the CPU owns the current copy (e.g. a scalar fallback just
+        // rewrote it), stage it back into the scratchpad first —
+        // ensure_resident also fences the CPU's in-flight stores.
+        let tok = match self.resident.remove(&x) {
+            Some(tok) => tok,
+            None => {
+                let tok = self.ensure_resident(b, x, n, 1, &[x]);
+                self.resident.remove(&x);
+                tok
+            }
+        };
+        let base = self.regions.get(&x).map_or(0, |r| r.base);
         let (rows, pool, cpu_n) = if self.opts.pooling_reduction {
             (n.div_ceil(4), 2u8, n.div_ceil(4))
         } else {
@@ -486,10 +810,11 @@ impl GemminiKernels {
                 rows: rows as u16,
                 cols: 1,
                 pool_stride: pool,
+                base,
             },
             &deps,
         );
-        b.fence();
+        self.fence(b);
         // CPU finishes the reduction (tree max over the pooled elements).
         self.scalar.reduce_max_abs_diff(b, cpu_n.div_ceil(2))
     }

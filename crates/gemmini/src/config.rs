@@ -114,6 +114,12 @@ impl GemminiConfig {
     pub fn peak_macs_per_cycle(&self) -> u64 {
         (self.dim * self.dim) as u64
     }
+
+    /// Scratchpad capacity in rows of `dim` FP32 elements — the address
+    /// space `mvin`/`mvout`/compute commands index into.
+    pub fn spad_rows(&self) -> u32 {
+        (self.scratchpad_kb * 1024 / (self.dim * 4)) as u32
+    }
 }
 
 #[cfg(test)]

@@ -22,8 +22,8 @@ use std::collections::{HashMap, VecDeque};
 /// use soc_gemmini::{GemminiConfig, GemminiUnit};
 ///
 /// let mut b = TraceBuilder::new();
-/// let a = b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
-/// b.rocc(RoccCmd::ComputeTile { rows: 4, cols: 4, ks: 4, gemv: false }, &[a]);
+/// let a = b.rocc(RoccCmd::Mvin { rows: 4, cols: 4, base: 0 }, &[]);
+/// b.rocc(RoccCmd::ComputeTile { rows: 4, cols: 4, ks: 4, gemv: false, out_base: 0 }, &[a]);
 /// let mut gemmini = GemminiUnit::new(GemminiConfig::os_4x4_32kb());
 /// let cycles = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut gemmini);
 /// assert!(cycles > 40); // dominated by the DMA latency of the mvin
@@ -175,7 +175,7 @@ impl Accelerator for GemminiUnit {
                 let start = dep_ready.max(self.ex_free);
                 (&mut self.ex_free, cost, start + cost)
             }
-            RoccCmd::Mvin { rows, cols } => {
+            RoccCmd::Mvin { rows, cols, .. } => {
                 // The DMA engine is pipelined: the load unit is occupied
                 // for the transfer, while the DRAM access latency overlaps
                 // across successive mvins.
@@ -198,6 +198,7 @@ impl Accelerator for GemminiUnit {
                 rows,
                 cols,
                 pool_stride,
+                ..
             } => {
                 // Pooling happens in the mvout pipeline at no extra cost.
                 let _ = pool_stride;
@@ -221,6 +222,7 @@ impl Accelerator for GemminiUnit {
                 cols,
                 ks,
                 gemv,
+                ..
             } => {
                 let start = dep_ready.max(self.ex_free);
                 let mut cost = self.compute_cycles(rows as u64, cols as u64, ks as u64, gemv);
@@ -328,6 +330,7 @@ mod tests {
                 cols: 1,
                 ks: 16,
                 gemv: true,
+                out_base: 0,
             },
             &[],
         );
@@ -341,7 +344,14 @@ mod tests {
     fn dma_latency_dominates_small_mvin() {
         let mut unit = GemminiUnit::new(os4());
         let mut b = TraceBuilder::new();
-        b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+        b.rocc(
+            RoccCmd::Mvin {
+                rows: 4,
+                cols: 4,
+                base: 0,
+            },
+            &[],
+        );
         b.fence();
         let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
         assert!(c >= 40, "got {c}");
@@ -351,13 +361,21 @@ mod tests {
     fn dependent_compute_waits_for_mvin() {
         let mut unit = GemminiUnit::new(os4());
         let mut b = TraceBuilder::new();
-        let a = b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+        let a = b.rocc(
+            RoccCmd::Mvin {
+                rows: 4,
+                cols: 4,
+                base: 0,
+            },
+            &[],
+        );
         b.rocc(
             RoccCmd::ComputeTile {
                 rows: 4,
                 cols: 4,
                 ks: 4,
                 gemv: false,
+                out_base: 0,
             },
             &[a],
         );
@@ -374,13 +392,21 @@ mod tests {
         // Two independent streams: loads and computes overlap across
         // controllers.
         for _ in 0..8 {
-            b.rocc(RoccCmd::Mvin { rows: 4, cols: 4 }, &[]);
+            b.rocc(
+                RoccCmd::Mvin {
+                    rows: 4,
+                    cols: 4,
+                    base: 0,
+                },
+                &[],
+            );
             b.rocc(
                 RoccCmd::ComputeTile {
                     rows: 4,
                     cols: 4,
                     ks: 4,
                     gemv: false,
+                    out_base: 0,
                 },
                 &[],
             );
@@ -401,6 +427,7 @@ mod tests {
                 cols: 4,
                 ks: 4,
                 gemv: false,
+                out_base: 0,
             },
             &[],
         );
@@ -423,6 +450,7 @@ mod tests {
                     cols: 4,
                     ks: 4,
                     gemv: false,
+                    out_base: 0,
                 },
                 &[],
             );
@@ -441,7 +469,14 @@ mod tests {
         let mut unit = GemminiUnit::new(cfg);
         let mut b = TraceBuilder::new();
         for _ in 0..16 {
-            b.rocc(RoccCmd::Mvin { rows: 16, cols: 16 }, &[]);
+            b.rocc(
+                RoccCmd::Mvin {
+                    rows: 16,
+                    cols: 16,
+                    base: 0,
+                },
+                &[],
+            );
         }
         let c = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
         // Each mvin occupies the load unit for its transfer (the DRAM

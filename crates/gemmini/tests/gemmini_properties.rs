@@ -1,9 +1,29 @@
 //! Property-based tests for the Gemmini timing model and code generator.
+//!
+//! Cases come from a deterministic in-file PRNG so every failure
+//! reproduces exactly from the printed seed.
 
-use proptest::prelude::*;
 use soc_cpu::{simulate_with_accel, CoreConfig};
 use soc_gemmini::{GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit, MatId};
 use soc_isa::TraceBuilder;
+
+/// SplitMix64 — deterministic, dependency-free case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
 
 fn run_gemv(cfg: GemminiConfig, opts: GemminiOpts, m: usize, k: usize) -> (u64, GemminiUnit) {
     let mut gen = GemminiKernels::new(cfg, opts);
@@ -16,39 +36,51 @@ fn run_gemv(cfg: GemminiConfig, opts: GemminiOpts, m: usize, k: usize) -> (u64, 
     (c, unit)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Compute-tile cost is monotone in every dimension.
-    #[test]
-    fn compute_cycles_monotone(rows in 1u64..64, cols in 1u64..64, ks in 1u64..64, gemv in any::<bool>()) {
-        for cfg in [GemminiConfig::os_4x4_32kb(), GemminiConfig::os_4x4_32kb().with_gemv_support(),
-                    GemminiConfig::os_8x8_64kb()] {
+/// Compute-tile cost is monotone in every dimension.
+#[test]
+fn compute_cycles_monotone() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed);
+        let (rows, cols, ks) = (rng.below(1, 64), rng.below(1, 64), rng.below(1, 64));
+        let gemv = rng.next().is_multiple_of(2);
+        for cfg in [
+            GemminiConfig::os_4x4_32kb(),
+            GemminiConfig::os_4x4_32kb().with_gemv_support(),
+            GemminiConfig::os_8x8_64kb(),
+        ] {
             let unit = GemminiUnit::new(cfg);
             let base = unit.compute_cycles(rows, cols, ks, gemv);
-            prop_assert!(unit.compute_cycles(rows + 1, cols, ks, gemv) >= base);
-            prop_assert!(unit.compute_cycles(rows, cols, ks + 1, gemv) >= base);
+            assert!(unit.compute_cycles(rows + 1, cols, ks, gemv) >= base);
+            assert!(unit.compute_cycles(rows, cols, ks + 1, gemv) >= base);
         }
     }
+}
 
-    /// MAC accounting exactly matches the issued work, and utilization
-    /// never exceeds 1.
-    #[test]
-    fn mac_accounting_exact(m in 1usize..48, k in 1usize..48) {
+/// MAC accounting exactly matches the issued work, and utilization never
+/// exceeds 1.
+#[test]
+fn mac_accounting_exact() {
+    for seed in 100..148u64 {
+        let mut rng = Rng(seed);
+        let (m, k) = (rng.below(1, 48) as usize, rng.below(1, 48) as usize);
         let cfg = GemminiConfig::os_4x4_32kb();
         let (elapsed, unit) = run_gemv(cfg, GemminiOpts::optimized(), m, k);
         // Tiled GEMV issues ceil-padded tiles; MACs are counted per tile,
         // so the total is at least m*k and at most the padded volume.
         let dim = cfg.dim;
         let padded = m.div_ceil(dim) * dim * k.div_ceil(dim) * dim;
-        prop_assert!(unit.total_macs() >= (m * k) as u64);
-        prop_assert!(unit.total_macs() <= padded as u64);
-        prop_assert!(unit.utilization(elapsed) <= 1.0 + 1e-9);
+        assert!(unit.total_macs() >= (m * k) as u64, "seed {seed}");
+        assert!(unit.total_macs() <= padded as u64, "seed {seed}");
+        assert!(unit.utilization(elapsed) <= 1.0 + 1e-9, "seed {seed}");
     }
+}
 
-    /// The GEMV hardware extension never slows a GEMV down.
-    #[test]
-    fn gemv_extension_never_hurts(m in 1usize..48, k in 1usize..48) {
+/// The GEMV hardware extension never slows a GEMV down.
+#[test]
+fn gemv_extension_never_hurts() {
+    for seed in 200..248u64 {
+        let mut rng = Rng(seed);
+        let (m, k) = (rng.below(1, 48) as usize, rng.below(1, 48) as usize);
         let plain = run_gemv(GemminiConfig::os_4x4_32kb(), GemminiOpts::optimized(), m, k).0;
         let ext = run_gemv(
             GemminiConfig::os_4x4_32kb().with_gemv_support(),
@@ -57,15 +89,23 @@ proptest! {
             k,
         )
         .0;
-        prop_assert!(ext <= plain, "extension made {m}x{k} slower: {ext} > {plain}");
+        assert!(
+            ext <= plain,
+            "seed {seed}: extension made {m}x{k} slower: {ext} > {plain}"
+        );
     }
+}
 
-    /// The fully optimized mapping never loses to the baseline mapping in
-    /// the solver regime: repeated kernels over a shared workspace, where
-    /// residency and static mapping amortize. (On a single cold one-shot
-    /// the coarse FSM can win by overlapping its internal DMA.)
-    #[test]
-    fn optimized_never_loses_in_solver_regime(m in 4usize..32, k in 4usize..32, reps in 3usize..8) {
+/// The fully optimized mapping never loses to the baseline mapping in
+/// the solver regime: repeated kernels over a shared workspace, where
+/// residency and static mapping amortize. (On a single cold one-shot
+/// the coarse FSM can win by overlapping its internal DMA.)
+#[test]
+fn optimized_never_loses_in_solver_regime() {
+    for seed in 300..348u64 {
+        let mut rng = Rng(seed);
+        let (m, k) = (rng.below(4, 32) as usize, rng.below(4, 32) as usize);
+        let reps = rng.below(3, 8) as usize;
         let run = |opts: GemminiOpts| {
             let cfg = GemminiConfig::os_4x4_32kb();
             let mut gen = GemminiKernels::new(cfg, opts);
@@ -79,12 +119,17 @@ proptest! {
         };
         let opt = run(GemminiOpts::optimized());
         let base = run(GemminiOpts::baseline());
-        prop_assert!(opt <= base, "optimized {opt} > baseline {base} for {reps}x gemv {m}x{k}");
+        assert!(
+            opt <= base,
+            "seed {seed}: optimized {opt} > baseline {base} for {reps}x gemv {m}x{k}"
+        );
     }
+}
 
-    /// Larger meshes never make a (cold) GEMM slower.
-    #[test]
-    fn bigger_mesh_never_slower_gemm(n in 4usize..40) {
+/// Larger meshes never make a (cold) GEMM slower.
+#[test]
+fn bigger_mesh_never_slower_gemm() {
+    for n in 4usize..40 {
         let run = |cfg: GemminiConfig| {
             let mut gen = GemminiKernels::new(cfg, GemminiOpts::optimized());
             let mut b = TraceBuilder::new();
@@ -95,6 +140,6 @@ proptest! {
         };
         let c4 = run(GemminiConfig::os_4x4_32kb());
         let c8 = run(GemminiConfig::os_8x8_64kb());
-        prop_assert!(c8 <= c4 + 8, "8x8 {c8} slower than 4x4 {c4} on {n}^3");
+        assert!(c8 <= c4 + 8, "8x8 {c8} slower than 4x4 {c4} on {n}^3");
     }
 }

@@ -16,7 +16,12 @@ fn mnemonic(op: &MicroOp) -> String {
         OpClass::FpFma => "fmadd.s".into(),
         OpClass::FpDiv => "fdiv.s".into(),
         OpClass::FpSimple => "fminmax.s".into(),
-        OpClass::VSet => "vsetvli".into(),
+        OpClass::VSet => match op.payload {
+            Payload::VSet(cfg) => {
+                format!("vsetvli (vl={}, e{}, m{})", cfg.vl, cfg.sew, cfg.lmul)
+            }
+            _ => "vsetvli".into(),
+        },
         OpClass::Fence => "fence".into(),
         OpClass::Vector => match op.payload {
             Payload::Vector(spec) => {
@@ -37,16 +42,19 @@ fn mnemonic(op: &MicroOp) -> String {
         OpClass::Rocc => match op.payload {
             Payload::Rocc(cmd) => match cmd {
                 RoccCmd::Config => "gemmini.config".into(),
-                RoccCmd::Mvin { rows, cols } => format!("gemmini.mvin {rows}x{cols}"),
+                RoccCmd::Mvin { rows, cols, base } => {
+                    format!("gemmini.mvin {rows}x{cols} @sp[{base}]")
+                }
                 RoccCmd::Mvout {
                     rows,
                     cols,
                     pool_stride,
+                    base,
                 } => {
                     if pool_stride > 1 {
-                        format!("gemmini.mvout.pool {rows}x{cols}")
+                        format!("gemmini.mvout.pool {rows}x{cols} @sp[{base}]")
                     } else {
-                        format!("gemmini.mvout {rows}x{cols}")
+                        format!("gemmini.mvout {rows}x{cols} @sp[{base}]")
                     }
                 }
                 RoccCmd::Preload => "gemmini.preload".into(),
@@ -55,8 +63,9 @@ fn mnemonic(op: &MicroOp) -> String {
                     cols,
                     ks,
                     gemv,
+                    out_base,
                 } => format!(
-                    "gemmini.compute{} {rows}x{cols}x{ks}",
+                    "gemmini.compute{} {rows}x{cols}x{ks} @sp[{out_base}]",
                     if gemv { ".gemv" } else { "" }
                 ),
                 RoccCmd::LoopMatmul { m, n, k } => format!("gemmini.loop_matmul {m}x{n}x{k}"),
@@ -111,7 +120,7 @@ mod tests {
         b.store(&[y]);
         b.int_ops(1);
         b.branch(&[]);
-        b.vset();
+        b.vset_f32(12, 2);
         let v = b.vector(VectorSpec::f32(VecOpKind::MulAdd, 12, 2), &[]);
         b.vstore(12, 2, v);
         b.rocc(
@@ -120,6 +129,7 @@ mod tests {
                 cols: 1,
                 ks: 4,
                 gemv: true,
+                out_base: 0,
             },
             &[],
         );

@@ -41,7 +41,9 @@ mod trace;
 
 pub use disasm::disassemble;
 pub use latency::LatencyModel;
-pub use op::{FuKind, MicroOp, OpClass, Payload, RoccCmd, VReg, VecOpKind, VectorSpec, SEW_F32};
+pub use op::{
+    FuKind, MicroOp, OpClass, Payload, RoccCmd, VReg, VecOpKind, VectorSpec, Vtype, SEW_F32,
+};
 pub use stats::TraceStats;
 pub use trace::{Trace, TraceBuilder};
 

@@ -149,6 +149,38 @@ impl VectorSpec {
     }
 }
 
+/// Vector configuration established by a `vsetvli` ([`OpClass::VSet`]).
+///
+/// Carried as the op's payload so analyses can track the architectural
+/// vector-config state machine: every [`OpClass::Vector`] op must execute
+/// under a dominating `VSet` whose fields match its [`VectorSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vtype {
+    /// Active vector length in elements.
+    pub vl: u32,
+    /// Element width in bits.
+    pub sew: u8,
+    /// Register-group multiplier (1, 2, 4 or 8).
+    pub lmul: u8,
+}
+
+impl Vtype {
+    /// Convenience constructor for an `f32` configuration.
+    pub fn f32(vl: u32, lmul: u8) -> Self {
+        Vtype {
+            vl,
+            sew: SEW_F32,
+            lmul,
+        }
+    }
+
+    /// Whether a vector op with `spec` can legally execute under this
+    /// configuration.
+    pub fn matches(&self, spec: &VectorSpec) -> bool {
+        self.vl == spec.vl && self.sew == spec.sew && self.lmul == spec.lmul
+    }
+}
+
 /// A command sent over the RoCC interface to a decoupled accelerator.
 ///
 /// The vocabulary is Gemmini-flavoured (the one decoupled accelerator in
@@ -165,6 +197,8 @@ pub enum RoccCmd {
         rows: u16,
         /// Tile columns.
         cols: u16,
+        /// Destination scratchpad row address.
+        base: u32,
     },
     /// DMA a `rows × cols` tile from the scratchpad/accumulator to main
     /// memory. `pool_stride > 1` applies max-pooling during the move.
@@ -175,6 +209,8 @@ pub enum RoccCmd {
         cols: u16,
         /// Max-pool window (1 = no pooling).
         pool_stride: u8,
+        /// Source scratchpad row address.
+        base: u32,
     },
     /// Load a tile into the mesh's preload register (weight-stationary) or
     /// set the output destination (output-stationary).
@@ -191,6 +227,8 @@ pub enum RoccCmd {
         ks: u16,
         /// Whether the tile runs in GEMV broadcast mode.
         gemv: bool,
+        /// Scratchpad row address the output tile lands at.
+        out_base: u32,
     },
     /// Coarse-grained FSM-sequenced matmul over a full `m × n × k` problem
     /// (`compute_matmul` in the Gemmini software library).
@@ -211,6 +249,8 @@ pub enum RoccCmd {
 pub enum Payload {
     /// No payload (scalar op).
     None,
+    /// Configuration established by an [`OpClass::VSet`] op.
+    VSet(Vtype),
     /// Vector configuration for [`OpClass::Vector`] ops.
     Vector(VectorSpec),
     /// Accelerator command for [`OpClass::Rocc`] ops.

@@ -1,6 +1,6 @@
 //! Trace container and the builder code generators use to emit micro-ops.
 
-use crate::{MicroOp, OpClass, Payload, RoccCmd, TraceStats, VReg, VecOpKind, VectorSpec};
+use crate::{MicroOp, OpClass, Payload, RoccCmd, TraceStats, VReg, VecOpKind, VectorSpec, Vtype};
 
 /// An ordered stream of micro-ops — one kernel's (or one whole solve's)
 /// instruction trace for a particular software mapping.
@@ -133,9 +133,18 @@ impl TraceBuilder {
         self.emit_void(OpClass::Branch, srcs);
     }
 
-    /// Emits a `vsetvli`.
-    pub fn vset(&mut self) -> VReg {
-        self.emit(OpClass::VSet, &[])
+    /// Emits a `vsetvli` establishing the given vector configuration.
+    pub fn vset(&mut self, cfg: Vtype) -> VReg {
+        let dst = self.fresh();
+        let mut op = MicroOp::scalar(OpClass::VSet, Some(dst), &[]);
+        op.payload = Payload::VSet(cfg);
+        self.ops.push(op);
+        dst
+    }
+
+    /// Emits a `vsetvli` for an `f32` configuration.
+    pub fn vset_f32(&mut self, vl: u32, lmul: u8) -> VReg {
+        self.vset(Vtype::f32(vl, lmul))
     }
 
     /// Emits a vector op with the given spec and register dependencies.

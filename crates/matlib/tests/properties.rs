@@ -1,89 +1,149 @@
 //! Property-based tests for the core linear-algebra invariants.
+//!
+//! Cases come from a deterministic in-file PRNG so every failure
+//! reproduces exactly from the printed seed.
 
 use matlib::{gemm, gemv, Cholesky, Lu, Matrix, Vector};
-use proptest::prelude::*;
 
-/// Strategy: a rows×cols matrix with small, well-conditioned entries.
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
-    proptest::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+/// SplitMix64 — deterministic, dependency-free case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn below(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// A rows×cols matrix with small, well-conditioned entries.
+    fn matrix(&mut self, rows: usize, cols: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |_, _| self.f64(-10.0, 10.0))
+    }
+
+    fn vector(&mut self, n: usize) -> Vector<f64> {
+        Vector::from_fn(n, |_| self.f64(-10.0, 10.0))
+    }
 }
 
-fn vector_strategy(n: usize) -> impl Strategy<Value = Vector<f64>> {
-    proptest::collection::vec(-10.0f64..10.0, n).prop_map(|v| Vector::from_slice(&v))
-}
-
-/// Dimensions drawn from the sizes the paper's workload exercises (order 10).
-fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..9, 1usize..9, 1usize..9)
-}
-
-proptest! {
-    #[test]
-    fn gemm_is_associative((m, k, n) in dims(), seed in 0u64..1000) {
-        // Deterministic matrices from the seed keep the strategy simple.
-        let f = |s: u64, r: usize, c: usize| ((s.wrapping_mul(31).wrapping_add((r * 17 + c * 13) as u64) % 19) as f64 - 9.0) * 0.25;
+#[test]
+fn gemm_is_associative() {
+    for seed in 0..200u64 {
+        let mut rng = Rng(seed);
+        let (m, k, n) = (rng.below(1, 9), rng.below(1, 9), rng.below(1, 9));
+        // Deterministic matrices from the seed keep the generator simple.
+        let f = |s: u64, r: usize, c: usize| {
+            ((s.wrapping_mul(31).wrapping_add((r * 17 + c * 13) as u64) % 19) as f64 - 9.0) * 0.25
+        };
         let a = Matrix::from_fn(m, k, |r, c| f(seed, r, c));
         let b = Matrix::from_fn(k, n, |r, c| f(seed + 1, r, c));
         let c_mat = Matrix::from_fn(n, m, |r, c| f(seed + 2, r, c));
         let lhs = gemm(&gemm(&a, &b).unwrap(), &c_mat).unwrap();
         let rhs = gemm(&a, &gemm(&b, &c_mat).unwrap()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
     }
+}
 
-    #[test]
-    fn gemm_distributes_over_add(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5), c in matrix_strategy(3, 5)) {
+#[test]
+fn gemm_distributes_over_add() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(seed);
+        let a = rng.matrix(4, 3);
+        let b = rng.matrix(3, 5);
+        let c = rng.matrix(3, 5);
         let lhs = gemm(&a, &b.add(&c).unwrap()).unwrap();
         let rhs = gemm(&a, &b).unwrap().add(&gemm(&a, &c).unwrap()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
     }
+}
 
-    #[test]
-    fn transpose_reverses_product(a in matrix_strategy(4, 6), b in matrix_strategy(6, 3)) {
+#[test]
+fn transpose_reverses_product() {
+    for seed in 100..164u64 {
+        let mut rng = Rng(seed);
+        let a = rng.matrix(4, 6);
+        let b = rng.matrix(6, 3);
         let lhs = gemm(&a, &b).unwrap().transpose();
         let rhs = gemm(&b.transpose(), &a.transpose()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
     }
+}
 
-    #[test]
-    fn gemv_matches_gemm_on_column(a in matrix_strategy(5, 4), x in vector_strategy(4)) {
+#[test]
+fn gemv_matches_gemm_on_column() {
+    for seed in 200..264u64 {
+        let mut rng = Rng(seed);
+        let a = rng.matrix(5, 4);
+        let x = rng.vector(4);
         let as_col = Matrix::from_fn(4, 1, |r, _| x[r]);
         let via_gemm = gemm(&a, &as_col).unwrap();
         let via_gemv = gemv(&a, &x).unwrap();
         for r in 0..5 {
-            prop_assert!((via_gemm[(r, 0)] - via_gemv[r]).abs() < 1e-12);
+            assert!((via_gemm[(r, 0)] - via_gemv[r]).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn clip_is_idempotent_and_bounded(x in vector_strategy(16), lo in -5.0f64..0.0, width in 0.0f64..5.0) {
-        let hi = lo + width;
+#[test]
+fn clip_is_idempotent_and_bounded() {
+    for seed in 300..364u64 {
+        let mut rng = Rng(seed);
+        let x = rng.vector(16);
+        let lo = rng.f64(-5.0, 0.0);
+        let hi = lo + rng.f64(0.0, 5.0);
         let once = x.clip(lo, hi);
         let twice = once.clip(lo, hi);
-        prop_assert_eq!(once.as_slice(), twice.as_slice());
+        assert_eq!(once.as_slice(), twice.as_slice());
         for &v in once.as_slice() {
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
         }
     }
+}
 
-    #[test]
-    fn axpy_matches_definition(x in vector_strategy(12), y in vector_strategy(12), alpha in -3.0f64..3.0) {
+#[test]
+fn axpy_matches_definition() {
+    for seed in 400..464u64 {
+        let mut rng = Rng(seed);
+        let x = rng.vector(12);
+        let y = rng.vector(12);
+        let alpha = rng.f64(-3.0, 3.0);
         let out = x.axpy(alpha, &y).unwrap();
         for i in 0..12 {
-            prop_assert!((out[i] - (x[i] + alpha * y[i])).abs() < 1e-9);
+            assert!((out[i] - (x[i] + alpha * y[i])).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn max_abs_is_a_norm(x in vector_strategy(10), y in vector_strategy(10), s in -4.0f64..4.0) {
+#[test]
+fn max_abs_is_a_norm() {
+    for seed in 500..564u64 {
+        let mut rng = Rng(seed);
+        let x = rng.vector(10);
+        let y = rng.vector(10);
+        let s = rng.f64(-4.0, 4.0);
         // Triangle inequality and absolute homogeneity.
         let sum = x.add(&y).unwrap();
-        prop_assert!(sum.max_abs() <= x.max_abs() + y.max_abs() + 1e-12);
-        prop_assert!((x.scale(s).max_abs() - s.abs() * x.max_abs()).abs() < 1e-9);
+        assert!(sum.max_abs() <= x.max_abs() + y.max_abs() + 1e-12);
+        assert!((x.scale(s).max_abs() - s.abs() * x.max_abs()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cholesky_solves_spd_systems(seed in 0u64..500, b in vector_strategy(6)) {
+#[test]
+fn cholesky_solves_spd_systems() {
+    for seed in 0..100u64 {
+        let mut rng = Rng(seed + 600);
+        let b = rng.vector(6);
         // Build an SPD matrix M Mᵀ + 6 I.
         let m = Matrix::from_fn(6, 6, |r, c| {
             (((seed.wrapping_mul(7919).wrapping_add((r * 31 + c) as u64)) % 23) as f64 - 11.0) * 0.1
@@ -96,30 +156,42 @@ proptest! {
         let chol = Cholesky::new(&spd).unwrap();
         let x = chol.solve(&b).unwrap();
         let residual = spd.matvec(&x).unwrap().sub(&b).unwrap();
-        prop_assert!(residual.max_abs() < 1e-8);
+        assert!(residual.max_abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn lu_inverse_roundtrip(seed in 0u64..500) {
+#[test]
+fn lu_inverse_roundtrip() {
+    for seed in 0..100u64 {
         // Diagonally dominant => nonsingular.
         let mut a = Matrix::from_fn(5, 5, |r, c| {
-            (((seed.wrapping_mul(104729).wrapping_add((r * 13 + c * 7) as u64)) % 17) as f64 - 8.0) * 0.2
+            (((seed
+                .wrapping_mul(104729)
+                .wrapping_add((r * 13 + c * 7) as u64))
+                % 17) as f64
+                - 8.0)
+                * 0.2
         });
         for i in 0..5 {
             a[(i, i)] += 10.0;
         }
         let lu = Lu::new(&a).unwrap();
         let prod = a.matmul(&lu.inverse()).unwrap();
-        prop_assert!(prod.max_abs_diff(&Matrix::identity(5)).unwrap() < 1e-8);
+        assert!(prod.max_abs_diff(&Matrix::identity(5)).unwrap() < 1e-8);
     }
+}
 
-    #[test]
-    fn f32_gemm_tracks_f64(a in matrix_strategy(6, 6), b in matrix_strategy(6, 6)) {
+#[test]
+fn f32_gemm_tracks_f64() {
+    for seed in 700..764u64 {
+        let mut rng = Rng(seed);
+        let a = rng.matrix(6, 6);
+        let b = rng.matrix(6, 6);
         let a32: Matrix<f32> = a.cast();
         let b32: Matrix<f32> = b.cast();
         let c64 = gemm(&a, &b).unwrap();
         let c32: Matrix<f64> = gemm(&a32, &b32).unwrap().cast();
         // f32 has ~7 decimal digits; entries are bounded by 6*100.
-        prop_assert!(c64.max_abs_diff(&c32).unwrap() < 1e-3);
+        assert!(c64.max_abs_diff(&c32).unwrap() < 1e-3);
     }
 }

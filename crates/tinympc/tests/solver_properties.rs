@@ -1,74 +1,113 @@
 //! Property-based tests of the ADMM solver over randomized problems.
+//!
+//! Cases come from a deterministic in-file PRNG so every failure
+//! reproduces exactly from the printed seed.
 
 use matlib::Vector;
-use proptest::prelude::*;
 use tinympc::{problems, AdmmSolver, NullExecutor, SolverSettings};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// SplitMix64 — deterministic, dependency-free case generator.
+struct Rng(u64);
 
-    /// Random stable problems solve without numerical blowup, the applied
-    /// input respects the box constraints, and the workspace stays finite.
-    #[test]
-    fn random_problems_stay_feasible(
-        nx in 2usize..10,
-        nu in 1usize..4,
-        horizon in 3usize..15,
-        seed in 0u64..500,
-        x_scale in 0.1f64..10.0,
-    ) {
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+/// Random stable problems solve without numerical blowup, the applied
+/// input respects the box constraints, and the workspace stays finite.
+#[test]
+fn random_problems_stay_feasible() {
+    for case in 0..32u64 {
+        let mut rng = Rng(case);
+        let nx = rng.below(2, 10) as usize;
+        let nu = rng.below(1, 4) as usize;
+        let horizon = rng.below(3, 15) as usize;
+        let seed = rng.below(0, 500);
+        let x_scale = rng.f64(0.1, 10.0);
         let problem = problems::random_stable::<f64>(nx, nu, horizon, seed).unwrap();
         let (u_min, u_max) = (problem.u_min, problem.u_max);
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = Vector::from_fn(nx, |i| x_scale * if i % 2 == 0 { 1.0 } else { -0.5 });
         let r = solver.solve(&x0, &mut NullExecutor).unwrap();
-        prop_assert!(solver.workspace().is_finite());
+        assert!(solver.workspace().is_finite());
         for &u in r.u0.as_slice() {
-            prop_assert!(u >= u_min - 1e-9 && u <= u_max + 1e-9, "u0 {u} violates bounds");
+            assert!(
+                u >= u_min - 1e-9 && u <= u_max + 1e-9,
+                "case {case}: u0 {u} violates bounds"
+            );
         }
     }
+}
 
-    /// Scaling the tolerance down never increases the final residuals.
-    #[test]
-    fn tighter_tolerance_tightens_residuals(seed in 0u64..100) {
+/// Scaling the tolerance down never increases the final residuals.
+#[test]
+fn tighter_tolerance_tightens_residuals() {
+    for seed in 0..32u64 {
         let mk = |tol: f64| {
             let problem = problems::random_stable::<f64>(6, 2, 10, seed).unwrap();
-            let settings = SolverSettings { max_iterations: 300, tolerance: tol, check_interval: 1 };
+            let settings = SolverSettings {
+                max_iterations: 300,
+                tolerance: tol,
+                check_interval: 1,
+            };
             let mut solver = AdmmSolver::new(problem, settings).unwrap();
             let x0 = Vector::from_fn(6, |i| (i as f64 - 2.5) * 0.3);
             solver.solve(&x0, &mut NullExecutor).unwrap()
         };
         let loose = mk(1e-2);
         let tight = mk(1e-6);
-        prop_assert!(tight.iterations >= loose.iterations);
+        assert!(tight.iterations >= loose.iterations);
         if loose.converged && tight.converged {
-            prop_assert!(tight.residuals.0 <= loose.residuals.0 + 1e-12);
+            assert!(tight.residuals.0 <= loose.residuals.0 + 1e-12);
         }
     }
+}
 
-    /// Zero initial state with a zero reference is a fixed point: the
-    /// solver converges immediately to (near-)zero control.
-    #[test]
-    fn origin_is_fixed_point(seed in 0u64..200) {
-        let problem = problems::random_stable::<f64>(5, 2, 8, seed).unwrap();
+/// Zero initial state with a zero reference is a fixed point: the solver
+/// converges immediately to (near-)zero control.
+#[test]
+fn origin_is_fixed_point() {
+    for seed in 0..64u64 {
+        let problem = problems::random_stable::<f64>(5, 2, 8, seed * 3).unwrap();
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let r = solver.solve(&Vector::zeros(5), &mut NullExecutor).unwrap();
-        prop_assert!(r.converged);
-        prop_assert!(r.u0.max_abs() < 1e-6, "u0 {:?} should be ~0", r.u0);
+        assert!(r.converged);
+        assert!(r.u0.max_abs() < 1e-6, "u0 {:?} should be ~0", r.u0);
     }
+}
 
-    /// Scaling rho changes the path but not feasibility of the answer.
-    #[test]
-    fn rho_robustness(seed in 0u64..100, rho in 0.1f64..10.0) {
+/// Scaling rho changes the path but not feasibility of the answer.
+#[test]
+fn rho_robustness() {
+    for case in 0..32u64 {
+        let mut rng = Rng(case + 100);
+        let seed = rng.below(0, 100);
+        let rho = rng.f64(0.1, 10.0);
         let mut problem = problems::random_stable::<f64>(4, 1, 10, seed).unwrap();
         problem.rho = rho;
         let (u_min, u_max) = (problem.u_min, problem.u_max);
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = Vector::from_slice(&[2.0, -1.0, 0.5, 0.0]);
         let r = solver.solve(&x0, &mut NullExecutor).unwrap();
-        prop_assert!(solver.workspace().is_finite());
+        assert!(solver.workspace().is_finite());
         for &u in r.u0.as_slice() {
-            prop_assert!(u >= u_min - 1e-9 && u <= u_max + 1e-9);
+            assert!(u >= u_min - 1e-9 && u <= u_max + 1e-9);
         }
     }
 }

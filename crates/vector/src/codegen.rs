@@ -118,7 +118,7 @@ impl VectorKernels {
         let mut remaining = n;
         while remaining > 0 {
             let vl = remaining.min(vlmax) as u32;
-            b.vset();
+            b.vset_f32(vl, self.lmul);
             let loaded: Vec<VReg> = (0..inputs).map(|_| self.vload(b, vl)).collect();
             let mut v = if arith_ops == 0 {
                 *loaded.first().expect("stripmine needs inputs or arith ops")
@@ -172,7 +172,7 @@ impl VectorKernels {
         let mut row = 0;
         while row < m {
             let vl = (m - row).min(vlmax) as u32;
-            b.vset();
+            b.vset_f32(vl, self.lmul);
             let mut acc = if self.is_matlib() {
                 // Function boundary: the accumulator starts from memory.
                 self.vload(b, vl)
@@ -204,9 +204,11 @@ impl VectorKernels {
         for _i in 0..m {
             let mut partials: Vec<VReg> = Vec::new();
             let mut remaining = k;
+            let mut last_vl = 0u32;
             while remaining > 0 {
                 let vl = remaining.min(vlmax) as u32;
-                b.vset();
+                b.vset_f32(vl, self.lmul);
+                last_vl = vl;
                 let a = self.vload(b, vl);
                 let x = self.vload(b, vl);
                 let prod = b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[a, x]);
@@ -217,7 +219,13 @@ impl VectorKernels {
                 remaining -= vl as usize;
                 self.loop_overhead(b);
             }
-            // Move the reduced scalar out and store.
+            // Move the reduced scalar out and store. The move runs at
+            // vl=1/m1, so the trailing stripe's config must be replaced
+            // first — skipping this vsetvli would execute the move under a
+            // stale configuration.
+            if last_vl != 1 || self.lmul != 1 {
+                b.vset_f32(1, 1);
+            }
             let s = b.vector(
                 VectorSpec::f32(VecOpKind::Move, 1, 1),
                 &partials[..partials.len().min(2)],
@@ -242,7 +250,7 @@ impl VectorKernels {
         let mut row = 0;
         while row < m {
             let vl = (m - row).min(vlmax) as u32;
-            b.vset();
+            b.vset_f32(vl, self.lmul);
             let mut j = 0;
             while j < n {
                 let jb = j_block.min(n - j);
@@ -288,12 +296,14 @@ impl VectorKernels {
         let mut remaining = n;
         let mut running: Option<VReg> = None;
         let mut first_vl = 0u32;
+        let mut last_vl = 0u32;
         while remaining > 0 {
             let vl = remaining.min(vlmax) as u32;
             if first_vl == 0 {
                 first_vl = vl;
             }
-            b.vset();
+            b.vset_f32(vl, self.lmul);
+            last_vl = vl;
             let x = self.vload(b, vl);
             let y = self.vload(b, vl);
             let d = b.vector(VectorSpec::f32(VecOpKind::Arith, vl, self.lmul), &[x, y]);
@@ -305,13 +315,29 @@ impl VectorKernels {
             remaining -= vl as usize;
             self.loop_overhead(b);
         }
-        let acc = running.unwrap_or_else(|| b.vector(VectorSpec::f32(VecOpKind::Move, 1, 1), &[]));
-        // Final serial reduction over one vector register's worth.
+        let acc = running.unwrap_or_else(|| {
+            b.vset_f32(1, 1);
+            last_vl = 1;
+            first_vl = 1;
+            b.vector(VectorSpec::f32(VecOpKind::Move, 1, 1), &[])
+        });
+        // Final serial reduction over one vector register's worth. It runs
+        // at the *first* stripe's length, so if the trailing (remainder)
+        // stripe left a shorter vl configured, it must be re-established —
+        // without this vsetvli the reduction would run under a stale
+        // configuration and silently drop elements.
+        let red_vl = first_vl.max(1);
+        if last_vl != red_vl {
+            b.vset_f32(red_vl, self.lmul);
+        }
         let red = b.vector(
-            VectorSpec::f32(VecOpKind::Reduction, first_vl.max(1), self.lmul),
+            VectorSpec::f32(VecOpKind::Reduction, red_vl, self.lmul),
             &[acc],
         );
         // vfmv.f.s: move the scalar element to the FP register file.
+        if red_vl != 1 || self.lmul != 1 {
+            b.vset_f32(1, 1);
+        }
         let s = b.vector(VectorSpec::f32(VecOpKind::Move, 1, 1), &[red]);
         b.fp(OpClass::FpSimple, &[s])
     }

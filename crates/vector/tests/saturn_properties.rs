@@ -1,46 +1,85 @@
 //! Property-based tests for the Saturn timing model.
+//!
+//! Cases come from a deterministic in-file PRNG so every failure
+//! reproduces exactly from the printed seed.
 
-use proptest::prelude::*;
 use soc_cpu::{simulate_with_accel, CoreConfig};
 use soc_isa::{TraceBuilder, VecOpKind, VectorSpec};
 use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
 
-fn lmuls() -> impl Strategy<Value = u8> {
-    prop_oneof![Just(1u8), Just(2), Just(4), Just(8)]
+/// SplitMix64 — deterministic, dependency-free case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn lmul(&mut self) -> u8 {
+        [1u8, 2, 4, 8][self.below(0, 4) as usize]
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Occupancy is monotone in VL for every op kind and configuration.
-    #[test]
-    fn occupancy_monotone_in_vl(vl in 1u32..512, lmul in lmuls()) {
+/// Occupancy is monotone in VL for every op kind and configuration.
+#[test]
+fn occupancy_monotone_in_vl() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(seed);
+        let vl = rng.below(1, 512) as u32;
+        let lmul = rng.lmul();
         for cfg in SaturnConfig::all() {
             let unit = SaturnUnit::new(cfg);
-            for kind in [VecOpKind::Arith, VecOpKind::MulAdd, VecOpKind::Load,
-                         VecOpKind::Store, VecOpKind::Reduction] {
+            for kind in [
+                VecOpKind::Arith,
+                VecOpKind::MulAdd,
+                VecOpKind::Load,
+                VecOpKind::Store,
+                VecOpKind::Reduction,
+            ] {
                 let o1 = unit.occupancy(&VectorSpec::f32(kind, vl, lmul));
                 let o2 = unit.occupancy(&VectorSpec::f32(kind, vl + 1, lmul));
-                prop_assert!(o2 >= o1, "{cfg:?} {kind:?}: occ({}) {o2} < occ({vl}) {o1}", vl + 1);
+                assert!(
+                    o2 >= o1,
+                    "{cfg:?} {kind:?}: occ({}) {o2} < occ({vl}) {o1}",
+                    vl + 1
+                );
             }
         }
     }
+}
 
-    /// A wider datapath never increases occupancy.
-    #[test]
-    fn wider_dlen_never_slower(vl in 1u32..512, lmul in lmuls()) {
+/// A wider datapath never increases occupancy.
+#[test]
+fn wider_dlen_never_slower() {
+    for seed in 100..164u64 {
+        let mut rng = Rng(seed);
+        let vl = rng.below(1, 512) as u32;
+        let lmul = rng.lmul();
         let d128 = SaturnUnit::new(SaturnConfig::v512d128());
         let d256 = SaturnUnit::new(SaturnConfig::v512d256());
         for kind in [VecOpKind::Arith, VecOpKind::Load] {
             let spec = VectorSpec::f32(kind, vl, lmul);
-            prop_assert!(d256.occupancy(&spec) <= d128.occupancy(&spec));
+            assert!(d256.occupancy(&spec) <= d128.occupancy(&spec));
         }
     }
+}
 
-    /// End-to-end: a GEMV of any MPC-plausible size completes, costs more
-    /// than zero, and grows with the reduction dimension.
-    #[test]
-    fn gemv_cost_grows_with_k(m in 1usize..32, k in 1usize..32) {
+/// End-to-end: a GEMV of any MPC-plausible size completes, costs more
+/// than zero, and grows with the reduction dimension.
+#[test]
+fn gemv_cost_grows_with_k() {
+    for seed in 200..264u64 {
+        let mut rng = Rng(seed);
+        let (m, k) = (rng.below(1, 32) as usize, rng.below(1, 32) as usize);
         let cfg = SaturnConfig::v512d256();
         let gen = VectorKernels::new(cfg, VectorStyle::Fused, 1);
         let run = |m: usize, k: usize| {
@@ -51,14 +90,23 @@ proptest! {
         };
         let base = run(m, k);
         let deeper = run(m, k + 4);
-        prop_assert!(base > 0);
-        prop_assert!(deeper > base, "gemv({m},{}) {deeper} <= gemv({m},{k}) {base}", k + 4);
+        assert!(base > 0);
+        assert!(
+            deeper > base,
+            "seed {seed}: gemv({m},{}) {deeper} <= gemv({m},{k}) {base}",
+            k + 4
+        );
     }
+}
 
-    /// The vector unit's busy cycles never exceed elapsed time on any
-    /// single pipe (conservation of bandwidth, 2 pipes).
-    #[test]
-    fn busy_cycles_bounded(n_ops in 1usize..64, vl in 1u32..64) {
+/// The vector unit's busy cycles never exceed elapsed time on any single
+/// pipe (conservation of bandwidth, 2 pipes).
+#[test]
+fn busy_cycles_bounded() {
+    for seed in 300..364u64 {
+        let mut rng = Rng(seed);
+        let n_ops = rng.below(1, 64) as usize;
+        let vl = rng.below(1, 64) as u32;
         let cfg = SaturnConfig::v512d128();
         let mut b = TraceBuilder::new();
         for i in 0..n_ops {
@@ -70,13 +118,23 @@ proptest! {
         }
         let mut unit = SaturnUnit::new(cfg);
         let elapsed = simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit);
-        prop_assert!(unit.busy_cycles() <= 2 * elapsed, "busy {} > 2x elapsed {elapsed}", unit.busy_cycles());
+        assert!(
+            unit.busy_cycles() <= 2 * elapsed,
+            "seed {seed}: busy {} > 2x elapsed {elapsed}",
+            unit.busy_cycles()
+        );
     }
+}
 
-    /// Matlib style is never faster than the fused style for the same
-    /// element-wise job.
-    #[test]
-    fn matlib_never_beats_fused(n in 4usize..200, inputs in 1usize..3, ops in 1usize..4) {
+/// Matlib style is never faster than the fused style for the same
+/// element-wise job.
+#[test]
+fn matlib_never_beats_fused() {
+    for seed in 400..464u64 {
+        let mut rng = Rng(seed);
+        let n = rng.below(4, 200) as usize;
+        let inputs = rng.below(1, 3) as usize;
+        let ops = rng.below(1, 4) as usize;
         let cfg = SaturnConfig::v512d256();
         let run = |style| {
             let gen = VectorKernels::new(cfg, style, 1);
@@ -85,6 +143,6 @@ proptest! {
             let mut unit = SaturnUnit::new(cfg);
             simulate_with_accel(&CoreConfig::rocket(), &b.finish(), &mut unit)
         };
-        prop_assert!(run(VectorStyle::Fused) <= run(VectorStyle::Matlib));
+        assert!(run(VectorStyle::Fused) <= run(VectorStyle::Matlib));
     }
 }

@@ -1,0 +1,182 @@
+//! Diagnostic vocabulary shared by all verifier passes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The trace is wrong: it would deadlock, race, or compute garbage on
+    /// the modelled hardware.
+    Error,
+    /// Suspicious but possibly intentional (e.g. aliasing scratchpad
+    /// regions in a streaming kernel).
+    Warn,
+    /// Correct but wasteful: redundant synchronization or dead work.
+    Perf,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Perf => "perf",
+        })
+    }
+}
+
+/// Stable rule identifiers, one per check the verifier performs.
+pub mod rules {
+    /// A micro-op reads a virtual register no earlier op defined.
+    pub const SSA_USE_BEFORE_DEF: &str = "ssa-use-before-def";
+    /// Two micro-ops define the same virtual register.
+    pub const SSA_REDEF: &str = "ssa-redefinition";
+    /// A vector op executes with no `vsetvli` in effect.
+    pub const VSET_MISSING: &str = "vset-missing";
+    /// A vector op's `vl`/`SEW`/`LMUL` disagree with the active `vsetvli`.
+    pub const VSET_STALE: &str = "vset-stale";
+    /// A `vsetvli` is replaced (or the trace ends) before any vector op
+    /// uses it.
+    pub const VSET_DEAD: &str = "vset-dead";
+    /// A scalar load issues while an accelerator store (`mvout` /
+    /// `loop_matmul`) is outstanding and unfenced.
+    pub const HAZARD_LOAD_RACE: &str = "hazard-load-race";
+    /// An accelerator DMA read (`mvin` / `loop_matmul`) issues while
+    /// scalar stores are unfenced.
+    pub const HAZARD_MVIN_RACE: &str = "hazard-mvin-race";
+    /// A scratchpad access runs past the configured capacity.
+    pub const SPAD_OOB: &str = "spad-oob";
+    /// An `mvout` reads scratchpad rows nothing ever wrote.
+    pub const SPAD_UNWRITTEN: &str = "spad-unwritten";
+    /// A write straddles distinct live scratchpad allocations.
+    pub const SPAD_OVERLAP: &str = "spad-overlap";
+    /// A fence with nothing to order since the previous fence.
+    pub const FENCE_REDUNDANT: &str = "fence-redundant";
+    /// A store whose memory token no later op consumes.
+    pub const STORE_DEAD: &str = "store-dead";
+}
+
+/// A single finding, anchored to one micro-op of the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (see [`rules`]).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Index of the offending op in the trace.
+    pub index: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn error(rule: &'static str, index: usize, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            index,
+            message,
+        }
+    }
+
+    pub(crate) fn warn(rule: &'static str, index: usize, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warn,
+            index,
+            message,
+        }
+    }
+
+    pub(crate) fn perf(rule: &'static str, index: usize, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Perf,
+            index,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:<6} [{} {}] {}",
+            self.index, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// Outcome of verifying one trace: every finding from every pass, in op
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub(crate) diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// All findings, ordered by op index then severity.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Findings of one severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Number of [`Severity::Error`] findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of [`Severity::Warn`] findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Number of [`Severity::Perf`] findings.
+    pub fn perf_count(&self) -> usize {
+        self.count(Severity::Perf)
+    }
+
+    /// Whether the trace is free of errors (warnings and perf lints are
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Renders a human-readable report: a per-rule summary followed by the
+    /// first few findings of each rule (large traces repeat the same
+    /// finding thousands of times; the cap keeps the report readable).
+    pub fn render(&self) -> String {
+        const PER_RULE: usize = 8;
+        let mut out = String::new();
+        if self.diags.is_empty() {
+            out.push_str("clean: no findings\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} perf lint(s)\n",
+            self.error_count(),
+            self.warn_count(),
+            self.perf_count()
+        ));
+        let mut by_rule: BTreeMap<&'static str, Vec<&Diagnostic>> = BTreeMap::new();
+        for d in &self.diags {
+            by_rule.entry(d.rule).or_default().push(d);
+        }
+        for (rule, diags) in by_rule {
+            out.push_str(&format!("\n{rule} ({}):\n", diags.len()));
+            for d in diags.iter().take(PER_RULE) {
+                out.push_str(&format!("  {d}\n"));
+            }
+            if diags.len() > PER_RULE {
+                out.push_str(&format!("  ... and {} more\n", diags.len() - PER_RULE));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,193 @@
+//! Decoupled-accelerator hazard analysis.
+//!
+//! Gemmini's DMA engines are not coherent with the core's load/store
+//! pipeline, and its reservation station tracks only the explicit register
+//! dependencies the code generator supplies — *not* read-after-write
+//! hazards through main memory. Software is responsible for fencing:
+//!
+//! * the CPU may not **load** data an outstanding `mvout` (or the store
+//!   phase of a `loop_matmul` FSM) is still writing, and
+//! * the accelerator may not **`mvin`** (or `loop_matmul`-stream) data the
+//!   CPU's store buffer has not drained.
+//!
+//! This pass replays the trace with two hazard windows — unfenced
+//! accelerator stores and unfenced CPU stores — and flags the first racing
+//! access in each window. One finding per window keeps a single missing
+//! fence from producing hundreds of identical diagnostics (a scalar
+//! reduction after an unfenced `mvout` loads every element).
+
+use crate::diag::{rules, Diagnostic};
+use soc_isa::{MicroOp, OpClass, Payload, RoccCmd, Trace, VReg};
+
+/// Whether `op` carries a direct register dependency on every token in
+/// `tokens` — the one non-fence way a load can be ordered after
+/// accelerator traffic.
+fn depends_on_all(op: &MicroOp, tokens: &[Option<VReg>]) -> bool {
+    tokens
+        .iter()
+        .all(|t| t.is_some_and(|t| op.sources().any(|s| s == t)))
+}
+
+pub(crate) fn check(trace: &Trace, diags: &mut Vec<Diagnostic>) {
+    // Outstanding accelerator stores since the last fence: op index and
+    // result token.
+    let mut accel_stores: Vec<(usize, Option<VReg>)> = Vec::new();
+    // First unfenced CPU store, if any.
+    let mut cpu_store: Option<usize> = None;
+    // Per-window dedup flags.
+    let mut load_race_reported = false;
+    let mut mvin_race_reported = false;
+
+    for (i, op) in trace.ops().iter().enumerate() {
+        match op.class {
+            OpClass::Fence => {
+                accel_stores.clear();
+                cpu_store = None;
+                load_race_reported = false;
+                mvin_race_reported = false;
+            }
+            OpClass::Store => {
+                cpu_store.get_or_insert(i);
+                mvin_race_reported = false;
+            }
+            OpClass::Load if !accel_stores.is_empty() && !load_race_reported => {
+                let toks: Vec<Option<VReg>> = accel_stores.iter().map(|&(_, t)| t).collect();
+                if !depends_on_all(op, &toks) {
+                    let (at, _) = accel_stores[0];
+                    diags.push(Diagnostic::error(
+                        rules::HAZARD_LOAD_RACE,
+                        i,
+                        format!(
+                            "scalar load races the unfenced accelerator store at \
+                             #{at} ({} outstanding)",
+                            accel_stores.len()
+                        ),
+                    ));
+                    load_race_reported = true;
+                }
+            }
+            OpClass::Rocc => {
+                if let Payload::Rocc(cmd) = op.payload {
+                    let dma_reads =
+                        matches!(cmd, RoccCmd::Mvin { .. } | RoccCmd::LoopMatmul { .. });
+                    let dma_writes =
+                        matches!(cmd, RoccCmd::Mvout { .. } | RoccCmd::LoopMatmul { .. });
+                    if dma_reads {
+                        if let Some(at) = cpu_store {
+                            if !mvin_race_reported {
+                                diags.push(Diagnostic::error(
+                                    rules::HAZARD_MVIN_RACE,
+                                    i,
+                                    format!(
+                                        "accelerator DMA read races the unfenced CPU \
+                                         store at #{at}"
+                                    ),
+                                ));
+                                mvin_race_reported = true;
+                            }
+                        }
+                    }
+                    if dma_writes {
+                        accel_stores.push((i, op.dst));
+                        load_race_reported = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_isa::TraceBuilder;
+
+    fn run(trace: &Trace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(trace, &mut diags);
+        diags
+    }
+
+    fn mvout(b: &mut TraceBuilder) -> VReg {
+        b.rocc(
+            RoccCmd::Mvout {
+                rows: 4,
+                cols: 1,
+                pool_stride: 1,
+                base: 0,
+            },
+            &[],
+        )
+    }
+
+    fn mvin(b: &mut TraceBuilder) -> VReg {
+        b.rocc(
+            RoccCmd::Mvin {
+                rows: 4,
+                cols: 1,
+                base: 0,
+            },
+            &[],
+        )
+    }
+
+    #[test]
+    fn fenced_round_trip_is_clean() {
+        let mut b = TraceBuilder::new();
+        mvout(&mut b);
+        b.fence();
+        b.load();
+        let x = b.load();
+        b.store(&[x]);
+        b.fence();
+        mvin(&mut b);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn load_racing_mvout_is_an_error() {
+        let mut b = TraceBuilder::new();
+        mvout(&mut b);
+        b.load();
+        b.load();
+        let diags = run(&b.finish());
+        // One finding for the whole window, not one per load.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::HAZARD_LOAD_RACE);
+        assert_eq!(diags[0].index, 1);
+    }
+
+    #[test]
+    fn token_dependent_load_is_ordered() {
+        let mut b = TraceBuilder::new();
+        let t = mvout(&mut b);
+        b.load_after(t);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn mvin_racing_cpu_store_is_an_error() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        b.store(&[x]);
+        mvin(&mut b);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::HAZARD_MVIN_RACE);
+        assert_eq!(diags[0].index, 2);
+    }
+
+    #[test]
+    fn loop_matmul_is_both_a_dma_read_and_write() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        b.store(&[x]);
+        b.rocc(RoccCmd::LoopMatmul { m: 8, n: 8, k: 8 }, &[]);
+        b.load();
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].rule, rules::HAZARD_MVIN_RACE);
+        assert_eq!(diags[1].rule, rules::HAZARD_LOAD_RACE);
+    }
+}

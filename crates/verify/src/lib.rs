@@ -1,0 +1,165 @@
+//! # soc-verify — static analysis over generated micro-op traces
+//!
+//! Every software mapping in this workspace is a code generator emitting
+//! [`soc_isa::Trace`]s, and the timing models trust those traces: a
+//! fabricated register, a stale `vsetvli`, or a missing fence silently
+//! produces wrong cycle counts instead of a crash. This crate is the
+//! safety net — a multi-pass static analyzer that replays a trace against
+//! the architectural rules the generators must obey and reports structured
+//! [`Diagnostic`]s.
+//!
+//! ## Passes
+//!
+//! | pass | rules | severity |
+//! |------|-------|----------|
+//! | SSA discipline | `ssa-use-before-def`, `ssa-redefinition` | error |
+//! | vector config | `vset-missing`, `vset-stale` | error |
+//! | vector config | `vset-dead` | perf |
+//! | accelerator hazards | `hazard-load-race`, `hazard-mvin-race` | error |
+//! | scratchpad residency | `spad-oob`, `spad-unwritten` | error |
+//! | scratchpad residency | `spad-overlap` | warn |
+//! | perf lints | `fence-redundant`, `store-dead` | perf |
+//!
+//! The scratchpad pass needs to know the accelerator geometry; pass it via
+//! [`VerifyConfig::with_spad`], or use [`VerifyConfig::default`] to skip
+//! that pass for scalar/vector targets.
+//!
+//! ## Example
+//!
+//! ```
+//! use soc_isa::TraceBuilder;
+//! use soc_verify::{verify, VerifyConfig};
+//!
+//! let mut b = TraceBuilder::new();
+//! b.vload(12, 2); // vector op with no vsetvli in effect
+//! let report = verify(&b.finish(), &VerifyConfig::default());
+//! assert!(!report.is_clean());
+//! assert_eq!(report.diagnostics()[0].rule, "vset-missing");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod hazard;
+mod lints;
+mod scratchpad;
+mod ssa;
+mod vconfig;
+
+pub use diag::{rules, Diagnostic, Report, Severity};
+
+use soc_isa::Trace;
+
+/// Banked-scratchpad geometry of the accelerator a trace targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpadShape {
+    /// Capacity in rows of `dim` elements.
+    pub rows: u32,
+    /// Mesh dimension — elements per scratchpad row.
+    pub dim: usize,
+}
+
+/// Target-specific facts the analyzer needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Scratchpad geometry, when the trace targets a Gemmini-style
+    /// accelerator. `None` disables the residency pass.
+    pub spad: Option<SpadShape>,
+}
+
+impl VerifyConfig {
+    /// Configuration with the scratchpad-residency pass enabled.
+    pub fn with_spad(rows: u32, dim: usize) -> Self {
+        VerifyConfig {
+            spad: Some(SpadShape { rows, dim }),
+        }
+    }
+}
+
+/// Runs every pass over `trace` and returns the combined report, ordered
+/// by op index (ties broken by severity).
+pub fn verify(trace: &Trace, config: &VerifyConfig) -> Report {
+    let mut diags = Vec::new();
+    ssa::check(trace, &mut diags);
+    vconfig::check(trace, &mut diags);
+    hazard::check(trace, &mut diags);
+    if let Some(spad) = config.spad {
+        scratchpad::check(trace, spad, &mut diags);
+    }
+    lints::check(trace, &mut diags);
+    diags.sort_by_key(|d| (d.index, d.severity));
+    Report { diags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_isa::{RoccCmd, TraceBuilder};
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let report = verify(&Trace::new(), &VerifyConfig::default());
+        assert!(report.is_clean());
+        assert!(report.diagnostics().is_empty());
+        assert!(report.render().contains("clean"));
+    }
+
+    #[test]
+    fn findings_are_ordered_by_index() {
+        let mut b = TraceBuilder::new();
+        b.vload(4, 1); // vset-missing at 0
+        let x = b.load();
+        b.store(&[x]); // store-dead at 2
+        let report = verify(&b.finish(), &VerifyConfig::default());
+        let idx: Vec<usize> = report.diagnostics().iter().map(|d| d.index).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(idx, sorted);
+    }
+
+    #[test]
+    fn spad_pass_only_runs_when_configured() {
+        let mut b = TraceBuilder::new();
+        b.rocc(
+            RoccCmd::Mvout {
+                rows: 4,
+                cols: 1,
+                pool_stride: 1,
+                base: 9999,
+            },
+            &[],
+        );
+        b.fence();
+        let without = verify(&b.finish(), &VerifyConfig::default());
+        assert!(without.is_clean());
+        let mut b = TraceBuilder::new();
+        b.rocc(
+            RoccCmd::Mvout {
+                rows: 4,
+                cols: 1,
+                pool_stride: 1,
+                base: 9999,
+            },
+            &[],
+        );
+        b.fence();
+        let with = verify(&b.finish(), &VerifyConfig::with_spad(64, 4));
+        assert_eq!(with.error_count(), 1);
+        assert_eq!(with.diagnostics()[0].rule, rules::SPAD_OOB);
+    }
+
+    #[test]
+    fn render_groups_by_rule_and_caps_output() {
+        let mut b = TraceBuilder::new();
+        for _ in 0..20 {
+            let x = b.load();
+            b.store(&[x]);
+        }
+        let report = verify(&b.finish(), &VerifyConfig::default());
+        assert_eq!(report.perf_count(), 20);
+        let rendered = report.render();
+        assert!(rendered.contains("store-dead (20)"));
+        assert!(rendered.contains("and 12 more"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Performance lints: findings that don't make a trace wrong, just slower
+//! than it needs to be.
+//!
+//! * [`rules::FENCE_REDUNDANT`] — a fence orders accelerator DMA against
+//!   CPU memory traffic; if nothing fence-ordered (no RoCC command, no
+//!   scalar store) happened since the previous fence, it only stalls the
+//!   frontend. The paper measures fences at hundreds of cycles each, so a
+//!   redundant one is real money.
+//! * [`rules::STORE_DEAD`] — a store whose memory token no later op
+//!   consumes. Within a fused kernel that usually marks a value that
+//!   could have stayed in registers (the memory round-trip the paper's
+//!   operator fusion removes); stores that publish final results to the
+//!   caller also trip it, which is why it's a lint and not an error.
+
+use crate::diag::{rules, Diagnostic};
+use soc_isa::{OpClass, Trace};
+
+pub(crate) fn check(trace: &Trace, diags: &mut Vec<Diagnostic>) {
+    // Registers consumed anywhere in the trace, for dead-store detection.
+    let mut consumed = vec![false; 0];
+    for op in trace.ops() {
+        for src in op.sources() {
+            let i = src.0 as usize;
+            if i >= consumed.len() {
+                consumed.resize(i + 1, false);
+            }
+            consumed[i] = true;
+        }
+    }
+
+    // Anything fence-ordered since the previous fence (or trace start)?
+    let mut significant = false;
+    for (i, op) in trace.ops().iter().enumerate() {
+        match op.class {
+            OpClass::Fence => {
+                if !significant {
+                    diags.push(Diagnostic::perf(
+                        rules::FENCE_REDUNDANT,
+                        i,
+                        "fence with no accelerator command or store since the previous fence"
+                            .to_string(),
+                    ));
+                }
+                significant = false;
+            }
+            OpClass::Rocc | OpClass::Store => significant = true,
+            _ => {}
+        }
+        if op.class == OpClass::Store {
+            if let Some(tok) = op.dst {
+                if !consumed.get(tok.0 as usize).copied().unwrap_or(false) {
+                    diags.push(Diagnostic::perf(
+                        rules::STORE_DEAD,
+                        i,
+                        format!("store token v{} is never consumed", tok.0),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_isa::{RoccCmd, TraceBuilder};
+
+    fn run(trace: &Trace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(trace, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fence_after_rocc_is_significant() {
+        let mut b = TraceBuilder::new();
+        b.rocc(RoccCmd::Config, &[]);
+        b.fence();
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn back_to_back_fences_are_redundant() {
+        let mut b = TraceBuilder::new();
+        b.rocc(RoccCmd::Config, &[]);
+        b.fence();
+        b.fence();
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::FENCE_REDUNDANT);
+        assert_eq!(diags[0].index, 2);
+    }
+
+    #[test]
+    fn leading_fence_is_redundant() {
+        let mut b = TraceBuilder::new();
+        b.fence();
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::FENCE_REDUNDANT);
+    }
+
+    #[test]
+    fn consumed_store_token_is_clean() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        let t = b.store(&[x]);
+        b.load_after(t);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn unconsumed_store_token_is_a_lint() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        b.store(&[x]);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::STORE_DEAD);
+        assert_eq!(diags[0].index, 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Scratchpad-residency pass: replay every `mvin` / `compute` / `mvout`
+//! against the modelled scratchpad geometry.
+//!
+//! Commands carry physical row addresses, so the pass can check three
+//! things the hardware never will (Gemmini's DMA engine wraps silently):
+//!
+//! * accesses stay inside the banked capacity ([`rules::SPAD_OOB`]),
+//! * an `mvout` only reads rows some earlier command wrote
+//!   ([`rules::SPAD_UNWRITTEN`]), and
+//! * writes don't straddle two distinct live allocations
+//!   ([`rules::SPAD_OVERLAP`] — a warning, because streaming kernels
+//!   deliberately refill bounce buffers in place).
+//!
+//! A `rows × cols` access covers `rows * ceil(cols/DIM)` consecutive
+//! scratchpad rows starting at its base address — the column-block-major
+//! layout the Gemmini code generator uses. Rewriting an existing region
+//! (same span, or a sub-span, or an exact coalescing of whole adjacent
+//! regions) is a refill and stays silent.
+
+use crate::diag::{rules, Diagnostic};
+use crate::SpadShape;
+use soc_isa::{OpClass, Payload, RoccCmd, Trace};
+use std::collections::BTreeMap;
+
+/// Live allocations: base row → end row (exclusive).
+struct Regions {
+    map: BTreeMap<u32, u32>,
+}
+
+enum WriteOutcome {
+    /// New region, or refill of an existing one.
+    Clean,
+    /// The write straddled distinct regions (merged afterwards to avoid
+    /// cascading warnings).
+    Straddle,
+}
+
+impl Regions {
+    fn new() -> Self {
+        Regions {
+            map: BTreeMap::new(),
+        }
+    }
+
+    fn overlapping(&self, s: u32, e: u32) -> Vec<(u32, u32)> {
+        self.map
+            .range(..e)
+            .filter(|&(&base, &end)| end > s && base < e)
+            .map(|(&base, &end)| (base, end))
+            .collect()
+    }
+
+    fn write(&mut self, s: u32, e: u32) -> WriteOutcome {
+        let over = self.overlapping(s, e);
+        if over.is_empty() {
+            self.map.insert(s, e);
+            return WriteOutcome::Clean;
+        }
+        // Sub-span of a single region: a refill (e.g. a compute tile
+        // landing inside its output matrix's region).
+        if let [(base, end)] = over[..] {
+            if s >= base && e <= end {
+                return WriteOutcome::Clean;
+            }
+        }
+        // Every overlapped region fully inside the write: coalesce (e.g.
+        // re-mvin of a matrix whose region was built tile by tile).
+        let covers_all = over.iter().all(|&(base, end)| base >= s && end <= e);
+        let lo = s.min(over[0].0);
+        let hi = e.max(over.last().unwrap().1);
+        for (base, _) in &over {
+            self.map.remove(base);
+        }
+        self.map.insert(lo, hi);
+        if covers_all {
+            WriteOutcome::Clean
+        } else {
+            WriteOutcome::Straddle
+        }
+    }
+
+    /// First row in `[s, e)` not covered by any region, if any.
+    fn first_gap(&self, s: u32, e: u32) -> Option<u32> {
+        let mut cursor = s;
+        for (base, end) in self.overlapping(s, e) {
+            if base > cursor {
+                return Some(cursor);
+            }
+            cursor = cursor.max(end);
+        }
+        if cursor < e {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+}
+
+fn span(base: u32, rows: u16, cols: u16, dim: usize) -> (u32, u32) {
+    let len = rows as u64 * (cols as usize).div_ceil(dim) as u64;
+    (base, base.saturating_add(len as u32))
+}
+
+pub(crate) fn check(trace: &Trace, spad: SpadShape, diags: &mut Vec<Diagnostic>) {
+    let mut regions = Regions::new();
+    for (i, op) in trace.ops().iter().enumerate() {
+        if op.class != OpClass::Rocc {
+            continue;
+        }
+        let Payload::Rocc(cmd) = op.payload else {
+            continue;
+        };
+        match cmd {
+            RoccCmd::Mvin { rows, cols, base }
+            | RoccCmd::ComputeTile {
+                rows,
+                cols,
+                out_base: base,
+                ..
+            } => {
+                let (s, e) = span(base, rows, cols, spad.dim);
+                if e > spad.rows {
+                    diags.push(Diagnostic::error(
+                        rules::SPAD_OOB,
+                        i,
+                        format!(
+                            "write of rows {s}..{e} runs past the {}-row scratchpad",
+                            spad.rows
+                        ),
+                    ));
+                    continue;
+                }
+                if let WriteOutcome::Straddle = regions.write(s, e) {
+                    diags.push(Diagnostic::warn(
+                        rules::SPAD_OVERLAP,
+                        i,
+                        format!("write of rows {s}..{e} straddles distinct live allocations"),
+                    ));
+                }
+            }
+            RoccCmd::Mvout {
+                rows, cols, base, ..
+            } => {
+                let (s, e) = span(base, rows, cols, spad.dim);
+                if e > spad.rows {
+                    diags.push(Diagnostic::error(
+                        rules::SPAD_OOB,
+                        i,
+                        format!(
+                            "read of rows {s}..{e} runs past the {}-row scratchpad",
+                            spad.rows
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(gap) = regions.first_gap(s, e) {
+                    diags.push(Diagnostic::error(
+                        rules::SPAD_UNWRITTEN,
+                        i,
+                        format!("mvout reads rows {s}..{e} but row {gap} was never written"),
+                    ));
+                }
+            }
+            // LoopMatmul sequences its own internal scratchpad traffic.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_isa::TraceBuilder;
+
+    const SPAD: SpadShape = SpadShape { rows: 64, dim: 4 };
+
+    fn run(trace: &Trace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(trace, SPAD, &mut diags);
+        diags
+    }
+
+    fn mvin(b: &mut TraceBuilder, rows: u16, cols: u16, base: u32) {
+        b.rocc(RoccCmd::Mvin { rows, cols, base }, &[]);
+    }
+
+    fn mvout(b: &mut TraceBuilder, rows: u16, cols: u16, base: u32) {
+        b.rocc(
+            RoccCmd::Mvout {
+                rows,
+                cols,
+                pool_stride: 1,
+                base,
+            },
+            &[],
+        );
+    }
+
+    #[test]
+    fn in_bounds_round_trip_is_clean() {
+        let mut b = TraceBuilder::new();
+        mvin(&mut b, 12, 12, 0); // 12 * ceil(12/4) = 36 rows
+        mvout(&mut b, 12, 12, 0);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn capacity_overrun_is_an_error() {
+        let mut b = TraceBuilder::new();
+        mvin(&mut b, 16, 20, 0); // 16 * 5 = 80 rows > 64
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::SPAD_OOB);
+    }
+
+    #[test]
+    fn mvout_of_unwritten_rows_is_an_error() {
+        let mut b = TraceBuilder::new();
+        mvin(&mut b, 4, 4, 0);
+        mvout(&mut b, 8, 4, 0); // rows 4..8 were never written
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::SPAD_UNWRITTEN);
+        assert!(diags[0].message.contains("row 4"));
+    }
+
+    #[test]
+    fn straddling_write_warns() {
+        let mut b = TraceBuilder::new();
+        mvin(&mut b, 8, 4, 0); // region 0..8
+        mvin(&mut b, 8, 4, 8); // region 8..16
+        mvin(&mut b, 8, 4, 4); // straddles both
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::SPAD_OVERLAP);
+        assert_eq!(diags[0].index, 2);
+    }
+
+    #[test]
+    fn refill_and_coalescing_are_silent() {
+        let mut b = TraceBuilder::new();
+        mvin(&mut b, 8, 4, 0); // region 0..8
+        mvin(&mut b, 8, 4, 0); // exact refill
+        mvin(&mut b, 4, 4, 2); // sub-span refill
+        mvin(&mut b, 8, 4, 8); // adjacent region 8..16
+        mvin(&mut b, 16, 4, 0); // covers both whole regions: coalesce
+        mvout(&mut b, 16, 4, 0);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn compute_tile_writes_count_as_writes() {
+        let mut b = TraceBuilder::new();
+        b.rocc(
+            RoccCmd::ComputeTile {
+                rows: 4,
+                cols: 1,
+                ks: 4,
+                gemv: false,
+                out_base: 10,
+            },
+            &[],
+        );
+        mvout(&mut b, 4, 1, 10);
+        assert!(run(&b.finish()).is_empty());
+    }
+}

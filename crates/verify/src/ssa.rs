@@ -1,0 +1,105 @@
+//! SSA-discipline pass: every virtual register is defined exactly once,
+//! before any use.
+//!
+//! [`soc_isa::TraceBuilder`] allocates destinations from a monotonically
+//! increasing counter, so well-formed generators can never trip this pass.
+//! A violation means a generator fabricated a `VReg` by hand (or spliced
+//! traces from two builders without renumbering) — the dependence edges the
+//! timing models walk would then connect unrelated ops.
+
+use crate::diag::{rules, Diagnostic};
+use soc_isa::Trace;
+
+/// Dense membership set over the trace's register space.
+struct RegSet {
+    defined: Vec<bool>,
+}
+
+impl RegSet {
+    fn new() -> Self {
+        RegSet {
+            defined: Vec::new(),
+        }
+    }
+
+    fn contains(&self, r: u32) -> bool {
+        self.defined.get(r as usize).copied().unwrap_or(false)
+    }
+
+    fn insert(&mut self, r: u32) {
+        let i = r as usize;
+        if i >= self.defined.len() {
+            self.defined.resize(i + 1, false);
+        }
+        self.defined[i] = true;
+    }
+}
+
+pub(crate) fn check(trace: &Trace, diags: &mut Vec<Diagnostic>) {
+    let mut defined = RegSet::new();
+    for (i, op) in trace.ops().iter().enumerate() {
+        for src in op.sources() {
+            if !defined.contains(src.0) {
+                diags.push(Diagnostic::error(
+                    rules::SSA_USE_BEFORE_DEF,
+                    i,
+                    format!("reads v{} before any op defines it", src.0),
+                ));
+            }
+        }
+        if let Some(dst) = op.dst {
+            if defined.contains(dst.0) {
+                diags.push(Diagnostic::error(
+                    rules::SSA_REDEF,
+                    i,
+                    format!("redefines v{}, already written by an earlier op", dst.0),
+                ));
+            }
+            defined.insert(dst.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_isa::{MicroOp, OpClass, TraceBuilder, VReg};
+
+    fn run(trace: &Trace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(trace, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn builder_traces_are_clean() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        let y = b.fp(OpClass::FpFma, &[x, x]);
+        let t = b.store(&[y]);
+        b.load_after(t);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_is_flagged() {
+        let mut b = TraceBuilder::new();
+        // Hand-fabricated register: never defined by any op.
+        b.fp(OpClass::FpAdd, &[VReg(999)]);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::SSA_USE_BEFORE_DEF);
+        assert_eq!(diags[0].index, 0);
+    }
+
+    #[test]
+    fn redefinition_is_flagged() {
+        let mut b = TraceBuilder::new();
+        let x = b.load();
+        b.push(MicroOp::scalar(OpClass::FpAdd, Some(x), &[]));
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::SSA_REDEF);
+        assert_eq!(diags[0].index, 1);
+    }
+}

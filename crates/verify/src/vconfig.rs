@@ -1,0 +1,140 @@
+//! Vector-configuration state machine: every vector op must execute under
+//! a dominating `vsetvli` whose `vl`/`SEW`/`LMUL` agree with the op's own
+//! [`soc_isa::VectorSpec`].
+//!
+//! The hardware silently executes under whatever configuration happens to
+//! be architecturally live, so a mismatch is a *correctness* bug: a
+//! strip-mined loop tail that forgets to reset `vl`, for example, clips or
+//! over-reads its last iteration. That exact bug class is what this pass
+//! caught in the Saturn reduction kernels.
+
+use crate::diag::{rules, Diagnostic};
+use soc_isa::{OpClass, Payload, Trace, Vtype};
+
+pub(crate) fn check(trace: &Trace, diags: &mut Vec<Diagnostic>) {
+    // Index and configuration of the live vsetvli, plus whether any vector
+    // op has executed under it yet.
+    let mut current: Option<(usize, Vtype)> = None;
+    let mut used = false;
+    for (i, op) in trace.ops().iter().enumerate() {
+        match op.class {
+            OpClass::VSet => {
+                if let Payload::VSet(cfg) = op.payload {
+                    if let Some((prev, _)) = current {
+                        if !used {
+                            diags.push(Diagnostic::perf(
+                                rules::VSET_DEAD,
+                                prev,
+                                format!("vsetvli replaced by op #{i} before any vector op used it"),
+                            ));
+                        }
+                    }
+                    current = Some((i, cfg));
+                    used = false;
+                }
+            }
+            OpClass::Vector => {
+                if let Payload::Vector(spec) = op.payload {
+                    match current {
+                        None => diags.push(Diagnostic::error(
+                            rules::VSET_MISSING,
+                            i,
+                            format!(
+                                "vector op (vl={}, e{}, m{}) with no vsetvli in effect",
+                                spec.vl, spec.sew, spec.lmul
+                            ),
+                        )),
+                        Some((vset_at, cfg)) => {
+                            if !cfg.matches(&spec) {
+                                diags.push(Diagnostic::error(
+                                    rules::VSET_STALE,
+                                    i,
+                                    format!(
+                                        "vector op wants (vl={}, e{}, m{}) but the vsetvli \
+                                         at #{vset_at} set (vl={}, e{}, m{})",
+                                        spec.vl, spec.sew, spec.lmul, cfg.vl, cfg.sew, cfg.lmul
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    used = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((i, _)) = current {
+        if !used {
+            diags.push(Diagnostic::perf(
+                rules::VSET_DEAD,
+                i,
+                "vsetvli still unused when the trace ends".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_isa::{TraceBuilder, VecOpKind, VectorSpec};
+
+    fn run(trace: &Trace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(trace, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn matching_config_is_clean() {
+        let mut b = TraceBuilder::new();
+        b.vset_f32(12, 2);
+        let v = b.vload(12, 2);
+        b.vstore(12, 2, v);
+        assert!(run(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn missing_vset_is_an_error() {
+        let mut b = TraceBuilder::new();
+        b.vload(12, 2);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::VSET_MISSING);
+    }
+
+    #[test]
+    fn stale_config_is_an_error() {
+        let mut b = TraceBuilder::new();
+        b.vset_f32(16, 2);
+        b.vload(16, 2);
+        // Tail iteration forgot to re-vsetvli for the shorter vl.
+        b.vector(VectorSpec::f32(VecOpKind::Arith, 4, 2), &[]);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::VSET_STALE);
+        assert_eq!(diags[0].index, 2);
+    }
+
+    #[test]
+    fn dead_vset_is_a_perf_lint() {
+        let mut b = TraceBuilder::new();
+        b.vset_f32(16, 2);
+        b.vset_f32(8, 2);
+        b.vload(8, 2);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::VSET_DEAD);
+        assert_eq!(diags[0].index, 0);
+    }
+
+    #[test]
+    fn trailing_unused_vset_is_flagged() {
+        let mut b = TraceBuilder::new();
+        b.vset_f32(16, 2);
+        let diags = run(&b.finish());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::VSET_DEAD);
+    }
+}

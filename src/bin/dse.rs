@@ -19,8 +19,10 @@ use soc_dse_repro::soc_dse::experiments::{
 };
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::report::markdown_table;
+use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
 use soc_dse_repro::soc_gemmini::GemminiConfig;
 use soc_dse_repro::soc_vector::SaturnConfig;
+use soc_dse_repro::soc_verify::Severity;
 use soc_dse_repro::tinympc::{KernelId, ProblemDims};
 
 const USAGE: &str = "\
@@ -38,6 +40,10 @@ COMMANDS:
             [--horizon N]      Horizon length (default 10)
     kernels --platform NAME    Per-kernel cycle breakdown on one platform
     tune    --target KIND      Auto-tune a solver (rocket|saturn|gemmini)
+    verify  [--platform NAME]  Statically verify every generated micro-op
+            [--verbose]        trace (hazards, vsetvli state, scratchpad
+                               residency, perf lints); exits non-zero on
+                               any error-severity finding
 
 Platform names are the Table-I identifiers shown by `dse list`.";
 
@@ -184,6 +190,64 @@ fn run(args: &[String]) -> Result<(), String> {
                 })
                 .collect();
             println!("{}", markdown_table(&["kernel", "cycles", "share"], &rows));
+            Ok(())
+        }
+        "verify" => {
+            let dims = ProblemDims {
+                nx: 12,
+                nu: 4,
+                horizon: 10,
+            };
+            let verbose = args.iter().any(|a| a == "--verbose");
+            let platforms = match flag(args, "--platform") {
+                Some(name) => {
+                    let p = shipped_configurations()
+                        .into_iter()
+                        .find(|p| p.name.eq_ignore_ascii_case(&name))
+                        .ok_or_else(|| format!("unknown platform `{name}`; run `dse list`"))?;
+                    vec![p]
+                }
+                None => shipped_configurations(),
+            };
+            let mut total = [0usize; 3]; // errors, warnings, perf lints
+            for p in &platforms {
+                let reports = verify_platform(p, &dims);
+                let count = |s| reports.iter().map(|r| r.report.count(s)).sum::<usize>();
+                let (e, w, l) = (
+                    count(Severity::Error),
+                    count(Severity::Warn),
+                    count(Severity::Perf),
+                );
+                total[0] += e;
+                total[1] += w;
+                total[2] += l;
+                println!(
+                    "{:<40} {:>2} traces  {e:>3} errors  {w:>3} warnings  {l:>3} perf lints",
+                    p.name,
+                    reports.len()
+                );
+                for r in &reports {
+                    let dirty = r.report.error_count() > 0
+                        || (verbose && !r.report.diagnostics().is_empty());
+                    if dirty {
+                        println!("  {}:", r.trace);
+                        for line in r.report.render().lines() {
+                            println!("    {line}");
+                        }
+                    }
+                }
+            }
+            println!(
+                "\n{} platforms: {} errors, {} warnings, {} perf lints",
+                platforms.len(),
+                total[0],
+                total[1],
+                total[2]
+            );
+            if total[0] > 0 {
+                return Err(format!("{} error-severity findings", total[0]));
+            }
+            println!("all generated traces verified clean");
             Ok(())
         }
         "tune" => {

@@ -9,4 +9,5 @@ pub use soc_gemmini;
 pub use soc_isa;
 pub use soc_riscv;
 pub use soc_vector;
+pub use soc_verify;
 pub use tinympc;

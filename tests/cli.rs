@@ -32,6 +32,15 @@ fn solve_reports_cycles() {
 }
 
 #[test]
+fn verify_single_platform_is_clean() {
+    let out = dse(&["verify", "--platform", "OSGemminiRocket32KB"]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("0 errors"));
+    assert!(s.contains("all generated traces verified clean"));
+}
+
+#[test]
 fn unknown_platform_is_a_clean_error() {
     let out = dse(&["solve", "--platform", "Cray1"]);
     assert!(!out.status.success());

@@ -1,0 +1,42 @@
+//! End-to-end check of the trace verifier against every shipped codegen
+//! configuration: each trace an executor feeds its timing model must have
+//! zero error-severity findings. This is the release-build counterpart of
+//! the debug assertions inside the executors.
+
+use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
+use soc_dse_repro::tinympc::ProblemDims;
+
+fn assert_all_clean(dims: &ProblemDims) {
+    for platform in shipped_configurations() {
+        for r in verify_platform(&platform, dims) {
+            assert!(
+                r.report.is_clean(),
+                "{} / {} (nx={}, nu={}) has error-severity findings:\n{}",
+                platform.name,
+                r.trace,
+                dims.nx,
+                dims.nu,
+                r.report.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_shipped_configurations_verify_clean() {
+    // The paper's quadrotor problem: the dimensions every experiment uses.
+    assert_all_clean(&ProblemDims {
+        nx: 12,
+        nu: 4,
+        horizon: 10,
+    });
+}
+
+#[test]
+fn off_mesh_problem_sizes_verify_clean() {
+    // Dimensions that are not multiples of the mesh/vector width exercise
+    // the tail handling of every code generator.
+    for (nx, nu) in [(5, 3), (13, 7), (3, 1)] {
+        assert_all_clean(&ProblemDims { nx, nu, horizon: 4 });
+    }
+}
