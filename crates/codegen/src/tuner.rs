@@ -53,12 +53,15 @@ impl Candidate {
         }
     }
 
+    // A candidate whose trace fails verification prices at u64::MAX so it
+    // can never win the selection.
     fn measure(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
         match self {
             Candidate::Scalar(e, _) => e.kernel_cycles(kernel, dims),
             Candidate::Saturn(e, _) => e.kernel_cycles(kernel, dims),
             Candidate::Gemmini(e, _) => e.kernel_cycles(kernel, dims),
         }
+        .unwrap_or(u64::MAX)
     }
 
     fn trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
@@ -200,13 +203,13 @@ impl KernelExecutor for TunedExecutor {
         self.name.clone()
     }
 
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
         debug_assert_eq!(*dims, self.dims, "tuned for different dimensions");
-        self.table.get(&kernel).copied().unwrap_or(1)
+        Ok(self.table.get(&kernel).copied().unwrap_or(1))
     }
 
-    fn setup_cycles(&mut self, _dims: &ProblemDims) -> u64 {
-        self.setup
+    fn setup_cycles(&mut self, _dims: &ProblemDims) -> tinympc::Result<u64> {
+        Ok(self.setup)
     }
 }
 
@@ -239,7 +242,7 @@ pub fn tune(space: &TuningSpace, dims: &ProblemDims) -> TunedSolver {
             choices.values().any(|ch| ch.label == *c.label()) && matches!(c, Candidate::Gemmini(..))
         })
         .map(|c| match c {
-            Candidate::Gemmini(e, _) => e.setup_cycles(dims),
+            Candidate::Gemmini(e, _) => e.setup_cycles(dims).unwrap_or(0),
             _ => 0,
         })
         .max()
@@ -313,7 +316,7 @@ mod tests {
             let total: u64 = KernelId::ALL
                 .iter()
                 .map(|&k| {
-                    fixed.kernel_cycles(k, &dims())
+                    fixed.kernel_cycles(k, &dims()).unwrap()
                         * k.invocations_per_iteration(dims().horizon) as u64
                 })
                 .sum();

@@ -33,17 +33,37 @@ pub(crate) fn steady_cost(
     full.saturating_sub(head).max(1)
 }
 
-/// In debug builds, statically verifies a generated trace before it is
-/// fed to a timing model, and panics with the full report on any
-/// error-severity finding. Release builds skip the check entirely.
-pub(crate) fn debug_verify(trace: &Trace, config: &soc_verify::VerifyConfig, what: &str) {
-    if cfg!(debug_assertions) {
-        let report = soc_verify::verify(trace, config);
-        assert!(
-            report.is_clean(),
-            "{what} emitted an invalid trace:\n{}",
-            report.render()
-        );
+/// Whether traces should be statically verified before being fed to a
+/// timing model: always in debug builds, and in release builds when the
+/// `SOC_VERIFY=1` environment variable is set (read once per process).
+pub(crate) fn verification_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        cfg!(debug_assertions)
+            || std::env::var("SOC_VERIFY").is_ok_and(|v| v != "0" && !v.is_empty())
+    })
+}
+
+/// Statically verifies a generated trace before it is fed to a timing
+/// model, surfacing any error-severity finding as a recoverable
+/// [`tinympc::Error::InvalidTrace`] so callers can fall back to a
+/// reference back-end instead of crashing.
+pub(crate) fn verify_trace(
+    trace: &Trace,
+    config: &soc_verify::VerifyConfig,
+    what: &str,
+) -> tinympc::Result<()> {
+    if !verification_enabled() {
+        return Ok(());
+    }
+    let report = soc_verify::verify(trace, config);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(tinympc::Error::InvalidTrace {
+            backend: what.to_string(),
+            report: report.render(),
+        })
     }
 }
 
@@ -163,19 +183,19 @@ impl KernelExecutor for ScalarExecutor {
         format!("{} ({style})", self.core.name)
     }
 
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
         if let Some(&c) = self.memo.get(&(kernel, *dims)) {
-            return c;
+            return Ok(c);
         }
         let (trace, mark) = self.timed_trace(kernel, dims);
-        debug_verify(
+        verify_trace(
             &trace,
             &soc_verify::VerifyConfig::default(),
             "ScalarExecutor",
-        );
+        )?;
         let c = steady_cost(&self.core, &trace, mark, || Box::new(NullAccelerator));
         self.memo.insert((kernel, *dims), c);
-        c
+        Ok(c)
     }
 }
 
@@ -312,22 +332,22 @@ impl KernelExecutor for SaturnExecutor {
         format!("Saturn {} / {} ({style})", self.saturn.name, self.core.name)
     }
 
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
         if let Some(&c) = self.memo.get(&(kernel, *dims)) {
-            return c;
+            return Ok(c);
         }
         let (trace, mark) = self.timed_trace(kernel, dims);
-        debug_verify(
+        verify_trace(
             &trace,
             &soc_verify::VerifyConfig::default(),
             "SaturnExecutor",
-        );
+        )?;
         let saturn = self.saturn;
         let c = steady_cost(&self.core, &trace, mark, || {
             Box::new(SaturnUnit::new(saturn))
         });
         self.memo.insert((kernel, *dims), c);
-        c
+        Ok(c)
     }
 }
 
@@ -529,26 +549,26 @@ impl KernelExecutor for GemminiExecutor {
         format!("Gemmini {} / {}", self.gemmini.name, self.core.name)
     }
 
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
         if let Some(&c) = self.memo.get(&(kernel, *dims)) {
-            return c;
+            return Ok(c);
         }
         let (trace, mark) = self.timed_trace(kernel, dims);
-        debug_verify(&trace, &self.verify_config(), "GemminiExecutor");
+        verify_trace(&trace, &self.verify_config(), "GemminiExecutor")?;
         let cfg = self.gemmini;
         let c = steady_cost(&self.core, &trace, mark, || Box::new(GemminiUnit::new(cfg)));
         self.memo.insert((kernel, *dims), c);
-        c
+        Ok(c)
     }
 
-    fn setup_cycles(&mut self, dims: &ProblemDims) -> u64 {
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> tinympc::Result<u64> {
         let trace = self.setup_trace(dims);
         if trace.ops().is_empty() {
-            return 0;
+            return Ok(0);
         }
-        debug_verify(&trace, &self.verify_config(), "GemminiExecutor setup");
+        verify_trace(&trace, &self.verify_config(), "GemminiExecutor setup")?;
         let mut unit = GemminiUnit::new(self.gemmini);
-        simulate_with_accel(&self.core, &trace, &mut unit)
+        Ok(simulate_with_accel(&self.core, &trace, &mut unit))
     }
 }
 
@@ -567,8 +587,8 @@ mod tests {
     #[test]
     fn scalar_memoization_is_stable() {
         let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
-        let a = e.kernel_cycles(KernelId::ForwardPass1, &dims());
-        let b = e.kernel_cycles(KernelId::ForwardPass1, &dims());
+        let a = e.kernel_cycles(KernelId::ForwardPass1, &dims()).unwrap();
+        let b = e.kernel_cycles(KernelId::ForwardPass1, &dims()).unwrap();
         assert_eq!(a, b);
         assert!(a > 0);
     }
@@ -579,8 +599,8 @@ mod tests {
         let mut lib = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Library);
         let mut opt = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
         for k in KernelId::ALL {
-            let l = lib.kernel_cycles(k, &d);
-            let o = opt.kernel_cycles(k, &d);
+            let l = lib.kernel_cycles(k, &d).unwrap();
+            let o = opt.kernel_cycles(k, &d).unwrap();
             assert!(o <= l, "{k}: optimized {o} vs library {l}");
         }
     }
@@ -594,8 +614,8 @@ mod tests {
             SaturnConfig::v512d256(),
             VectorStyle::Fused,
         );
-        let s = scalar.kernel_cycles(KernelId::UpdateSlack2, &d);
-        let v = saturn.kernel_cycles(KernelId::UpdateSlack2, &d);
+        let s = scalar.kernel_cycles(KernelId::UpdateSlack2, &d).unwrap();
+        let v = saturn.kernel_cycles(KernelId::UpdateSlack2, &d).unwrap();
         assert!(v < s, "saturn {v} vs scalar {s}");
     }
 
@@ -610,14 +630,14 @@ mod tests {
             )
             .with_uniform_lmul(l)
         };
-        let strip1 = mk(1).kernel_cycles(KernelId::UpdateSlack2, &d);
-        let strip8 = mk(8).kernel_cycles(KernelId::UpdateSlack2, &d);
+        let strip1 = mk(1).kernel_cycles(KernelId::UpdateSlack2, &d).unwrap();
+        let strip8 = mk(8).kernel_cycles(KernelId::UpdateSlack2, &d).unwrap();
         assert!(
             strip8 <= strip1,
             "LMUL=8 should help strip-mining: {strip8} vs {strip1}"
         );
-        let it1 = mk(1).kernel_cycles(KernelId::BackwardPass1, &d);
-        let it8 = mk(8).kernel_cycles(KernelId::BackwardPass1, &d);
+        let it1 = mk(1).kernel_cycles(KernelId::BackwardPass1, &d).unwrap();
+        let it8 = mk(8).kernel_cycles(KernelId::BackwardPass1, &d).unwrap();
         assert!(
             it8 >= it1,
             "LMUL=8 should not help iterative kernels: {it8} vs {it1}"
@@ -632,13 +652,13 @@ mod tests {
             GemminiConfig::os_4x4_32kb(),
             GemminiOpts::optimized(),
         );
-        assert!(opt.setup_cycles(&d) > 0);
+        assert!(opt.setup_cycles(&d).unwrap() > 0);
         let mut base = GemminiExecutor::new(
             CoreConfig::rocket(),
             GemminiConfig::os_4x4_32kb(),
             GemminiOpts::baseline(),
         );
-        assert_eq!(base.setup_cycles(&d), 0);
+        assert_eq!(base.setup_cycles(&d).unwrap(), 0);
     }
 
     #[test]
@@ -648,8 +668,8 @@ mod tests {
         let mut opt = GemminiExecutor::new(CoreConfig::rocket(), cfg, GemminiOpts::optimized());
         let mut base = GemminiExecutor::new(CoreConfig::rocket(), cfg, GemminiOpts::baseline());
         for k in [KernelId::ForwardPass1, KernelId::BackwardPass2] {
-            let o = opt.kernel_cycles(k, &d);
-            let b = base.kernel_cycles(k, &d);
+            let o = opt.kernel_cycles(k, &d).unwrap();
+            let b = base.kernel_cycles(k, &d).unwrap();
             assert!(o < b, "{k}: optimized {o} vs baseline {b}");
         }
     }
@@ -675,7 +695,7 @@ mod tests {
         ];
         for e in execs.iter_mut() {
             for k in KernelId::ALL {
-                assert!(e.kernel_cycles(k, &d) > 0, "{k} on {}", e.name());
+                assert!(e.kernel_cycles(k, &d).unwrap() > 0, "{k} on {}", e.name());
             }
         }
     }

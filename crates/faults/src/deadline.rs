@@ -1,0 +1,420 @@
+//! Deadline-aware graceful degradation.
+//!
+//! A control loop that misses its deadline is as broken as one that
+//! computes the wrong answer. [`DeadlineSolver`] wraps [`AdmmSolver`]
+//! with a hard cycle budget (derived from the control rate and the
+//! platform's clock) and walks an explicit degradation ladder instead of
+//! overrunning:
+//!
+//! 1. [`DegradeRung::Nominal`] — the full solve fits; run it unchanged.
+//! 2. [`DegradeRung::WidenedCheck`] — residual checks are priced kernels
+//!    too; widening `check_interval` buys compute iterations.
+//! 3. [`DegradeRung::EarlyExit`] — run what fits and apply the best
+//!    iterate so far (the clipped slack `u0` is always feasible).
+//! 4. [`DegradeRung::LqrFallback`] — no iteration fits: apply the cached
+//!    infinite-horizon LQR gain `u = clip(−K∞ x0)` directly.
+//!
+//! The same wrapper owns fault recovery: any solver error (rejected
+//! trace, non-finite data, corrupted workspace) or detected divergence
+//! triggers one bounded retry — workspace reset, pristine Riccati cache
+//! restored, timing falls back to the scalar reference back-end — and if
+//! the retry fails too, the LQR rung catches. `solve` is therefore
+//! infallible: it always returns a finite, feasible `u0`.
+
+use matlib::{Scalar, Vector};
+use soc_cpu::{CoreConfig, ScalarStyle};
+use soc_dse::executors::ScalarExecutor;
+use tinympc::{
+    AdmmSolver, KernelExecutor, KernelId, NullObserver, SolveObserver, SolverSettings,
+    TerminationCause, TinyMpcCache,
+};
+
+/// The degradation ladder, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeRung {
+    /// Full solve within budget.
+    Nominal,
+    /// Residual checks widened to every `widen_factor` iterations.
+    WidenedCheck,
+    /// Budgeted early exit with the best iterate so far.
+    EarlyExit,
+    /// Cached LQR gain applied directly; no ADMM iteration ran.
+    LqrFallback,
+}
+
+impl std::fmt::Display for DegradeRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeRung::Nominal => "nominal",
+            DegradeRung::WidenedCheck => "widened-check",
+            DegradeRung::EarlyExit => "early-exit",
+            DegradeRung::LqrFallback => "lqr-fallback",
+        })
+    }
+}
+
+/// Budget and ladder parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineConfig {
+    /// Hard per-solve cycle budget.
+    pub cycle_budget: u64,
+    /// `check_interval` used on the widened rungs.
+    pub widen_factor: usize,
+    /// Iterations the ladder plans for when predicting whether a full
+    /// solve fits (warm-started TinyMPC solves typically converge well
+    /// under this).
+    pub expected_iterations: usize,
+}
+
+impl DeadlineConfig {
+    /// A config with the given budget and default ladder parameters.
+    pub fn new(cycle_budget: u64) -> Self {
+        DeadlineConfig {
+            cycle_budget,
+            widen_factor: 5,
+            expected_iterations: 25,
+        }
+    }
+
+    /// Budget from a control rate and core clock: one solve must fit in
+    /// `clock_hz / control_hz` cycles.
+    pub fn from_rates(control_hz: f64, clock_hz: f64) -> Self {
+        DeadlineConfig::new((clock_hz / control_hz).max(1.0) as u64)
+    }
+}
+
+/// Everything a caller needs to know about one degraded solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome<T> {
+    /// The control to apply — always finite and inside the input box.
+    pub u0: Vector<T>,
+    /// Which ladder rung produced it.
+    pub rung: DegradeRung,
+    /// Why the underlying iteration stopped.
+    pub termination: TerminationCause,
+    /// ADMM iterations performed (0 on [`DegradeRung::LqrFallback`]).
+    pub iterations: usize,
+    /// Simulated cycles of the applied solve.
+    pub total_cycles: u64,
+    /// Whether the bounded retry (workspace reset + scalar fallback
+    /// timing) ran.
+    pub retried: bool,
+    /// Description of the detected fault that forced recovery, if any.
+    pub fault: Option<String>,
+}
+
+/// Per-solve cost prediction probed from an executor.
+struct CostModel {
+    setup: u64,
+    init: u64,
+    iter: u64,
+    check: u64,
+}
+
+impl CostModel {
+    /// Cost of a full solve with a residual check every `1/interval`
+    /// iterations.
+    fn solve_cost(&self, iterations: usize, interval: usize) -> u64 {
+        let checks = iterations.div_ceil(interval.max(1)) as u64;
+        self.setup + self.init + self.iter * iterations as u64 + self.check * checks
+    }
+}
+
+/// [`AdmmSolver`] wrapped with a cycle budget, the degradation ladder
+/// and bounded fault recovery.
+#[derive(Debug, Clone)]
+pub struct DeadlineSolver<T> {
+    solver: AdmmSolver<T>,
+    pristine_cache: TinyMpcCache<T>,
+    base: SolverSettings,
+    config: DeadlineConfig,
+}
+
+impl<T: Scalar> DeadlineSolver<T> {
+    /// Wraps a solver, snapshotting its cache for recovery.
+    pub fn new(solver: AdmmSolver<T>, config: DeadlineConfig) -> Self {
+        let pristine_cache = solver.cache().clone();
+        let base = solver.settings();
+        DeadlineSolver {
+            solver,
+            pristine_cache,
+            base,
+            config,
+        }
+    }
+
+    /// The wrapped solver.
+    pub fn solver(&self) -> &AdmmSolver<T> {
+        &self.solver
+    }
+
+    /// The pristine cache snapshot taken at construction.
+    pub fn pristine_cache(&self) -> &TinyMpcCache<T> {
+        &self.pristine_cache
+    }
+
+    /// Whether the live Riccati cache still matches the pristine
+    /// snapshot bit-for-bit (a post-solve scrub for silent scratchpad
+    /// corruption).
+    pub fn cache_is_pristine(&self) -> bool {
+        let live = self.solver.cache();
+        let p = &self.pristine_cache;
+        [
+            (live.kinf.as_slice(), p.kinf.as_slice()),
+            (live.kinf_t.as_slice(), p.kinf_t.as_slice()),
+            (live.pinf.as_slice(), p.pinf.as_slice()),
+            (live.quu_inv.as_slice(), p.quu_inv.as_slice()),
+            (live.am_bk_t.as_slice(), p.am_bk_t.as_slice()),
+            (live.b_t.as_slice(), p.b_t.as_slice()),
+        ]
+        .iter()
+        .all(|(a, b)| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits())
+        })
+    }
+
+    /// Restores the pristine cache and resets duals/slacks.
+    pub fn restore(&mut self) {
+        *self.solver.cache_mut() = self.pristine_cache.clone();
+        self.solver.cold_start();
+    }
+
+    /// Probes per-kernel costs and mirrors the solver's exact charge
+    /// schedule (see `cycle_accounting_is_exact` in `tinympc`).
+    fn probe(&mut self, executor: &mut dyn KernelExecutor) -> tinympc::Result<CostModel> {
+        let dims = self.solver.dims();
+        let n = dims.horizon as u64;
+        let mut cost = |k: KernelId| executor.kernel_cycles(k, &dims);
+        use KernelId::*;
+        let lc = cost(UpdateLinearCost1)?
+            + cost(UpdateLinearCost2)?
+            + cost(UpdateLinearCost3)?
+            + cost(UpdateLinearCost4)?;
+        let iter = (cost(BackwardPass1)?
+            + cost(BackwardPass2)?
+            + cost(ForwardPass1)?
+            + cost(ForwardPass2)?)
+            * (n - 1)
+            + cost(UpdateSlack1)?
+            + cost(UpdateSlack2)?
+            + cost(UpdateDual1)?
+            + lc;
+        let check = cost(PrimalResidualState)?
+            + cost(DualResidualState)?
+            + cost(PrimalResidualInput)?
+            + cost(DualResidualInput)?;
+        Ok(CostModel {
+            setup: executor.setup_cycles(&dims)?,
+            init: lc,
+            iter,
+            check,
+        })
+    }
+
+    /// Picks the mildest rung whose predicted cost fits the budget.
+    fn select_rung(&self, c: &CostModel) -> DegradeRung {
+        let b = self.config.cycle_budget;
+        let e = self.config.expected_iterations.max(1);
+        let w = self.config.widen_factor.max(1);
+        if c.solve_cost(e, self.base.check_interval) <= b {
+            DegradeRung::Nominal
+        } else if c.solve_cost(e, w) <= b {
+            DegradeRung::WidenedCheck
+        } else if c.solve_cost(1, 1) <= b {
+            DegradeRung::EarlyExit
+        } else {
+            DegradeRung::LqrFallback
+        }
+    }
+
+    /// Settings for a rung: the budget is always installed as a hard
+    /// stop; widened rungs also stretch the residual check interval.
+    fn settings_for(&self, rung: DegradeRung) -> SolverSettings {
+        let mut s = self.base;
+        s.cycle_budget = Some(self.config.cycle_budget);
+        if matches!(rung, DegradeRung::WidenedCheck | DegradeRung::EarlyExit) {
+            s.check_interval = self.config.widen_factor.max(1);
+        }
+        s
+    }
+
+    /// The ladder's last rung: `u = clip(−K∞ x0)` from the pristine
+    /// cache. Structurally finite — `clip` squashes NaN to a bound.
+    fn lqr_u0(&self, x0: &Vector<T>) -> Vector<T> {
+        let p = self.solver.problem();
+        let nu = p.b.cols();
+        self.pristine_cache
+            .kinf
+            .matvec(x0)
+            .map(|u| u.neg())
+            .unwrap_or_else(|_| Vector::zeros(nu))
+            .clip(p.u_min, p.u_max)
+    }
+
+    fn lqr_outcome(&self, x0: &Vector<T>, retried: bool, fault: Option<String>) -> SolveOutcome<T> {
+        SolveOutcome {
+            u0: self.lqr_u0(x0),
+            rung: DegradeRung::LqrFallback,
+            termination: TerminationCause::Deadline,
+            iterations: 0,
+            total_cycles: 0,
+            retried,
+            fault,
+        }
+    }
+
+    /// Solves within the budget, degrading and recovering as needed.
+    /// Never fails and never returns a non-finite or out-of-box `u0`.
+    pub fn solve(&mut self, x0: &Vector<T>, executor: &mut dyn KernelExecutor) -> SolveOutcome<T> {
+        self.solve_observed(x0, executor, &mut NullObserver)
+    }
+
+    /// [`solve`](Self::solve) with an observer hook on the primary
+    /// attempt (the recovery retry never re-injects).
+    pub fn solve_observed(
+        &mut self,
+        x0: &Vector<T>,
+        executor: &mut dyn KernelExecutor,
+        observer: &mut dyn SolveObserver<T>,
+    ) -> SolveOutcome<T> {
+        if !x0.is_finite() || x0.len() != self.solver.dims().nx {
+            // Garbage in: the LQR rung is the only safe answer (matvec
+            // on a non-finite state is rejected by the math layer).
+            return self.lqr_outcome(x0, false, Some("non-finite or misshapen x0".into()));
+        }
+        let rung = match self.probe(executor) {
+            Ok(c) => self.select_rung(&c),
+            // The back-end rejected a trace before any iteration ran.
+            Err(e) => return self.recover(x0, e.to_string()),
+        };
+        if rung == DegradeRung::LqrFallback {
+            return self.lqr_outcome(x0, false, None);
+        }
+        self.solver.set_settings(self.settings_for(rung));
+        match self.solver.solve_observed(x0, executor, observer) {
+            Ok(r) if r.termination != TerminationCause::Diverged => {
+                self.finish(x0, r, rung, false, None)
+            }
+            Ok(r) => self.recover(
+                x0,
+                format!("divergent iterates (residuals {:?})", r.residuals),
+            ),
+            Err(e) => self.recover(x0, e.to_string()),
+        }
+    }
+
+    /// The bounded retry: reset state, restore the pristine cache, and
+    /// re-solve with scalar reference timing. A second failure falls
+    /// through to the LQR rung.
+    fn recover(&mut self, x0: &Vector<T>, fault: String) -> SolveOutcome<T> {
+        self.restore();
+        let mut fallback = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let rung = match self.probe(&mut fallback) {
+            Ok(c) => self.select_rung(&c),
+            Err(_) => return self.lqr_outcome(x0, true, Some(fault)),
+        };
+        if rung == DegradeRung::LqrFallback {
+            return self.lqr_outcome(x0, true, Some(fault));
+        }
+        self.solver.set_settings(self.settings_for(rung));
+        match self.solver.solve(x0, &mut fallback) {
+            Ok(r) if r.termination != TerminationCause::Diverged => {
+                self.finish(x0, r, rung, true, Some(fault))
+            }
+            _ => self.lqr_outcome(x0, true, Some(fault)),
+        }
+    }
+
+    /// Packages a successful solve, downgrading the rung label when the
+    /// budget tripped mid-solve and clamping `u0` defensively.
+    fn finish(
+        &mut self,
+        x0: &Vector<T>,
+        r: tinympc::SolveResult<T>,
+        rung: DegradeRung,
+        retried: bool,
+        fault: Option<String>,
+    ) -> SolveOutcome<T> {
+        let rung = if r.termination == TerminationCause::Deadline {
+            rung.max(DegradeRung::EarlyExit)
+        } else {
+            rung
+        };
+        let p = self.solver.problem();
+        let mut u0 = r.u0.clip(p.u_min, p.u_max);
+        if !u0.is_finite() {
+            u0 = self.lqr_u0(x0);
+        }
+        SolveOutcome {
+            u0,
+            rung,
+            termination: r.termination,
+            iterations: r.iterations,
+            total_cycles: r.total_cycles,
+            retried,
+            fault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinympc::{problems, NullExecutor};
+
+    fn solver() -> AdmmSolver<f32> {
+        let p = problems::quadrotor_hover::<f32>(10).unwrap();
+        AdmmSolver::new(p, SolverSettings::default()).unwrap()
+    }
+
+    #[test]
+    fn generous_budget_stays_nominal() {
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(u64::MAX));
+        let x0 = d.solver().problem().hover_offset_state(0.2);
+        let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let o = d.solve(&x0, &mut e);
+        assert_eq!(o.rung, DegradeRung::Nominal);
+        assert_eq!(o.termination, TerminationCause::Converged);
+        assert!(!o.retried);
+        assert!(o.u0.is_finite());
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_lqr() {
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(1));
+        let x0 = d.solver().problem().hover_offset_state(0.4);
+        let o = d.solve(&x0, &mut NullExecutor);
+        // NullExecutor charges nothing, so even budget 1 fits a full
+        // solve; use a real executor for the pressure test below.
+        assert!(o.u0.is_finite());
+        let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(1));
+        let o = d.solve(&x0, &mut e);
+        assert_eq!(o.rung, DegradeRung::LqrFallback);
+        assert_eq!(o.iterations, 0);
+        assert!(o.u0.is_finite());
+        let p = problems::quadrotor_hover::<f32>(10).unwrap();
+        for i in 0..o.u0.len() {
+            assert!(o.u0[i] >= p.u_min && o.u0[i] <= p.u_max);
+        }
+    }
+
+    #[test]
+    fn from_rates_divides_clock_by_control_rate() {
+        let c = DeadlineConfig::from_rates(500.0, 1.0e9);
+        assert_eq!(c.cycle_budget, 2_000_000);
+    }
+
+    #[test]
+    fn restore_undoes_cache_corruption() {
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(u64::MAX));
+        assert!(d.cache_is_pristine());
+        d.solver.cache_mut().kinf.as_mut_slice()[0] += 1.0;
+        assert!(!d.cache_is_pristine());
+        d.restore();
+        assert!(d.cache_is_pristine());
+    }
+}

@@ -39,6 +39,15 @@ pub enum Error {
         /// Length of the offending row.
         got: usize,
     },
+    /// An operation produced a non-finite (NaN/Inf) result.
+    ///
+    /// Surfaced by the cheap output guards on the hot kernels so corrupted
+    /// inputs (bit flips, divergence) are detected instead of silently
+    /// propagating through an entire solve.
+    NonFinite {
+        /// Name of the operation whose output went non-finite.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +75,9 @@ impl fmt::Display for Error {
                 f,
                 "ragged rows: row {row} has {got} elements, expected {expected}"
             ),
+            Error::NonFinite { op } => {
+                write!(f, "{op} produced a non-finite (NaN/Inf) result")
+            }
         }
     }
 }

@@ -7,6 +7,24 @@
 
 use crate::{Error, Matrix, Result, Scalar, Vector};
 
+/// Output-finiteness guard: `O(len(out))`, negligible next to the `O(n·k)`
+/// work of the kernels it protects, so it stays on in release builds. A
+/// non-finite output means a non-finite input or overflow somewhere
+/// upstream — exactly the silent-data-corruption signature the fault
+/// layer needs surfaced as an error.
+#[inline]
+pub(crate) fn guard_finite<'a, T: Scalar>(
+    op: &'static str,
+    out: impl IntoIterator<Item = &'a T>,
+) -> Result<()> {
+    for v in out {
+        if !v.is_finite() {
+            return Err(Error::NonFinite { op });
+        }
+    }
+    Ok(())
+}
+
 /// General matrix-matrix product `A * B`.
 ///
 /// # Errors
@@ -37,7 +55,8 @@ pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
 /// # Errors
 ///
 /// Returns [`Error::DimensionMismatch`] if the inner dimensions of `A` and
-/// `B` disagree or `C` does not have shape `(a.rows(), b.cols())`.
+/// `B` disagree or `C` does not have shape `(a.rows(), b.cols())`, and
+/// [`Error::NonFinite`] if the output contains NaN/Inf.
 pub fn gemm_accumulate<T: Scalar>(
     alpha: T,
     a: &Matrix<T>,
@@ -69,6 +88,13 @@ pub fn gemm_accumulate<T: Scalar>(
             c[(i, j)] = alpha * acc + beta * c[(i, j)];
         }
     }
+    for i in 0..m {
+        for j in 0..n {
+            if !c[(i, j)].is_finite() {
+                return Err(Error::NonFinite { op: "gemm" });
+            }
+        }
+    }
     Ok(())
 }
 
@@ -89,7 +115,8 @@ pub fn gemv<T: Scalar>(a: &Matrix<T>, x: &Vector<T>) -> Result<Vector<T>> {
 /// # Errors
 ///
 /// Returns [`Error::DimensionMismatch`] if `a.cols() != x.len()` or
-/// `y.len() != a.rows()`.
+/// `y.len() != a.rows()`, and [`Error::NonFinite`] if the output contains
+/// NaN/Inf.
 pub fn gemv_accumulate<T: Scalar>(
     alpha: T,
     a: &Matrix<T>,
@@ -119,7 +146,7 @@ pub fn gemv_accumulate<T: Scalar>(
         }
         y[i] = alpha * acc + beta * y[i];
     }
-    Ok(())
+    guard_finite("gemv", y.as_slice())
 }
 
 #[cfg(test)]
@@ -186,6 +213,27 @@ mod tests {
         let x = Vector::zeros(2);
         let mut y = Vector::zeros(3);
         assert!(gemv_accumulate(1.0, &a, &x, 0.0, &mut y).is_err());
+    }
+
+    #[test]
+    fn gemv_nan_input_surfaces_nonfinite() {
+        let a = mat(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = Vector::from_slice(&[f64::NAN, 1.0]);
+        assert!(matches!(gemv(&a, &x), Err(Error::NonFinite { op: "gemv" })));
+    }
+
+    #[test]
+    fn gemm_nan_input_surfaces_nonfinite() {
+        let a = mat(&[&[f64::NAN, 0.0], &[0.0, 1.0]]);
+        let b = Matrix::identity(2);
+        assert!(matches!(gemm(&a, &b), Err(Error::NonFinite { op: "gemm" })));
+    }
+
+    #[test]
+    fn gemm_infinity_surfaces_nonfinite() {
+        let a = mat(&[&[f64::MAX, f64::MAX], &[0.0, 1.0]]);
+        let b = mat(&[&[f64::MAX, 0.0], &[f64::MAX, 1.0]]);
+        assert!(matches!(gemm(&a, &b), Err(Error::NonFinite { op: "gemm" })));
     }
 
     #[test]

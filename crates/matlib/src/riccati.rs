@@ -137,6 +137,9 @@ pub fn dare<T: Scalar>(
         let p_next = p_next.add(&p_next.transpose())?.scale(T::from_f64(0.5));
 
         let delta = p_next.max_abs_diff(&p)?;
+        if !delta.is_finite() {
+            return Err(Error::NonFinite { op: "dare" });
+        }
         // In reduced precision (f32) the requested tolerance may be below
         // representable resolution at P's magnitude; widen it to a few ulps
         // of the largest entry.
@@ -298,6 +301,16 @@ mod tests {
         assert!(matches!(
             dare(&a, &b, &q, &r, opts),
             Err(Error::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn dare_nan_dynamics_surfaces_nonfinite() {
+        let (mut a, b, q, r) = double_integrator();
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            dare(&a, &b, &q, &r, DareOptions::default()),
+            Err(Error::NonFinite { .. })
         ));
     }
 

@@ -81,7 +81,8 @@ impl<T: Scalar> Cholesky<T> {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if `b.len()` differs from the
-    /// factorized dimension.
+    /// factorized dimension, and [`Error::NonFinite`] if the solution
+    /// contains NaN/Inf (e.g. a corrupted right-hand side).
     pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
         let n = self.l.rows();
         if b.len() != n {
@@ -109,6 +110,7 @@ impl<T: Scalar> Cholesky<T> {
             }
             x[i] = sum / self.l[(i, i)];
         }
+        crate::ops::guard_finite("cholesky_solve", x.as_slice())?;
         Ok(x)
     }
 
@@ -204,7 +206,8 @@ impl<T: Scalar> Lu<T> {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if `b.len()` differs from the
-    /// factorized dimension.
+    /// factorized dimension, and [`Error::NonFinite`] if the solution
+    /// contains NaN/Inf (e.g. a corrupted right-hand side).
     pub fn solve(&self, b: &Vector<T>) -> Result<Vector<T>> {
         let n = self.lu.rows();
         if b.len() != n {
@@ -231,6 +234,7 @@ impl<T: Scalar> Lu<T> {
             }
             x[i] /= self.lu[(i, i)];
         }
+        crate::ops::guard_finite("lu_solve", x.as_slice())?;
         Ok(x)
     }
 
@@ -333,6 +337,15 @@ mod tests {
     }
 
     #[test]
+    fn cholesky_solve_nan_rhs_surfaces_nonfinite() {
+        let a = spd4();
+        let chol = Cholesky::new(&a).unwrap();
+        let mut b = Vector::zeros(4);
+        b[0] = f64::NAN;
+        assert!(matches!(chol.solve(&b), Err(Error::NonFinite { .. })));
+    }
+
+    #[test]
     fn lu_solve_with_pivoting() {
         // Needs pivoting: zero on the (0,0) entry.
         let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 1.0], &[3.0, 1.0, 0.0]]).unwrap();
@@ -358,6 +371,14 @@ mod tests {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let lu = Lu::new(&a).unwrap();
         assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_nan_rhs_surfaces_nonfinite() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 1.0], &[3.0, 1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let b = Vector::from_slice(&[f64::NAN, 3.0, 4.0]);
+        assert!(matches!(lu.solve(&b), Err(Error::NonFinite { .. })));
     }
 
     #[test]

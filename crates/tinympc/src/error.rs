@@ -14,6 +14,22 @@ pub enum Error {
     /// A linear-algebra operation failed during solving (indicates an
     /// internal inconsistency).
     Numeric(matlib::Error),
+    /// A generated micro-op trace failed static verification — the
+    /// back-end would execute a stream with hazards, out-of-bounds
+    /// accesses, or malformed commands (e.g. after a fault corrupted it).
+    InvalidTrace {
+        /// Back-end whose trace failed verification.
+        backend: String,
+        /// Rendered verifier report.
+        report: String,
+    },
+    /// A solver invariant was violated mid-solve — e.g. the pinned initial
+    /// state `x[0]` changed underneath the solver, which only a memory
+    /// fault can cause.
+    CorruptedWorkspace {
+        /// Description of the violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -22,6 +38,12 @@ impl fmt::Display for Error {
             Error::BadProblem { reason } => write!(f, "invalid problem: {reason}"),
             Error::Cache(e) => write!(f, "failed to compute the Riccati cache: {e}"),
             Error::Numeric(e) => write!(f, "numeric failure while solving: {e}"),
+            Error::InvalidTrace { backend, report } => {
+                write!(f, "invalid micro-op trace on {backend}:\n{report}")
+            }
+            Error::CorruptedWorkspace { what } => {
+                write!(f, "solver workspace corrupted: {what}")
+            }
         }
     }
 }
@@ -30,7 +52,9 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Cache(e) | Error::Numeric(e) => Some(e),
-            Error::BadProblem { .. } => None,
+            Error::BadProblem { .. }
+            | Error::InvalidTrace { .. }
+            | Error::CorruptedWorkspace { .. } => None,
         }
     }
 }

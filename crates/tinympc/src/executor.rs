@@ -1,6 +1,6 @@
 //! The timing-oracle interface between the solver and hardware back-ends.
 
-use crate::{KernelId, ProblemDims};
+use crate::{KernelId, ProblemDims, Result};
 
 /// Prices TinyMPC kernel invocations on some hardware back-end.
 ///
@@ -10,6 +10,11 @@ use crate::{KernelId, ProblemDims};
 /// they internally generate the kernel's micro-op trace for their software
 /// mapping, replay it through the back-end's pipeline model, and memoize
 /// the result per `(kernel, dims)`.
+///
+/// Both pricing methods are fallible: an executor that verifies its own
+/// micro-op traces (or simulates faulty hardware) reports an unusable
+/// trace as [`crate::Error::InvalidTrace`] instead of silently charging
+/// cycles for a stream the hardware could not execute.
 pub trait KernelExecutor {
     /// Human-readable back-end name for reports (e.g.
     /// `"Saturn V512D256 / Rocket (fused, LMUL=2)"`).
@@ -17,13 +22,23 @@ pub trait KernelExecutor {
 
     /// Simulated cycles of one invocation of `kernel` at the given problem
     /// dimensions.
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidTrace`] if the kernel's generated
+    /// micro-op trace fails verification.
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> Result<u64>;
 
     /// One-time per-solve setup cost (e.g. Gemmini's workspace preload
     /// into the scratchpad). Defaults to zero.
-    fn setup_cycles(&mut self, dims: &ProblemDims) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidTrace`] if the setup trace fails
+    /// verification.
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> Result<u64> {
         let _ = dims;
-        0
+        Ok(0)
     }
 }
 
@@ -37,7 +52,7 @@ impl KernelExecutor for NullExecutor {
         "reference (no timing)".to_string()
     }
 
-    fn kernel_cycles(&mut self, _kernel: KernelId, _dims: &ProblemDims) -> u64 {
-        0
+    fn kernel_cycles(&mut self, _kernel: KernelId, _dims: &ProblemDims) -> Result<u64> {
+        Ok(0)
     }
 }

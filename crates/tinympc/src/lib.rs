@@ -53,7 +53,9 @@ pub use error::Error;
 pub use executor::{KernelExecutor, NullExecutor};
 pub use kernel::{KernelClass, KernelId, KernelProfile, ProblemDims};
 pub use problem::TinyMpcProblem;
-pub use solver::{AdmmSolver, SolveResult, SolverSettings};
+pub use solver::{
+    AdmmSolver, NullObserver, SolveObserver, SolveResult, SolverSettings, TerminationCause,
+};
 pub use workspace::TinyMpcWorkspace;
 
 /// Result alias for this crate.

@@ -16,6 +16,15 @@ pub struct SolverSettings {
     /// Check residuals every `check_interval` iterations (checking costs
     /// the reduction kernels).
     pub check_interval: usize,
+    /// Hard cap on simulated cycles for one solve. The solver always
+    /// completes the first iteration (so a best-so-far `u0` exists), then
+    /// stops before any iteration predicted to overrun the budget and
+    /// reports [`TerminationCause::Deadline`]. `None` disables budgeting.
+    pub cycle_budget: Option<u64>,
+    /// Residual magnitude beyond which the iteration is declared divergent
+    /// ([`TerminationCause::Diverged`]) — converged ADMM residuals shrink,
+    /// so residuals this large mean corrupted data, not slow progress.
+    pub divergence_threshold: f64,
 }
 
 impl Default for SolverSettings {
@@ -24,7 +33,34 @@ impl Default for SolverSettings {
             max_iterations: 100,
             tolerance: 1e-3,
             check_interval: 1,
+            cycle_budget: None,
+            divergence_threshold: 1e6,
         }
+    }
+}
+
+/// Why a solve stopped iterating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationCause {
+    /// All four residuals fell below tolerance.
+    Converged,
+    /// The iteration cap was reached without convergence.
+    MaxIterations,
+    /// The next iteration would have overrun the cycle budget; `u0` is the
+    /// best iterate so far.
+    Deadline,
+    /// Residuals became non-finite or exceeded the divergence threshold.
+    Diverged,
+}
+
+impl std::fmt::Display for TerminationCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TerminationCause::Converged => "converged",
+            TerminationCause::MaxIterations => "max-iterations",
+            TerminationCause::Deadline => "deadline",
+            TerminationCause::Diverged => "diverged",
+        })
     }
 }
 
@@ -33,6 +69,8 @@ impl Default for SolverSettings {
 pub struct SolveResult<T> {
     /// Whether all residuals fell below tolerance.
     pub converged: bool,
+    /// Why the iteration stopped.
+    pub termination: TerminationCause,
     /// ADMM iterations performed.
     pub iterations: usize,
     /// First control input of the optimized trajectory (apply this to the
@@ -45,6 +83,37 @@ pub struct SolveResult<T> {
     pub total_cycles: u64,
     /// Simulated cycles per kernel.
     pub kernel_cycles: BTreeMap<KernelId, u64>,
+}
+
+/// Hook invoked between ADMM iterations with mutable access to the
+/// solver's state.
+///
+/// This is the seam the fault-injection layer uses to flip bits in the
+/// cache or workspace at a chosen iteration; it is also usable for
+/// instrumentation (residual logging, iterate recording).
+pub trait SolveObserver<T> {
+    /// Called after iteration `iteration` (1-based) completes, before the
+    /// convergence check result is acted on.
+    fn after_iteration(
+        &mut self,
+        iteration: usize,
+        cache: &mut TinyMpcCache<T>,
+        workspace: &mut TinyMpcWorkspace<T>,
+    );
+}
+
+/// An observer that does nothing (the default for [`AdmmSolver::solve`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl<T> SolveObserver<T> for NullObserver {
+    fn after_iteration(
+        &mut self,
+        _iteration: usize,
+        _cache: &mut TinyMpcCache<T>,
+        _workspace: &mut TinyMpcWorkspace<T>,
+    ) {
+    }
 }
 
 /// The TinyMPC ADMM solver.
@@ -89,9 +158,31 @@ impl<T: Scalar> AdmmSolver<T> {
         &self.cache
     }
 
+    /// Mutable access to the cache — used by the fault layer to inject
+    /// corruption and by recovery paths to restore a pristine copy.
+    pub fn cache_mut(&mut self) -> &mut TinyMpcCache<T> {
+        &mut self.cache
+    }
+
     /// The current workspace (trajectories of the last solve).
     pub fn workspace(&self) -> &TinyMpcWorkspace<T> {
         &self.workspace
+    }
+
+    /// Mutable access to the workspace.
+    pub fn workspace_mut(&mut self) -> &mut TinyMpcWorkspace<T> {
+        &mut self.workspace
+    }
+
+    /// The active solver settings.
+    pub fn settings(&self) -> SolverSettings {
+        self.settings
+    }
+
+    /// Replaces the solver settings (used by the degradation ladder to
+    /// widen `check_interval` or impose a cycle budget between solves).
+    pub fn set_settings(&mut self, settings: SolverSettings) {
+        self.settings = settings;
     }
 
     /// Resets duals and slacks (disables warm starting for the next
@@ -126,11 +217,29 @@ impl<T: Scalar> AdmmSolver<T> {
     /// # Errors
     ///
     /// Returns [`crate::Error::BadProblem`] if `x0` has the wrong
-    /// dimension; numeric errors indicate internal inconsistency.
+    /// dimension, [`crate::Error::InvalidTrace`] if the executor rejects a
+    /// kernel trace, [`crate::Error::CorruptedWorkspace`] if the pinned
+    /// initial state changed mid-solve, and numeric errors (including
+    /// [`matlib::Error::NonFinite`]) for corrupted or inconsistent data.
     pub fn solve(
         &mut self,
         x0: &Vector<T>,
         executor: &mut dyn KernelExecutor,
+    ) -> Result<SolveResult<T>> {
+        self.solve_observed(x0, executor, &mut NullObserver)
+    }
+
+    /// [`solve`](Self::solve) with an inter-iteration [`SolveObserver`]
+    /// hook (fault injection, instrumentation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_observed(
+        &mut self,
+        x0: &Vector<T>,
+        executor: &mut dyn KernelExecutor,
+        observer: &mut dyn SolveObserver<T>,
     ) -> Result<SolveResult<T>> {
         let dims = self.problem.dims();
         if x0.len() != dims.nx {
@@ -138,21 +247,31 @@ impl<T: Scalar> AdmmSolver<T> {
                 reason: format!("x0 must have dimension {}, got {}", dims.nx, x0.len()),
             });
         }
+        if !x0.is_finite() {
+            return Err(crate::Error::BadProblem {
+                reason: "x0 contains non-finite entries".into(),
+            });
+        }
         let n = dims.horizon;
         let mut kernel_cycles: BTreeMap<KernelId, u64> = BTreeMap::new();
-        let mut total: u64 = executor.setup_cycles(&dims);
+        let mut total: u64 = executor.setup_cycles(&dims)?;
 
         let charge = |k: KernelId,
                       times: usize,
                       kernel_cycles: &mut BTreeMap<KernelId, u64>,
                       total: &mut u64,
-                      executor: &mut dyn KernelExecutor| {
-            let c = executor.kernel_cycles(k, &dims) * times as u64;
+                      executor: &mut dyn KernelExecutor|
+         -> Result<()> {
+            let c = executor.kernel_cycles(k, &dims)? * times as u64;
             *kernel_cycles.entry(k).or_insert(0) += c;
             *total += c;
+            Ok(())
         };
 
         self.workspace.x[0] = x0.clone();
+        // Shadow copy of the pinned initial state: nothing in the ADMM
+        // iteration rewrites x[0], so any change is a memory fault.
+        let x0_pinned = x0.clone();
         let rho = self.problem.rho;
 
         // Initialize the linear cost terms from the reference before the
@@ -164,34 +283,47 @@ impl<T: Scalar> AdmmSolver<T> {
             &mut kernel_cycles,
             &mut total,
             executor,
-        );
+        )?;
         charge(
             KernelId::UpdateLinearCost2,
             1,
             &mut kernel_cycles,
             &mut total,
             executor,
-        );
+        )?;
         charge(
             KernelId::UpdateLinearCost3,
             1,
             &mut kernel_cycles,
             &mut total,
             executor,
-        );
+        )?;
         charge(
             KernelId::UpdateLinearCost4,
             1,
             &mut kernel_cycles,
             &mut total,
             executor,
-        );
+        )?;
 
         let mut converged = false;
+        let mut termination = TerminationCause::MaxIterations;
         let mut iterations = 0;
         let mut residuals = (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        // Cost of the most recent full iteration, used to predict whether
+        // the next one still fits in the cycle budget.
+        let mut last_iter_cost: u64 = 0;
 
         for iter in 0..self.settings.max_iterations {
+            if let Some(budget) = self.settings.cycle_budget {
+                // The first iteration always runs so a best-so-far u0
+                // exists; afterwards stop before a predicted overrun.
+                if iter > 0 && total + last_iter_cost > budget {
+                    termination = TerminationCause::Deadline;
+                    break;
+                }
+            }
+            let iter_start_cycles = total;
             iterations = iter + 1;
 
             // ---- Primal update: backward Riccati sweep, then forward
@@ -203,14 +335,14 @@ impl<T: Scalar> AdmmSolver<T> {
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             charge(
                 KernelId::BackwardPass2,
                 n - 1,
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             self.forward_pass()?;
             charge(
                 KernelId::ForwardPass1,
@@ -218,14 +350,14 @@ impl<T: Scalar> AdmmSolver<T> {
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             charge(
                 KernelId::ForwardPass2,
                 n - 1,
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
 
             // ---- Slack update (Algorithm 2): project onto the boxes.
             self.update_slack()?;
@@ -235,14 +367,14 @@ impl<T: Scalar> AdmmSolver<T> {
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             charge(
                 KernelId::UpdateSlack2,
                 1,
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
 
             // ---- Dual ascent.
             self.update_dual()?;
@@ -252,7 +384,7 @@ impl<T: Scalar> AdmmSolver<T> {
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
 
             // ---- Refresh linear cost terms for the next primal update.
             self.update_linear_cost()?;
@@ -262,28 +394,28 @@ impl<T: Scalar> AdmmSolver<T> {
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             charge(
                 KernelId::UpdateLinearCost2,
                 1,
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             charge(
                 KernelId::UpdateLinearCost3,
                 1,
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
             charge(
                 KernelId::UpdateLinearCost4,
                 1,
                 &mut kernel_cycles,
                 &mut total,
                 executor,
-            );
+            )?;
 
             // ---- Residuals (Algorithm 3) and termination.
             if iter % self.settings.check_interval == 0 {
@@ -294,32 +426,44 @@ impl<T: Scalar> AdmmSolver<T> {
                     &mut kernel_cycles,
                     &mut total,
                     executor,
-                );
+                )?;
                 charge(
                     KernelId::DualResidualState,
                     1,
                     &mut kernel_cycles,
                     &mut total,
                     executor,
-                );
+                )?;
                 charge(
                     KernelId::PrimalResidualInput,
                     1,
                     &mut kernel_cycles,
                     &mut total,
                     executor,
-                );
+                )?;
                 charge(
                     KernelId::DualResidualInput,
                     1,
                     &mut kernel_cycles,
                     &mut total,
                     executor,
-                );
+                )?;
                 residuals = (prs, drs, pri, dri);
                 let tol = self.settings.tolerance;
                 if prs < tol && drs < tol * rho.to_f64() && pri < tol && dri < tol * rho.to_f64() {
                     converged = true;
+                }
+                // Divergence: residuals of a healthy ADMM iteration shrink
+                // towards tolerance; values this large (or NaN hiding in
+                // the iterates — max-reductions skip NaN, so check the
+                // workspace explicitly) mean the data is corrupt.
+                let worst = prs.max(drs).max(pri).max(dri);
+                if !worst.is_finite()
+                    || worst > self.settings.divergence_threshold
+                    || !self.workspace.is_finite()
+                {
+                    termination = TerminationCause::Diverged;
+                    break;
                 }
             }
 
@@ -329,7 +473,17 @@ impl<T: Scalar> AdmmSolver<T> {
             // After the swap, v/z hold the new values; vnew/znew hold the
             // previous ones and will be overwritten next iteration.
 
+            observer.after_iteration(iterations, &mut self.cache, &mut self.workspace);
+            if self.workspace.x[0].as_slice() != x0_pinned.as_slice() {
+                return Err(crate::Error::CorruptedWorkspace {
+                    what: "pinned initial state x[0] changed mid-solve".into(),
+                });
+            }
+
+            last_iter_cost = total - iter_start_cycles;
+
             if converged {
+                termination = TerminationCause::Converged;
                 break;
             }
         }
@@ -338,6 +492,7 @@ impl<T: Scalar> AdmmSolver<T> {
         let u0 = self.workspace.z[0].clone();
         Ok(SolveResult {
             converged,
+            termination,
             iterations,
             u0,
             residuals,
@@ -488,7 +643,7 @@ mod tests {
             SolverSettings {
                 max_iterations: 500,
                 tolerance: 1e-9,
-                check_interval: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -585,11 +740,11 @@ mod tests {
         fn name(&self) -> String {
             "unit".into()
         }
-        fn kernel_cycles(&mut self, _k: KernelId, _d: &ProblemDims) -> u64 {
-            1
+        fn kernel_cycles(&mut self, _k: KernelId, _d: &ProblemDims) -> Result<u64> {
+            Ok(1)
         }
-        fn setup_cycles(&mut self, _d: &ProblemDims) -> u64 {
-            7
+        fn setup_cycles(&mut self, _d: &ProblemDims) -> Result<u64> {
+            Ok(7)
         }
     }
 
@@ -639,5 +794,144 @@ mod tests {
             track.u0[0] > rest.u0[0] + 1e-3,
             "tracking should push forward"
         );
+    }
+
+    #[test]
+    fn termination_cause_reported() {
+        let (r, _) = solve_di(&[1.0, 0.0]);
+        assert_eq!(r.termination, TerminationCause::Converged);
+        let p = problems::double_integrator::<f64>(20).unwrap();
+        let settings = SolverSettings {
+            max_iterations: 2,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let mut s = AdmmSolver::new(p, settings).unwrap();
+        let r = s
+            .solve(&Vector::from_slice(&[5.0, 0.0]), &mut NullExecutor)
+            .unwrap();
+        assert_eq!(r.termination, TerminationCause::MaxIterations);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn cycle_budget_stops_early_with_finite_u0() {
+        let p = problems::double_integrator::<f64>(10).unwrap();
+        let mut s = AdmmSolver::new(p, SolverSettings::default()).unwrap();
+        let x0 = Vector::from_slice(&[50.0, 0.0]);
+        let full = s.solve(&x0, &mut UnitExecutor).unwrap();
+        assert!(full.iterations > 2, "need a multi-iteration baseline");
+
+        // Budget for roughly two iterations: the solve must stop on the
+        // Deadline rung well short of the unbudgeted iteration count.
+        let budget = full.total_cycles * 2 / full.iterations as u64;
+        let settings = SolverSettings {
+            cycle_budget: Some(budget),
+            ..Default::default()
+        };
+        let mut s =
+            AdmmSolver::new(problems::double_integrator::<f64>(10).unwrap(), settings).unwrap();
+        let r = s.solve(&x0, &mut UnitExecutor).unwrap();
+        assert_eq!(r.termination, TerminationCause::Deadline);
+        assert!(r.iterations < full.iterations);
+        assert!(r.total_cycles <= budget, "predictive stop overran");
+        assert!(r.u0.is_finite());
+    }
+
+    #[test]
+    fn budget_always_runs_first_iteration() {
+        let p = problems::double_integrator::<f64>(10).unwrap();
+        let settings = SolverSettings {
+            cycle_budget: Some(1),
+            ..Default::default()
+        };
+        let mut s = AdmmSolver::new(p, settings).unwrap();
+        let r = s
+            .solve(&Vector::from_slice(&[1.0, 0.0]), &mut UnitExecutor)
+            .unwrap();
+        assert_eq!(r.iterations, 1);
+        assert_eq!(r.termination, TerminationCause::Deadline);
+        assert!(r.u0.is_finite());
+    }
+
+    /// Injects a huge value into a dual variable at a chosen iteration.
+    struct DualBlast {
+        at: usize,
+        value: f64,
+    }
+
+    impl SolveObserver<f64> for DualBlast {
+        fn after_iteration(
+            &mut self,
+            iteration: usize,
+            _cache: &mut TinyMpcCache<f64>,
+            workspace: &mut TinyMpcWorkspace<f64>,
+        ) {
+            if iteration == self.at {
+                workspace.y[0][0] = self.value;
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_iterates_detected() {
+        let p = problems::double_integrator::<f64>(20).unwrap();
+        let settings = SolverSettings {
+            tolerance: 1e-12,
+            max_iterations: 50,
+            ..Default::default()
+        };
+        let mut s = AdmmSolver::new(p, settings).unwrap();
+        let mut blast = DualBlast { at: 2, value: 1e30 };
+        let r = s
+            .solve_observed(
+                &Vector::from_slice(&[1.0, 0.0]),
+                &mut NullExecutor,
+                &mut blast,
+            )
+            .unwrap();
+        assert_eq!(r.termination, TerminationCause::Diverged);
+        // The applied control still comes from the clipped slack, so it
+        // stays finite even though the iterates exploded.
+        assert!(r.u0.is_finite());
+    }
+
+    /// Flips the pinned initial state mid-solve.
+    struct X0Flip;
+
+    impl SolveObserver<f64> for X0Flip {
+        fn after_iteration(
+            &mut self,
+            iteration: usize,
+            _cache: &mut TinyMpcCache<f64>,
+            workspace: &mut TinyMpcWorkspace<f64>,
+        ) {
+            if iteration == 1 {
+                workspace.x[0][0] += 1.0;
+            }
+        }
+    }
+
+    #[test]
+    fn x0_corruption_detected() {
+        let p = problems::double_integrator::<f64>(20).unwrap();
+        let mut s = AdmmSolver::new(p, SolverSettings::default()).unwrap();
+        let err = s
+            .solve_observed(
+                &Vector::from_slice(&[1.0, 0.0]),
+                &mut NullExecutor,
+                &mut X0Flip,
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::Error::CorruptedWorkspace { .. }));
+    }
+
+    #[test]
+    fn non_finite_x0_rejected() {
+        let p = problems::double_integrator::<f64>(10).unwrap();
+        let mut s = AdmmSolver::new(p, SolverSettings::default()).unwrap();
+        assert!(s
+            .solve(&Vector::from_slice(&[f64::NAN, 0.0]), &mut NullExecutor)
+            .is_err());
     }
 }

@@ -64,7 +64,7 @@ fn tighter_tolerance_tightens_residuals() {
             let settings = SolverSettings {
                 max_iterations: 300,
                 tolerance: tol,
-                check_interval: 1,
+                ..Default::default()
             };
             let mut solver = AdmmSolver::new(problem, settings).unwrap();
             let x0 = Vector::from_fn(6, |i| (i as f64 - 2.5) * 0.3);

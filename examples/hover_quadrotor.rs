@@ -36,12 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut worst_cycles = 0u64;
     let mut sum_sq_err = 0.0f64;
     let mut max_err = 0.0f64;
+    let mut last_termination = None;
 
     for step in 0..steps {
         let xref = figure8_reference::<f32>(12, horizon, step, dt);
         solver.set_reference(&xref)?;
         let result = solver.solve(&x, executor.as_mut())?;
         worst_cycles = worst_cycles.max(result.total_cycles);
+        last_termination = Some(result.termination);
 
         // Plant update with the applied (feasible) input.
         let ax = a.matvec(&x)?;
@@ -56,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         if step % 200 == 0 {
             println!(
-                "t={:5.2}s  pos=({:+.3},{:+.3},{:+.3})  ref=({:+.3},{:+.3})  err={:.3} m  {} iters",
+                "t={:5.2}s  pos=({:+.3},{:+.3},{:+.3})  ref=({:+.3},{:+.3})  err={:.3} m  {} iters ({})",
                 step as f64 * dt,
                 x[0],
                 x[1],
@@ -64,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 xref[0][0],
                 xref[0][1],
                 err,
-                result.iterations
+                result.iterations,
+                result.termination
             );
         }
     }
@@ -83,6 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1.0e9 / worst_cycles as f64,
         1.0 / dt
     );
+    if let Some(t) = last_termination {
+        println!("last solve terminated: {t}");
+    }
     assert!(rms < 0.25, "tracking diverged");
     Ok(())
 }

@@ -20,6 +20,7 @@ use soc_dse_repro::soc_dse::experiments::{
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::report::markdown_table;
 use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
+use soc_dse_repro::soc_faults::{run_campaign, CampaignKind};
 use soc_dse_repro::soc_gemmini::GemminiConfig;
 use soc_dse_repro::soc_vector::SaturnConfig;
 use soc_dse_repro::soc_verify::Severity;
@@ -44,6 +45,11 @@ COMMANDS:
             [--verbose]        trace (hazards, vsetvli state, scratchpad
                                residency, perf lints); exits non-zero on
                                any error-severity finding
+    faults  [--seed N]         Seeded fault-injection campaign across the
+            [--campaign KIND]  back-end families (KIND: smoke|full,
+            [--smoke]          default smoke); --smoke additionally gates
+                               on zero silent corruptions on the scalar
+                               back-end (CI mode), exiting non-zero
 
 Platform names are the Table-I identifiers shown by `dse list`.";
 
@@ -248,6 +254,31 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err(format!("{} error-severity findings", total[0]));
             }
             println!("all generated traces verified clean");
+            Ok(())
+        }
+        "faults" => {
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?
+                .unwrap_or(7);
+            let gate = args.iter().any(|a| a == "--smoke");
+            let kind = match flag(args, "--campaign").as_deref() {
+                None => CampaignKind::Smoke,
+                Some("smoke") => CampaignKind::Smoke,
+                Some("full") => CampaignKind::Full,
+                Some(other) => return Err(format!("unknown campaign `{other}`")),
+            };
+            let report = run_campaign(seed, kind)?;
+            println!("{}", report.render());
+            if gate {
+                let sdc = report.scalar_sdc();
+                if sdc > 0 {
+                    return Err(format!(
+                        "{sdc} undetected corruption(s) on the scalar back-end"
+                    ));
+                }
+                println!("smoke gate passed: zero silent corruptions on the scalar back-end");
+            }
             Ok(())
         }
         "tune" => {

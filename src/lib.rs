@@ -5,6 +5,7 @@ pub use soc_area;
 pub use soc_codegen;
 pub use soc_cpu;
 pub use soc_dse;
+pub use soc_faults;
 pub use soc_gemmini;
 pub use soc_isa;
 pub use soc_riscv;
