@@ -1,0 +1,54 @@
+//! Host-performance benchmarks of the sweep engine: cold vs warm passes
+//! and shard-pool scaling on the smoke spec.
+//!
+//! Plain self-timed harness (no external bench framework): run with
+//! `cargo bench -p soc-bench --bench sweep_perf`.
+
+use soc_sweep::{run_sweep, SweepEngine, SweepSpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time(name: &str, f: impl FnOnce() -> String) {
+    let start = Instant::now();
+    let report = f();
+    println!(
+        "{name:<36} {:>10.3} ms  ({} report bytes)",
+        start.elapsed().as_secs_f64() * 1e3,
+        report.len()
+    );
+    black_box(report);
+}
+
+fn main() {
+    let spec = SweepSpec::smoke();
+    println!(
+        "sweep bench: spec `{}`, {} work items\n",
+        spec.label,
+        spec.work_items()
+    );
+
+    for jobs in [1usize, 2, 4, 8] {
+        let engine = SweepEngine::in_memory(jobs);
+        time(&format!("cold, jobs={jobs}"), || {
+            run_sweep(&spec, &engine).unwrap().render()
+        });
+        time(&format!("warm (memory hits), jobs={jobs}"), || {
+            run_sweep(&spec, &engine).unwrap().render()
+        });
+    }
+
+    // Disk tier: cold write-through pass, then a fresh engine that can
+    // only hit disk.
+    let dir = std::env::temp_dir().join(format!("soc-sweep-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let writer = SweepEngine::with_cache_dir(4, &dir).unwrap();
+    time("cold + disk write-through, jobs=4", || {
+        run_sweep(&spec, &writer).unwrap().render()
+    });
+    let reader = SweepEngine::with_cache_dir(4, &dir).unwrap();
+    time("warm from disk, jobs=4", || {
+        run_sweep(&spec, &reader).unwrap().render()
+    });
+    assert_eq!(reader.stats().misses, 0, "disk tier must fully warm");
+    let _ = std::fs::remove_dir_all(&dir);
+}

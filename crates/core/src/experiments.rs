@@ -1,6 +1,13 @@
 //! Runnable reproductions of the paper's experiments: end-to-end TinyMPC
 //! solves, per-kernel breakdowns, standalone kernel sweeps, and the
 //! Pareto analysis.
+//!
+//! Every experiment that prices more than one design point is expressed
+//! against a [`CycleSource`]: a batch oracle for solve and standalone
+//! kernel cycle counts. [`SerialSource`] is the reference implementation
+//! (compute every request in order, on this thread); the `soc-sweep`
+//! crate provides a parallel, memoized implementation that must remain
+//! bit-identical to it.
 
 use crate::platform::{Backend, Platform};
 use soc_cpu::ScalarKernels;
@@ -72,6 +79,94 @@ pub fn solve_problem_cycles(
     })
 }
 
+/// Cycle-relevant summary of one end-to-end solve — everything the sweep
+/// experiments (Table I, kernel speedups) need, and nothing that cannot
+/// be cheaply cached (no trajectories, no residual history).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveSummary {
+    /// Simulated cycles for the whole solve.
+    pub total_cycles: u64,
+    /// ADMM iterations performed.
+    pub iterations: usize,
+    /// Whether the solver reported convergence.
+    pub converged: bool,
+    /// Per-kernel cycle attribution.
+    pub kernel_cycles: BTreeMap<KernelId, u64>,
+}
+
+impl From<&SolveOutcome> for SolveSummary {
+    fn from(outcome: &SolveOutcome) -> Self {
+        SolveSummary {
+            total_cycles: outcome.result.total_cycles,
+            iterations: outcome.result.iterations,
+            converged: outcome.result.converged,
+            kernel_cycles: outcome.result.kernel_cycles.clone(),
+        }
+    }
+}
+
+/// A request to price one end-to-end quadrotor-hover solve.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Platform to charge cycles to.
+    pub platform: Platform,
+    /// MPC horizon length.
+    pub horizon: usize,
+}
+
+/// A request to price one standalone kernel invocation.
+#[derive(Debug, Clone)]
+pub struct KernelRequest {
+    /// Platform to charge cycles to.
+    pub platform: Platform,
+    /// GEMV or GEMM.
+    pub shape: KernelShape,
+    /// Cold (one-shot, DMA charged) or warm (steady-state).
+    pub residency: Residency,
+    /// Matrix height.
+    pub i: usize,
+    /// Matrix width / reduction length.
+    pub k: usize,
+}
+
+/// Batch oracle for cycle counts.
+///
+/// Implementations MUST return exactly one element per request, in
+/// request order, and MUST be deterministic: the same batch always
+/// yields the same answers, bit for bit, regardless of how the work is
+/// scheduled internally. [`SerialSource`] is the reference; the
+/// `soc-sweep` engine is the parallel, memoized implementation and is
+/// tested bit-identical against it.
+pub trait CycleSource {
+    /// Prices a batch of end-to-end solves.
+    fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<SolveSummary>>;
+
+    /// Prices a batch of standalone kernels.
+    fn kernel_batch(&self, requests: &[KernelRequest]) -> Vec<u64>;
+}
+
+/// Reference [`CycleSource`]: computes every request in order on the
+/// calling thread with no caching. The bit-exact baseline every other
+/// source is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialSource;
+
+impl CycleSource for SerialSource {
+    fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<SolveSummary>> {
+        requests
+            .iter()
+            .map(|r| Ok(SolveSummary::from(&solve_cycles(&r.platform, r.horizon)?)))
+            .collect()
+    }
+
+    fn kernel_batch(&self, requests: &[KernelRequest]) -> Vec<u64> {
+        requests
+            .iter()
+            .map(|r| standalone_kernel(&r.platform, r.shape, r.residency, r.i, r.k))
+            .collect()
+    }
+}
+
 /// One row of the paper's Table I.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
@@ -86,17 +181,27 @@ pub struct Table1Row {
 }
 
 /// Regenerates Table I: area and cycles-per-solve for every registry
-/// platform.
+/// platform, submitting the solves through `source` as one batch.
 ///
 /// # Errors
 ///
 /// Propagates solver failures.
-pub fn table1(horizon: usize) -> tinympc::Result<Vec<Table1Row>> {
-    Platform::table1_registry()
+pub fn table1_with(source: &dyn CycleSource, horizon: usize) -> tinympc::Result<Vec<Table1Row>> {
+    let registry = Platform::table1_registry();
+    let requests: Vec<SolveRequest> = registry
         .iter()
-        .map(|p| {
-            let outcome = solve_cycles(p, horizon)?;
-            let cycles = outcome.result.total_cycles;
+        .map(|p| SolveRequest {
+            platform: p.clone(),
+            horizon,
+        })
+        .collect();
+    let summaries = source.solve_batch(&requests);
+    assert_eq!(summaries.len(), requests.len(), "CycleSource contract");
+    registry
+        .iter()
+        .zip(summaries)
+        .map(|(p, summary)| {
+            let cycles = summary?.total_cycles;
             Ok(Table1Row {
                 name: p.name.clone(),
                 area_um2: p.area().total(),
@@ -105,6 +210,15 @@ pub fn table1(horizon: usize) -> tinympc::Result<Vec<Table1Row>> {
             })
         })
         .collect()
+}
+
+/// Regenerates Table I via the serial reference path.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn table1(horizon: usize) -> tinympc::Result<Vec<Table1Row>> {
+    table1_with(&SerialSource, horizon)
 }
 
 /// Marks the Pareto-optimal points among `(area, cycles)` pairs (both
@@ -133,7 +247,42 @@ pub fn kernel_breakdown(
 }
 
 /// Per-kernel speedup of `platform` over `baseline` (both solving the
-/// same problem).
+/// same problem), submitting both solves through `source` as one batch.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn kernel_speedups_with(
+    source: &dyn CycleSource,
+    platform: &Platform,
+    baseline: &Platform,
+    horizon: usize,
+) -> tinympc::Result<Vec<(KernelId, f64)>> {
+    let requests = [
+        SolveRequest {
+            platform: platform.clone(),
+            horizon,
+        },
+        SolveRequest {
+            platform: baseline.clone(),
+            horizon,
+        },
+    ];
+    let mut summaries = source.solve_batch(&requests).into_iter();
+    let (Some(a), Some(b)) = (summaries.next(), summaries.next()) else {
+        panic!("CycleSource contract: two requests, two answers");
+    };
+    let (a, b) = (a?.kernel_cycles, b?.kernel_cycles);
+    Ok(KernelId::ALL
+        .iter()
+        .filter_map(|k| {
+            let (ca, cb) = (a.get(k).copied()?, b.get(k).copied()?);
+            Some((*k, cb as f64 / ca.max(1) as f64))
+        })
+        .collect())
+}
+
+/// [`kernel_speedups_with`] via the serial reference path.
 ///
 /// # Errors
 ///
@@ -143,15 +292,7 @@ pub fn kernel_speedups(
     baseline: &Platform,
     horizon: usize,
 ) -> tinympc::Result<Vec<(KernelId, f64)>> {
-    let a = kernel_breakdown(platform, horizon)?;
-    let b = kernel_breakdown(baseline, horizon)?;
-    Ok(KernelId::ALL
-        .iter()
-        .filter_map(|k| {
-            let (ca, cb) = (a.get(k).copied()?, b.get(k).copied()?);
-            Some((*k, cb as f64 / ca.max(1) as f64))
-        })
-        .collect())
+    kernel_speedups_with(&SerialSource, platform, baseline, horizon)
 }
 
 /// Standalone kernel shape for the sweep experiments.
@@ -287,19 +428,13 @@ pub struct Heatmap {
 
 impl Heatmap {
     /// Geometric mean of all cells.
+    ///
+    /// Guarded: computed in log space (a 64×64 grid of large ratios
+    /// would overflow a running product to `inf`), skips non-finite and
+    /// non-positive cells, and returns `1.0` for an empty or fully
+    /// degenerate grid instead of NaN.
     pub fn geomean(&self) -> f64 {
-        let mut product = 1.0f64;
-        let mut n = 0usize;
-        for row in &self.values {
-            for v in row {
-                product *= v;
-                n += 1;
-            }
-        }
-        if n == 0 {
-            return 1.0;
-        }
-        product.powf(1.0 / n as f64)
+        crate::report::geomean(self.values.iter().flatten().copied())
     }
 
     /// Arithmetic mean of all cells (the paper quotes arithmetic "on
@@ -322,8 +457,11 @@ impl Heatmap {
 }
 
 /// Sweeps `(I, K)` sizes and reports the speedup of `numerator` over
-/// `denominator` (cycles_denominator / cycles_numerator).
-pub fn speedup_heatmap(
+/// `denominator` (cycles_denominator / cycles_numerator), submitting
+/// all `2 · |heights| · |widths|` kernel pricings through `source` as
+/// one batch.
+pub fn speedup_heatmap_with(
+    source: &dyn CycleSource,
     numerator: &Platform,
     denominator: &Platform,
     shape: KernelShape,
@@ -331,14 +469,31 @@ pub fn speedup_heatmap(
     heights: &[usize],
     widths: &[usize],
 ) -> Heatmap {
+    let mut requests = Vec::with_capacity(2 * heights.len() * widths.len());
+    for &i in heights {
+        for &k in widths {
+            for platform in [numerator, denominator] {
+                requests.push(KernelRequest {
+                    platform: platform.clone(),
+                    shape,
+                    residency,
+                    i,
+                    k,
+                });
+            }
+        }
+    }
+    let cycles = source.kernel_batch(&requests);
+    assert_eq!(cycles.len(), requests.len(), "CycleSource contract");
+    let mut pairs = cycles.chunks_exact(2);
     let values = heights
         .iter()
-        .map(|&i| {
+        .map(|_| {
             widths
                 .iter()
-                .map(|&k| {
-                    let n = standalone_kernel(numerator, shape, residency, i, k).max(1);
-                    let d = standalone_kernel(denominator, shape, residency, i, k).max(1);
+                .map(|_| {
+                    let pair = pairs.next().expect("one (num, den) pair per cell");
+                    let (n, d) = (pair[0].max(1), pair[1].max(1));
                     d as f64 / n as f64
                 })
                 .collect()
@@ -349,6 +504,26 @@ pub fn speedup_heatmap(
         widths: widths.to_vec(),
         values,
     }
+}
+
+/// [`speedup_heatmap_with`] via the serial reference path.
+pub fn speedup_heatmap(
+    numerator: &Platform,
+    denominator: &Platform,
+    shape: KernelShape,
+    residency: Residency,
+    heights: &[usize],
+    widths: &[usize],
+) -> Heatmap {
+    speedup_heatmap_with(
+        &SerialSource,
+        numerator,
+        denominator,
+        shape,
+        residency,
+        heights,
+        widths,
+    )
 }
 
 #[cfg(test)]
@@ -463,5 +638,94 @@ mod tests {
         };
         assert!((h.geomean() - 2.0).abs() < 1e-12);
         assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heatmap_geomean_survives_degenerate_cells() {
+        // Empty grid: multiplicative identity, not NaN (0^(1/0)).
+        let empty = Heatmap {
+            heights: vec![],
+            widths: vec![],
+            values: vec![],
+        };
+        assert_eq!(empty.geomean(), 1.0);
+        assert_eq!(empty.mean(), 1.0);
+
+        // All-degenerate cells (zero speedup, NaN from 0/0 pricing):
+        // skipped, not propagated.
+        let degenerate = Heatmap {
+            heights: vec![4],
+            widths: vec![4, 8, 16],
+            values: vec![vec![0.0, f64::NAN, -1.0]],
+        };
+        assert_eq!(degenerate.geomean(), 1.0);
+
+        // Degenerate cells must not poison healthy ones.
+        let mixed = Heatmap {
+            heights: vec![4],
+            widths: vec![4, 8],
+            values: vec![vec![f64::NAN, 9.0]],
+        };
+        assert!((mixed.geomean() - 9.0).abs() < 1e-12);
+
+        // A large grid of large ratios must not overflow to inf (the
+        // old running-product implementation did).
+        let big = Heatmap {
+            heights: vec![0; 64],
+            widths: vec![0; 64],
+            values: vec![vec![1e30; 64]; 64],
+        };
+        let g = big.geomean();
+        assert!(g.is_finite(), "geomean overflowed: {g}");
+        assert!((g - 1e30).abs() / 1e30 < 1e-10);
+    }
+
+    #[test]
+    fn serial_source_matches_direct_calls() {
+        let rocket = Platform::rocket_eigen();
+        let saturn = Platform::saturn(CoreConfig::shuttle(), SaturnConfig::v512d256());
+
+        // Solve batch ≡ solve_cycles, element for element.
+        let requests = [
+            SolveRequest {
+                platform: rocket.clone(),
+                horizon: 8,
+            },
+            SolveRequest {
+                platform: saturn.clone(),
+                horizon: 8,
+            },
+        ];
+        let batch = SerialSource.solve_batch(&requests);
+        assert_eq!(batch.len(), 2);
+        for (req, got) in requests.iter().zip(&batch) {
+            let direct = SolveSummary::from(&solve_cycles(&req.platform, req.horizon).unwrap());
+            assert_eq!(got.as_ref().unwrap(), &direct);
+        }
+
+        // Kernel batch ≡ standalone_kernel, element for element.
+        let kreqs = [
+            KernelRequest {
+                platform: rocket.clone(),
+                shape: KernelShape::Gemv,
+                residency: Residency::Cold,
+                i: 8,
+                k: 8,
+            },
+            KernelRequest {
+                platform: saturn,
+                shape: KernelShape::Gemm,
+                residency: Residency::Warm,
+                i: 12,
+                k: 12,
+            },
+        ];
+        let cycles = SerialSource.kernel_batch(&kreqs);
+        for (req, got) in kreqs.iter().zip(&cycles) {
+            assert_eq!(
+                *got,
+                standalone_kernel(&req.platform, req.shape, req.residency, req.i, req.k)
+            );
+        }
     }
 }

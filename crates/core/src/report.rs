@@ -1,5 +1,35 @@
 //! Plain-text / markdown rendering of experiment results.
 
+/// Geometric mean of the finite, strictly positive values in `values`.
+///
+/// Computed in log space so large grids cannot overflow the running
+/// product, and guarded against degenerate cells: non-finite or
+/// non-positive entries are skipped, and an empty (or fully degenerate)
+/// input yields the multiplicative identity `1.0` instead of NaN.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(soc_dse::report::geomean([]), 1.0);
+/// assert!((soc_dse::report::geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// assert_eq!(soc_dse::report::geomean([0.0, f64::NAN, -3.0]), 1.0);
+/// ```
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
 /// Renders a markdown table.
 ///
 /// # Examples
@@ -63,13 +93,11 @@ pub fn heatmap_text(
         out.push_str(&format!("{c:>7}"));
     }
     out.push('\n');
-    let mut product = 1.0f64;
     let mut count = 0usize;
     for (r, row) in values.iter().enumerate() {
         out.push_str(&format!("{:>5} ", row_labels[r]));
         for v in row {
             out.push_str(&format!("{v:>7.2}"));
-            product *= v;
             count += 1;
         }
         out.push('\n');
@@ -77,7 +105,7 @@ pub fn heatmap_text(
     if count > 0 {
         out.push_str(&format!(
             "  geometric mean: {:.2}x\n",
-            product.powf(1.0 / count as f64)
+            geomean(values.iter().flatten().copied())
         ));
     }
     out
@@ -105,5 +133,23 @@ mod tests {
     fn heatmap_reports_geomean() {
         let s = heatmap_text("t", &[4, 8], &[4, 8], &[vec![2.0, 2.0], vec![2.0, 2.0]]);
         assert!(s.contains("geometric mean: 2.00x"));
+    }
+
+    #[test]
+    fn heatmap_text_survives_degenerate_cells() {
+        let s = heatmap_text("t", &[4], &[4, 8], &[vec![0.0, f64::NAN]]);
+        assert!(s.contains("geometric mean: 1.00x"), "{s}");
+    }
+
+    #[test]
+    fn geomean_guards_degenerate_inputs() {
+        assert_eq!(geomean([]), 1.0);
+        assert_eq!(geomean([0.0]), 1.0);
+        assert_eq!(geomean([-2.0, f64::INFINITY, f64::NAN]), 1.0);
+        // Degenerate cells are excluded, not poisonous.
+        assert!((geomean([0.0, 4.0]) - 4.0).abs() < 1e-12);
+        // Large grids no longer overflow a running product.
+        let big = geomean((0..100).map(|_| 1e300));
+        assert!((big - 1e300).abs() / 1e300 < 1e-10);
     }
 }

@@ -111,6 +111,65 @@ impl<T: Scalar> Qr<T> {
         Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { T::ZERO })
     }
 
+    /// The thin orthonormal factor `Q` (`m × n`), such that `Q·R = A`
+    /// and `Qᵀ·Q = I`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use matlib::{Matrix, Qr};
+    ///
+    /// # fn main() -> Result<(), matlib::Error> {
+    /// let a = Matrix::<f64>::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+    /// let qr = Qr::new(&a)?;
+    /// let back = qr.q().matmul(&qr.r())?;
+    /// for r in 0..3 {
+    ///     for c in 0..2 {
+    ///         assert!((back[(r, c)] - a[(r, c)]).abs() < 1e-12);
+    ///     }
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn q(&self) -> Matrix<T> {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(m);
+            e[j] = T::ONE;
+            let col = self.apply_q(&e);
+            for i in 0..m {
+                q[(i, j)] = col[i];
+            }
+        }
+        q
+    }
+
+    /// Applies `Q = H₀·H₁⋯H₍ₙ₋₁₎` to a vector of length `m` (the
+    /// Householder reflections in reverse of [`apply_qt`](Self::apply_qt)'s
+    /// order).
+    fn apply_q(&self, b: &Vector<T>) -> Vector<T> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.clone();
+        for j in (0..n).rev() {
+            let beta = self.betas[j];
+            if beta <= T::ZERO {
+                continue;
+            }
+            let mut dot = y[j];
+            for i in (j + 1)..m {
+                dot += self.qr[(i, j)] * y[i];
+            }
+            let scale = beta * dot;
+            y[j] -= scale;
+            for i in (j + 1)..m {
+                let vi = self.qr[(i, j)];
+                y[i] -= scale * vi;
+            }
+        }
+        y
+    }
+
     /// Applies `Qᵀ` to a vector of length `m`.
     fn apply_qt(&self, b: &Vector<T>) -> Vector<T> {
         let (m, n) = self.qr.shape();
@@ -217,6 +276,28 @@ mod tests {
         let r = a.matvec(&x).unwrap().sub(&b).unwrap();
         let atr = a.transpose().matvec(&r).unwrap();
         assert!(atr.max_abs() < 1e-8, "normal equations violated: {atr:?}");
+    }
+
+    #[test]
+    fn q_is_orthonormal_and_reconstructs() {
+        let a = tall(4, 7, 4);
+        let qr = Qr::new(&a).unwrap();
+        let q = qr.q();
+        // Qᵀ·Q = I.
+        let qtq = q.transpose().matmul(&q).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - want).abs() < 1e-10, "QtQ[{i}][{j}]");
+            }
+        }
+        // Q·R = A.
+        let back = q.matmul(&qr.r()).unwrap();
+        for i in 0..7 {
+            for j in 0..4 {
+                assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

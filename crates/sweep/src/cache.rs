@@ -1,0 +1,295 @@
+//! Content-addressed cycle cache: in-memory map with an optional
+//! on-disk tier.
+//!
+//! Layout on disk (one file per entry, under the cache directory):
+//!
+//! ```text
+//! <32-hex-digit key>.entry
+//!   line 1: soc-sweep-cache v1        (format magic + version)
+//!   line 2: kind solve | kind kernel
+//!   solve:  total_cycles / iterations / converged / kernels k=v,k=v,...
+//!   kernel: cycles N
+//! ```
+//!
+//! Writes are atomic (`.tmp-<pid>` then rename) so a crashed or
+//! concurrent `dse` never leaves a torn entry; anything unparsable is
+//! treated as a miss and rewritten. Only `Ok` solve summaries are
+//! persisted — errors stay in the in-memory tier so a transient failure
+//! is never immortalized.
+
+use crate::key::Key;
+use soc_dse::experiments::SolveSummary;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tinympc::KernelId;
+
+/// Which tier answered a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Answered from the in-memory map.
+    Memory,
+    /// Answered from the on-disk tier (and promoted to memory).
+    Disk,
+}
+
+const MAGIC: &str = "soc-sweep-cache v1";
+
+/// Two-tier (memory + optional disk) cache for sweep work products.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    dir: Option<PathBuf>,
+    solves: HashMap<Key, tinympc::Result<SolveSummary>>,
+    kernels: HashMap<Key, u64>,
+}
+
+impl SweepCache {
+    /// Memory-only cache (the `--no-cache` disk-less mode still
+    /// memoizes within the process).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Cache backed by `dir`; the directory is created if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SweepCache {
+            dir: Some(dir),
+            ..Self::default()
+        })
+    }
+
+    /// The disk tier's directory, if one is attached.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of entries resident in memory.
+    pub fn len(&self) -> usize {
+        self.solves.len() + self.kernels.len()
+    }
+
+    /// True when no entries are resident in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probes for a solve summary; disk hits are promoted to memory.
+    pub fn get_solve(&mut self, key: &Key) -> Option<(tinympc::Result<SolveSummary>, HitLevel)> {
+        if let Some(v) = self.solves.get(key) {
+            return Some((v.clone(), HitLevel::Memory));
+        }
+        let summary = self.read_entry(key, parse_solve)?;
+        self.solves.insert(*key, Ok(summary.clone()));
+        Some((Ok(summary), HitLevel::Disk))
+    }
+
+    /// Stores a solve summary in memory, and on disk when `Ok`.
+    pub fn put_solve(&mut self, key: Key, value: &tinympc::Result<SolveSummary>) {
+        if let Ok(summary) = value {
+            self.write_entry(&key, &render_solve(summary));
+        }
+        self.solves.insert(key, value.clone());
+    }
+
+    /// Probes for a standalone-kernel cycle count.
+    pub fn get_kernel(&mut self, key: &Key) -> Option<(u64, HitLevel)> {
+        if let Some(&c) = self.kernels.get(key) {
+            return Some((c, HitLevel::Memory));
+        }
+        let cycles = self.read_entry(key, parse_kernel)?;
+        self.kernels.insert(*key, cycles);
+        Some((cycles, HitLevel::Disk))
+    }
+
+    /// Stores a standalone-kernel cycle count in memory and on disk.
+    pub fn put_kernel(&mut self, key: Key, cycles: u64) {
+        self.write_entry(&key, &render_kernel(cycles));
+        self.kernels.insert(key, cycles);
+    }
+
+    fn entry_path(&self, key: &Key) -> Option<PathBuf> {
+        Some(self.dir.as_ref()?.join(format!("{}.entry", key.to_hex())))
+    }
+
+    fn read_entry<T>(&self, key: &Key, parse: fn(&str) -> Option<T>) -> Option<T> {
+        let text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
+        parse(&text)
+    }
+
+    /// Atomic write: tmp file + rename. IO failures degrade the disk
+    /// tier to a no-op (the result is still served from memory).
+    fn write_entry(&self, key: &Key, body: &str) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        };
+        if write().is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn render_solve(s: &SolveSummary) -> String {
+    let kernels: Vec<String> = s
+        .kernel_cycles
+        .iter()
+        .map(|(k, c)| format!("{k:?}={c}"))
+        .collect();
+    format!(
+        "{MAGIC}\nkind solve\ntotal_cycles {}\niterations {}\nconverged {}\nkernels {}\n",
+        s.total_cycles,
+        s.iterations,
+        s.converged,
+        kernels.join(",")
+    )
+}
+
+fn render_kernel(cycles: u64) -> String {
+    format!("{MAGIC}\nkind kernel\ncycles {cycles}\n")
+}
+
+fn field<'a>(lines: &mut std::str::Lines<'a>, name: &str) -> Option<&'a str> {
+    lines.next()?.strip_prefix(name)?.strip_prefix(' ')
+}
+
+fn kernel_id_by_name(name: &str) -> Option<KernelId> {
+    KernelId::ALL
+        .iter()
+        .copied()
+        .find(|k| format!("{k:?}") == name)
+}
+
+fn parse_solve(text: &str) -> Option<SolveSummary> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC || lines.next()? != "kind solve" {
+        return None;
+    }
+    let total_cycles = field(&mut lines, "total_cycles")?.parse().ok()?;
+    let iterations = field(&mut lines, "iterations")?.parse().ok()?;
+    let converged = match field(&mut lines, "converged")? {
+        "true" => true,
+        "false" => false,
+        _ => return None,
+    };
+    let mut kernel_cycles = BTreeMap::new();
+    for pair in field(&mut lines, "kernels")?
+        .split(',')
+        .filter(|p| !p.is_empty())
+    {
+        let (name, cycles) = pair.split_once('=')?;
+        kernel_cycles.insert(kernel_id_by_name(name)?, cycles.parse().ok()?);
+    }
+    Some(SolveSummary {
+        total_cycles,
+        iterations,
+        converged,
+        kernel_cycles,
+    })
+}
+
+fn parse_kernel(text: &str) -> Option<u64> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC || lines.next()? != "kind kernel" {
+        return None;
+    }
+    field(&mut lines, "cycles")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::key_of;
+
+    fn summary() -> SolveSummary {
+        let mut kernel_cycles = BTreeMap::new();
+        kernel_cycles.insert(KernelId::ForwardPass1, 123);
+        kernel_cycles.insert(KernelId::DualResidualInput, 7);
+        SolveSummary {
+            total_cycles: 392_261,
+            iterations: 35,
+            converged: true,
+            kernel_cycles,
+        }
+    }
+
+    #[test]
+    fn solve_round_trips_through_text() {
+        let s = summary();
+        assert_eq!(parse_solve(&render_solve(&s)), Some(s));
+    }
+
+    #[test]
+    fn kernel_round_trips_through_text() {
+        assert_eq!(parse_kernel(&render_kernel(40_961)), Some(40_961));
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        assert_eq!(parse_solve(""), None);
+        assert_eq!(parse_solve("soc-sweep-cache v0\nkind solve\n"), None);
+        assert_eq!(
+            parse_kernel("soc-sweep-cache v1\nkind solve\ncycles 1\n"),
+            None
+        );
+        assert_eq!(
+            parse_solve(&render_solve(&summary()).replace("kernels", "kernelz")),
+            None
+        );
+        assert_eq!(
+            parse_solve(&render_solve(&summary()).replace("ForwardPass1", "NotAKernel")),
+            None
+        );
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_promotes() {
+        let dir = std::env::temp_dir().join(format!("soc-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_of("disk round trip");
+
+        let mut writer = SweepCache::with_dir(&dir).unwrap();
+        writer.put_solve(key, &Ok(summary()));
+        writer.put_kernel(key_of("kernel"), 99);
+
+        // A fresh cache over the same directory sees both entries as
+        // disk hits, then serves them from memory.
+        let mut reader = SweepCache::with_dir(&dir).unwrap();
+        assert!(reader.is_empty());
+        let (got, level) = reader.get_solve(&key).unwrap();
+        assert_eq!(got.unwrap(), summary());
+        assert_eq!(level, HitLevel::Disk);
+        let (_, level) = reader.get_solve(&key).unwrap();
+        assert_eq!(level, HitLevel::Memory);
+        assert_eq!(reader.get_kernel(&key_of("kernel")).unwrap().0, 99);
+        assert_eq!(reader.get_kernel(&key_of("absent")), None);
+
+        // Torn/corrupt on-disk bytes degrade to a miss, not an error.
+        std::fs::write(dir.join(format!("{}.entry", key.to_hex())), "garbage").unwrap();
+        let mut corrupt = SweepCache::with_dir(&dir).unwrap();
+        assert_eq!(corrupt.get_solve(&key), None);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_cache_never_touches_disk() {
+        let mut cache = SweepCache::in_memory();
+        let key = key_of("mem");
+        assert_eq!(cache.get_solve(&key), None);
+        cache.put_solve(key, &Ok(summary()));
+        assert_eq!(cache.get_solve(&key).unwrap().1, HitLevel::Memory);
+        assert_eq!(cache.dir(), None);
+    }
+}

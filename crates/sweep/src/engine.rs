@@ -1,0 +1,345 @@
+//! The sweep engine: a parallel, memoized [`CycleSource`].
+//!
+//! Every batch runs in three phases:
+//!
+//! 1. **Probe** (serial, under the cache lock): each request is keyed
+//!    and looked up. Hits are counted per tier; the *first* occurrence
+//!    of each missing key becomes a work item, later duplicates are
+//!    coalesced onto it. Because this phase is serial and in request
+//!    order, the hit/miss/coalesced accounting is identical for every
+//!    `--jobs` value.
+//! 2. **Execute** (parallel, lock-free): the deduplicated work items are
+//!    priced on the shard pool. Pricing is a pure function of the
+//!    request, so scheduling cannot change any result.
+//! 3. **Commit + assemble** (serial): results are inserted into the
+//!    cache in work-item order, then every request — hit or miss — is
+//!    answered from the cache, preserving request order.
+//!
+//! The result: bit-identical answers to [`SerialSource`] for any thread
+//! count, with deterministic cache statistics and nondeterministic
+//! timing confined to [`ShardStats`].
+//!
+//! [`SerialSource`]: soc_dse::experiments::SerialSource
+
+use crate::cache::{HitLevel, SweepCache};
+use crate::key::{kernel_key, solve_key, Key};
+use crate::pool::{run_sharded, ShardStats};
+use soc_dse::experiments::{
+    solve_cycles, standalone_kernel, CycleSource, KernelRequest, SolveRequest, SolveSummary,
+};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Deterministic cache accounting for an engine (or one pass of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total requests submitted.
+    pub requests: usize,
+    /// Requests answered from the in-memory tier.
+    pub memory_hits: usize,
+    /// Requests answered from the on-disk tier.
+    pub disk_hits: usize,
+    /// Duplicate in-batch requests folded onto an in-flight work item.
+    pub coalesced: usize,
+    /// Requests that forced a regeneration (trace + simulation).
+    pub misses: usize,
+}
+
+impl EngineStats {
+    /// Requests that did *not* regenerate anything.
+    pub fn hits(&self) -> usize {
+        self.memory_hits + self.disk_hits + self.coalesced
+    }
+
+    /// Hit fraction in percent; an empty engine reports 0%.
+    pub fn hit_rate_percent(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            100.0 * self.hits() as f64 / self.requests as f64
+        }
+    }
+
+    /// One-line deterministic rendering for reports.
+    pub fn render_line(&self) -> String {
+        format!(
+            "cache: {} requests, {} hits ({} memory, {} disk, {} coalesced), {} misses, hit rate {:.1}%",
+            self.requests,
+            self.hits(),
+            self.memory_hits,
+            self.disk_hits,
+            self.coalesced,
+            self.misses,
+            self.hit_rate_percent()
+        )
+    }
+}
+
+struct Inner {
+    cache: SweepCache,
+    stats: EngineStats,
+    shards: Vec<ShardStats>,
+}
+
+/// Parallel, memoized batch oracle for solve and kernel cycle counts.
+pub struct SweepEngine {
+    jobs: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SweepEngine {
+    /// Engine over an explicit cache with a `jobs`-wide shard pool.
+    pub fn new(jobs: usize, cache: SweepCache) -> Self {
+        SweepEngine {
+            jobs: jobs.max(1),
+            inner: Mutex::new(Inner {
+                cache,
+                stats: EngineStats::default(),
+                shards: Vec::new(),
+            }),
+        }
+    }
+
+    /// Engine with a memory-only cache (the `--no-cache` mode).
+    pub fn in_memory(jobs: usize) -> Self {
+        Self::new(jobs, SweepCache::in_memory())
+    }
+
+    /// Engine backed by an on-disk cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_cache_dir(
+        jobs: usize,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
+        Ok(Self::new(jobs, SweepCache::with_dir(dir)?))
+    }
+
+    /// Shard-pool width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Snapshot of the deterministic cache accounting.
+    pub fn stats(&self) -> EngineStats {
+        self.lock().stats
+    }
+
+    /// Per-shard timing collected so far (nondeterministic; report to
+    /// stderr, never into a golden-checked report body).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.lock().shards.clone()
+    }
+
+    /// Clears accounting (but not cached results) — used between the
+    /// cold and warm passes of `dse sweep --warm`.
+    pub fn reset_stats(&self) {
+        let mut inner = self.lock();
+        inner.stats = EngineStats::default();
+        inner.shards.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("sweep engine poisoned")
+    }
+
+    /// The three-phase batch described in the module docs, generic over
+    /// the two work kinds.
+    fn batch<Req, V>(
+        &self,
+        requests: &[Req],
+        key_of: impl Fn(&Req) -> Key,
+        get: impl Fn(&mut SweepCache, &Key) -> Option<(V, HitLevel)>,
+        put: impl Fn(&mut SweepCache, Key, &V),
+        compute: impl Fn(&Req) -> V + Sync,
+    ) -> Vec<V>
+    where
+        Req: Clone + Sync,
+        V: Clone + Send + Sync,
+    {
+        let keys: Vec<Key> = requests.iter().map(&key_of).collect();
+
+        // Phase 1: serial probe — deterministic accounting + dedup.
+        let mut scheduled: HashSet<Key> = HashSet::new();
+        let mut work: Vec<(Key, Req)> = Vec::new();
+        {
+            let mut inner = self.lock();
+            for (request, key) in requests.iter().zip(&keys) {
+                inner.stats.requests += 1;
+                if let Some((_, level)) = get(&mut inner.cache, key) {
+                    match level {
+                        HitLevel::Memory => inner.stats.memory_hits += 1,
+                        HitLevel::Disk => inner.stats.disk_hits += 1,
+                    }
+                } else if scheduled.contains(key) {
+                    inner.stats.coalesced += 1;
+                } else {
+                    inner.stats.misses += 1;
+                    scheduled.insert(*key);
+                    work.push((*key, request.clone()));
+                }
+            }
+        }
+
+        // Phase 2: parallel execute — pure pricing, no locks held.
+        let (computed, shard_stats) = run_sharded(self.jobs, &work, |(_, req)| compute(req));
+
+        // Phase 3: commit in work order, then assemble in request order.
+        let mut inner = self.lock();
+        inner.shards.extend(shard_stats);
+        for ((key, _), value) in work.iter().zip(&computed) {
+            put(&mut inner.cache, *key, value);
+        }
+        keys.iter()
+            .map(|key| {
+                get(&mut inner.cache, key)
+                    .expect("every key resolved by probe or commit")
+                    .0
+            })
+            .collect()
+    }
+}
+
+impl CycleSource for SweepEngine {
+    fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<SolveSummary>> {
+        self.batch(
+            requests,
+            solve_key,
+            SweepCache::get_solve,
+            |cache, key, value| cache.put_solve(key, value),
+            |request| {
+                Ok(SolveSummary::from(&solve_cycles(
+                    &request.platform,
+                    request.horizon,
+                )?))
+            },
+        )
+    }
+
+    fn kernel_batch(&self, requests: &[KernelRequest]) -> Vec<u64> {
+        self.batch(
+            requests,
+            kernel_key,
+            SweepCache::get_kernel,
+            |cache, key, value| cache.put_kernel(key, *value),
+            |r| standalone_kernel(&r.platform, r.shape, r.residency, r.i, r.k),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_dse::experiments::{KernelShape, Residency, SerialSource};
+    use soc_dse::platform::Platform;
+
+    fn kernel_requests() -> Vec<KernelRequest> {
+        let rocket = Platform::rocket_eigen();
+        [(4, 4), (8, 4), (4, 4), (8, 8)] // note the duplicate
+            .into_iter()
+            .map(|(i, k)| KernelRequest {
+                platform: rocket.clone(),
+                shape: KernelShape::Gemv,
+                residency: Residency::Cold,
+                i,
+                k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_serial_source_bit_for_bit() {
+        let requests = kernel_requests();
+        let reference = SerialSource.kernel_batch(&requests);
+        for jobs in [1, 4, 16] {
+            let engine = SweepEngine::in_memory(jobs);
+            assert_eq!(engine.kernel_batch(&requests), reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn probe_accounting_is_deterministic_across_jobs() {
+        let requests = kernel_requests();
+        let mut all_stats = Vec::new();
+        for jobs in [1, 4, 16] {
+            let engine = SweepEngine::in_memory(jobs);
+            engine.kernel_batch(&requests);
+            all_stats.push(engine.stats());
+        }
+        assert!(all_stats.windows(2).all(|w| w[0] == w[1]));
+        let stats = all_stats[0];
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.misses, 3, "3 unique keys");
+        assert_eq!(stats.coalesced, 1, "the duplicate folds in-batch");
+    }
+
+    #[test]
+    fn second_batch_is_all_memory_hits() {
+        let requests = kernel_requests();
+        let engine = SweepEngine::in_memory(2);
+        let first = engine.kernel_batch(&requests);
+        engine.reset_stats();
+        let second = engine.kernel_batch(&requests);
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.memory_hits, 4);
+        assert!((stats.hit_rate_percent() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_batch_matches_serial_and_warms() {
+        let requests = vec![SolveRequest {
+            platform: Platform::rocket_eigen(),
+            horizon: 6,
+        }];
+        let reference = SerialSource.solve_batch(&requests);
+        let engine = SweepEngine::in_memory(4);
+        assert_eq!(engine.solve_batch(&requests), reference);
+        assert_eq!(engine.solve_batch(&requests), reference);
+        let stats = engine.stats();
+        assert_eq!((stats.misses, stats.memory_hits), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_survives_engine_restart() {
+        let dir = std::env::temp_dir().join(format!("soc-sweep-engine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let requests = kernel_requests();
+
+        let cold = SweepEngine::with_cache_dir(3, &dir).unwrap();
+        let first = cold.kernel_batch(&requests);
+        assert_eq!(cold.stats().misses, 3);
+
+        let warm = SweepEngine::with_cache_dir(3, &dir).unwrap();
+        let second = warm.kernel_batch(&requests);
+        assert_eq!(first, second);
+        let stats = warm.stats();
+        assert_eq!(stats.misses, 0, "zero regenerations on a warm disk");
+        assert_eq!(stats.disk_hits, 3);
+        assert_eq!(
+            stats.memory_hits, 1,
+            "the duplicate hits the promoted entry"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_render_line_is_stable() {
+        let stats = EngineStats {
+            requests: 4,
+            memory_hits: 1,
+            disk_hits: 0,
+            coalesced: 1,
+            misses: 2,
+        };
+        assert_eq!(
+            stats.render_line(),
+            "cache: 4 requests, 2 hits (1 memory, 0 disk, 1 coalesced), 2 misses, hit rate 50.0%"
+        );
+        assert_eq!(EngineStats::default().hit_rate_percent(), 0.0);
+    }
+}

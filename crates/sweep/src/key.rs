@@ -1,0 +1,145 @@
+//! Content-addressed cache keys.
+//!
+//! A key is a 128-bit FNV-1a hash over a *stable serialization* of
+//! everything that determines a cycle count: a cache-format version tag,
+//! the request kind, the full platform configuration (via its `Debug`
+//! rendering, which prints every field of every backend config), and the
+//! request parameters. Any change to a config field, to the `Debug`
+//! format, or to [`CACHE_VERSION`] changes the key — so a stale cache
+//! can only ever miss, never answer wrong.
+
+use soc_dse::experiments::{KernelRequest, SolveRequest};
+
+/// Bump whenever cycle semantics change (solver defaults, trace
+/// generation, simulation timing) so old cache entries are orphaned
+/// rather than trusted.
+pub const CACHE_VERSION: u32 = 1;
+
+/// A 128-bit content hash identifying one unit of sweep work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub u64, pub u64);
+
+impl Key {
+    /// Hex form, used as the on-disk file name.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`, from a caller-supplied offset basis.
+fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hashes a stable serialization string into a [`Key`]. Two independent
+/// FNV-1a streams (the standard offset basis and a decorrelated one)
+/// give 128 bits, enough that accidental collisions across a sweep of
+/// thousands of configs are not a practical concern.
+pub fn key_of(serialized: &str) -> Key {
+    const BASIS_A: u64 = 0xcbf2_9ce4_8422_2325;
+    const BASIS_B: u64 = 0x6c62_272e_07bb_0142;
+    let bytes = serialized.as_bytes();
+    Key(fnv1a(BASIS_A, bytes), fnv1a(BASIS_B, bytes))
+}
+
+/// Stable serialization of a solve request.
+pub fn solve_serialization(request: &SolveRequest) -> String {
+    format!(
+        "soc-sweep v{CACHE_VERSION}|solve|{:?}|horizon={}",
+        request.platform, request.horizon
+    )
+}
+
+/// Stable serialization of a standalone-kernel request.
+pub fn kernel_serialization(request: &KernelRequest) -> String {
+    format!(
+        "soc-sweep v{CACHE_VERSION}|kernel|{:?}|{:?}|{:?}|i={}|k={}",
+        request.platform, request.shape, request.residency, request.i, request.k
+    )
+}
+
+/// Key of a solve request.
+pub fn solve_key(request: &SolveRequest) -> Key {
+    key_of(&solve_serialization(request))
+}
+
+/// Key of a standalone-kernel request.
+pub fn kernel_key(request: &KernelRequest) -> Key {
+    key_of(&kernel_serialization(request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_dse::experiments::{KernelShape, Residency};
+    use soc_dse::platform::Platform;
+
+    fn solve_req(horizon: usize) -> SolveRequest {
+        SolveRequest {
+            platform: Platform::rocket_eigen(),
+            horizon,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let a = solve_key(&solve_req(10));
+        let b = solve_key(&solve_req(10));
+        assert_eq!(a, b, "same request must hash identically");
+        assert_ne!(a, solve_key(&solve_req(11)), "horizon must be keyed");
+    }
+
+    #[test]
+    fn platform_config_is_keyed() {
+        use soc_cpu::CoreConfig;
+        use soc_vector::SaturnConfig;
+        let a = SolveRequest {
+            platform: Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d128()),
+            horizon: 10,
+        };
+        let b = SolveRequest {
+            platform: Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+            horizon: 10,
+        };
+        assert_ne!(solve_key(&a), solve_key(&b));
+    }
+
+    #[test]
+    fn kernel_params_are_keyed() {
+        let base = KernelRequest {
+            platform: Platform::rocket_eigen(),
+            shape: KernelShape::Gemv,
+            residency: Residency::Cold,
+            i: 8,
+            k: 8,
+        };
+        let mut warm = base.clone();
+        warm.residency = Residency::Warm;
+        let mut gemm = base.clone();
+        gemm.shape = KernelShape::Gemm;
+        let mut wider = base.clone();
+        wider.k = 16;
+        let keys = [
+            kernel_key(&base),
+            kernel_key(&warm),
+            kernel_key(&gemm),
+            kernel_key(&wider),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn hex_is_32_chars() {
+        assert_eq!(solve_key(&solve_req(10)).to_hex().len(), 32);
+    }
+}

@@ -1,0 +1,112 @@
+//! A scoped `std::thread` shard pool with dynamic work stealing.
+//!
+//! Items are claimed one at a time off a shared atomic counter, so
+//! shards self-balance (a shard stuck on an expensive BOOM solve does
+//! not idle the others), while results land in per-item slots so the
+//! output order is the input order — scheduling can never reorder or
+//! otherwise perturb what the caller sees.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// What one shard (worker thread) did during a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Shard index within the pool.
+    pub shard: usize,
+    /// Items this shard computed.
+    pub items: usize,
+    /// Wall time the shard spent, from spawn to drain.
+    pub wall: Duration,
+}
+
+/// Runs `f` over every item on `jobs` worker threads and returns the
+/// results **in item order** plus per-shard statistics.
+///
+/// Determinism contract: as long as `f` is a pure function of its item,
+/// the returned vector is identical for every `jobs >= 1`. Only
+/// [`ShardStats`] (timing, per-shard item counts) vary with scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope unwinds.
+pub fn run_sharded<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<R>, Vec<ShardStats>)
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let mut stats = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|shard| {
+                let (slots, next, f) = (&slots, &next, &f);
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut done = 0usize;
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(idx) else {
+                            break;
+                        };
+                        let computed = f(item);
+                        assert!(
+                            slots[idx].set(computed).is_ok(),
+                            "work item {idx} claimed twice"
+                        );
+                        done += 1;
+                    }
+                    ShardStats {
+                        shard,
+                        items: done,
+                        wall: start.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            stats.push(handle.join().expect("sweep shard panicked"));
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("work item left uncomputed"))
+        .collect();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 4, 16, 128] {
+            let (got, stats) = run_sharded(jobs, &items, |x| x * x);
+            assert_eq!(got, expected, "jobs={jobs}");
+            assert_eq!(stats.iter().map(|s| s.items).sum::<usize>(), items.len());
+            assert_eq!(stats.len(), jobs.min(items.len()));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (got, stats) = run_sharded::<u8, u8, _>(8, &[], |x| *x);
+        assert!(got.is_empty());
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].items, 0);
+    }
+
+    #[test]
+    fn pool_never_spawns_more_shards_than_items() {
+        let (got, stats) = run_sharded(16, &[1, 2], |x| x + 1);
+        assert_eq!(got, vec![2, 3]);
+        assert_eq!(stats.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Executes a [`SweepSpec`] on a [`SweepEngine`] and renders the report.
+//!
+//! The report body is assembled purely from engine *results* (which are
+//! bit-identical to the serial path) and deterministic cache accounting,
+//! so `render()` is byte-identical for any `--jobs` value. Wall-clock
+//! shard timing — the only scheduling-dependent observable — is kept in
+//! [`render_timing`](SweepReport::render_timing), which callers print to
+//! stderr.
+
+use crate::engine::{EngineStats, SweepEngine};
+use crate::pool::ShardStats;
+use crate::spec::SweepSpec;
+use soc_dse::experiments::{pareto_frontier, speedup_heatmap_with, CycleSource, SolveRequest};
+use soc_dse::report::{heatmap_text, markdown_table};
+
+/// The rendered outcome of one sweep pass.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Deterministic report body (tables, Pareto, heatmaps).
+    pub body: String,
+    /// Deterministic cache accounting for the pass.
+    pub stats: EngineStats,
+    /// Nondeterministic per-shard timing for the pass.
+    pub shards: Vec<ShardStats>,
+    /// Shard-pool width the pass ran with.
+    pub jobs: usize,
+}
+
+impl SweepReport {
+    /// Deterministic report: body + cache accounting. Byte-identical
+    /// for every `--jobs` value given the same spec and cache state.
+    pub fn render(&self) -> String {
+        format!("{}{}\n", self.body, self.stats.render_line())
+    }
+
+    /// Per-shard wall-clock timing (scheduling-dependent; stderr only).
+    pub fn render_timing(&self) -> String {
+        let mut out = format!("jobs: {}\n", self.jobs);
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {:>2}: {:>4} items in {:>8.3} ms\n",
+                s.shard,
+                s.items,
+                s.wall.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+}
+
+/// Runs every work item of `spec` through `engine` and assembles the
+/// report. The engine's stats are reset at entry so the report accounts
+/// for exactly this pass (a `--warm` second pass therefore shows the
+/// warm hit rate, not a blend).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn run_sweep(spec: &SweepSpec, engine: &SweepEngine) -> tinympc::Result<SweepReport> {
+    engine.reset_stats();
+    let mut body = format!("# sweep: {}\n\n", spec.label);
+
+    // All end-to-end solves of the whole spec go down as ONE batch so
+    // the shard pool can balance across horizons and platforms.
+    let requests: Vec<SolveRequest> = spec
+        .horizons
+        .iter()
+        .flat_map(|&horizon| {
+            spec.platforms.iter().map(move |p| SolveRequest {
+                platform: p.clone(),
+                horizon,
+            })
+        })
+        .collect();
+    let mut summaries = engine.solve_batch(&requests).into_iter();
+
+    for &horizon in &spec.horizons {
+        let mut rows = Vec::with_capacity(spec.platforms.len());
+        for platform in &spec.platforms {
+            let summary = summaries.next().expect("one summary per request")?;
+            rows.push((
+                platform.name.clone(),
+                platform.area().total(),
+                summary.total_cycles,
+            ));
+        }
+
+        body.push_str(&format!("## Table I @ horizon {horizon}\n\n"));
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(name, area, cycles)| {
+                vec![
+                    name.clone(),
+                    format!("{area:.0}"),
+                    cycles.to_string(),
+                    format!("{:.0}", 1.0e9 / (*cycles).max(1) as f64),
+                ]
+            })
+            .collect();
+        body.push_str(&markdown_table(
+            &[
+                "configuration",
+                "area (um^2)",
+                "cycles/solve",
+                "MPC Hz @1GHz",
+            ],
+            &table,
+        ));
+
+        body.push_str(&format!("\n## Pareto frontier @ horizon {horizon}\n\n"));
+        let mut by_area: Vec<&(String, f64, u64)> = rows.iter().collect();
+        by_area.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let frontier = pareto_frontier(
+            &by_area
+                .iter()
+                .map(|(_, area, cycles)| (*area, *cycles as f64))
+                .collect::<Vec<_>>(),
+        );
+        for ((name, area, cycles), on) in by_area.iter().zip(frontier) {
+            body.push_str(&format!(
+                "{}{name:<24} {:>8.3} mm^2 {cycles:>10} cycles\n",
+                if on { "* " } else { "  " },
+                area / 1e6
+            ));
+        }
+        body.push('\n');
+    }
+
+    for hm in &spec.heatmaps {
+        let heat = speedup_heatmap_with(
+            engine,
+            &hm.numerator,
+            &hm.denominator,
+            hm.shape,
+            hm.residency,
+            &hm.heights,
+            &hm.widths,
+        );
+        body.push_str(&format!("## {}\n\n", hm.title));
+        let text = heatmap_text("", &heat.heights, &heat.widths, &heat.values);
+        body.push_str(text.trim_start_matches('\n'));
+        body.push('\n');
+    }
+
+    Ok(SweepReport {
+        body,
+        stats: engine.stats(),
+        shards: engine.shard_stats(),
+        jobs: engine.jobs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_byte_identical_across_job_counts() {
+        let spec = SweepSpec::smoke();
+        let reference = run_sweep(&spec, &SweepEngine::in_memory(1))
+            .unwrap()
+            .render();
+        assert!(reference.contains("# sweep: smoke"));
+        assert!(reference.contains("Pareto frontier"));
+        assert!(reference.contains("hit rate 0.0%"), "{reference}");
+        for jobs in [4, 16] {
+            let report = run_sweep(&spec, &SweepEngine::in_memory(jobs)).unwrap();
+            assert_eq!(report.render(), reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn warm_pass_reports_full_hit_rate() {
+        let spec = SweepSpec::smoke();
+        let engine = SweepEngine::in_memory(4);
+        let cold = run_sweep(&spec, &engine).unwrap();
+        let warm = run_sweep(&spec, &engine).unwrap();
+        assert_eq!(cold.body, warm.body, "results identical when warm");
+        assert_eq!(warm.stats.misses, 0, "zero regenerations");
+        assert!((warm.stats.hit_rate_percent() - 100.0).abs() < 1e-12);
+        assert!(warm.render().contains("hit rate 100.0%"));
+    }
+
+    #[test]
+    fn timing_goes_to_the_timing_channel_only() {
+        let spec = SweepSpec::smoke();
+        let engine = SweepEngine::in_memory(2);
+        let report = run_sweep(&spec, &engine).unwrap();
+        assert!(report.render_timing().starts_with("jobs: 2"));
+        assert!(!report.render().contains("ms"), "no wall time in the body");
+    }
+}

@@ -15,13 +15,14 @@ use soc_dse_repro::soc_codegen::{tune, TuningSpace};
 use soc_dse_repro::soc_cpu::CoreConfig;
 use soc_dse_repro::soc_dse::energy::{solve_energy, EnergyParams};
 use soc_dse_repro::soc_dse::experiments::{
-    kernel_breakdown, pareto_frontier, solve_cycles, table1,
+    kernel_breakdown, pareto_frontier, solve_cycles, table1_with, Table1Row,
 };
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::report::markdown_table;
 use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
 use soc_dse_repro::soc_faults::{run_campaign, CampaignKind};
 use soc_dse_repro::soc_gemmini::GemminiConfig;
+use soc_dse_repro::soc_sweep::{run_sweep, SweepEngine, SweepSpec};
 use soc_dse_repro::soc_vector::SaturnConfig;
 use soc_dse_repro::soc_verify::Severity;
 use soc_dse_repro::tinympc::{KernelId, ProblemDims};
@@ -36,6 +37,14 @@ COMMANDS:
     list                       List every registered platform
     table1                     Regenerate Table I (area + cycles/solve)
     pareto                     Area-vs-performance Pareto analysis (Fig. 20)
+    sweep   [--jobs N]         Run a declarative sweep (Table I grid +
+            [--smoke]          kernel heatmaps) on the parallel memoized
+            [--no-cache]       engine; --smoke selects the seconds-scale
+            [--warm]           CI spec, --no-cache disables the on-disk
+            [--cache-dir DIR]  tier, --warm runs the spec twice and
+                               reports the warm pass (100% hit rate).
+                               Report on stdout is byte-identical for
+                               every --jobs; shard timing goes to stderr
     energy                     Energy-per-solve analysis (extension)
     solve   --platform NAME    Solve the quadrotor MPC on one platform
             [--horizon N]      Horizon length (default 10)
@@ -58,6 +67,20 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Default shard-pool width: one worker per available hardware thread.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn table1_rows() -> Result<Vec<Table1Row>, String> {
+    // Table I submits through the sweep engine: one batch, sharded
+    // across cores. Results are bit-identical to the serial path.
+    let engine = SweepEngine::in_memory(default_jobs());
+    table1_with(&engine, 10).map_err(|e| e.to_string())
 }
 
 fn find_platform(name: &str) -> Result<Platform, String> {
@@ -95,7 +118,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "table1" => {
-            let rows = table1(10).map_err(|e| e.to_string())?;
+            let rows = table1_rows()?;
             let table: Vec<Vec<String>> = rows
                 .iter()
                 .map(|r| {
@@ -122,7 +145,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "pareto" => {
-            let mut rows = table1(10).map_err(|e| e.to_string())?;
+            let mut rows = table1_rows()?;
             rows.sort_by(|a, b| a.area_um2.total_cmp(&b.area_um2));
             let frontier = pareto_frontier(
                 &rows
@@ -140,6 +163,36 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             println!("\n'*' = Pareto-optimal");
+            Ok(())
+        }
+        "sweep" => {
+            let jobs: usize = flag(args, "--jobs")
+                .map(|j| j.parse().map_err(|_| format!("bad job count `{j}`")))
+                .transpose()?
+                .unwrap_or_else(default_jobs)
+                .max(1);
+            let spec = if args.iter().any(|a| a == "--smoke") {
+                SweepSpec::smoke()
+            } else {
+                SweepSpec::full()
+            };
+            let engine = if args.iter().any(|a| a == "--no-cache") {
+                SweepEngine::in_memory(jobs)
+            } else {
+                let dir = flag(args, "--cache-dir")
+                    .or_else(|| std::env::var("SOC_SWEEP_CACHE_DIR").ok())
+                    .unwrap_or_else(|| "target/sweep-cache".to_string());
+                SweepEngine::with_cache_dir(jobs, dir)
+                    .map_err(|e| format!("cache directory: {e}"))?
+            };
+            let mut report = run_sweep(&spec, &engine).map_err(|e| e.to_string())?;
+            if args.iter().any(|a| a == "--warm") {
+                // Second pass over the warm engine: identical results,
+                // zero regenerations. The report shows the warm pass.
+                report = run_sweep(&spec, &engine).map_err(|e| e.to_string())?;
+            }
+            print!("{}", report.render());
+            eprint!("{}", report.render_timing());
             Ok(())
         }
         "energy" => {

@@ -9,6 +9,7 @@ pub use soc_faults;
 pub use soc_gemmini;
 pub use soc_isa;
 pub use soc_riscv;
+pub use soc_sweep;
 pub use soc_vector;
 pub use soc_verify;
 pub use tinympc;

@@ -1,0 +1,83 @@
+//! Determinism tests for the sweep engine, end to end through the `dse`
+//! binary:
+//!
+//! * the same spec at `--jobs 1`, `--jobs 4`, and `--jobs 16` must
+//!   produce **byte-identical** stdout (shard timing is stderr-only);
+//! * a cache-warm second invocation over the same `--cache-dir` must
+//!   produce identical results while regenerating nothing (`0 misses`,
+//!   100% reported hit rate).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dse(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dse"))
+        .args(args)
+        .output()
+        .expect("spawn dse")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soc-sweep-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn smoke_report_is_byte_identical_across_job_counts() {
+    let reference = dse(&["sweep", "--smoke", "--no-cache", "--jobs", "1"]);
+    assert!(reference.status.success());
+    assert!(!reference.stdout.is_empty());
+    for jobs in ["4", "16"] {
+        let got = dse(&["sweep", "--smoke", "--no-cache", "--jobs", jobs]);
+        assert!(got.status.success());
+        assert_eq!(
+            got.stdout, reference.stdout,
+            "--jobs {jobs} perturbed the report"
+        );
+    }
+}
+
+#[test]
+fn cache_warm_rerun_regenerates_nothing() {
+    let dir = fresh_dir("warm");
+    let dir_arg = dir.to_str().unwrap();
+
+    let cold = dse(&["sweep", "--smoke", "--jobs", "4", "--cache-dir", dir_arg]);
+    assert!(cold.status.success());
+    let cold_stdout = String::from_utf8_lossy(&cold.stdout).into_owned();
+    assert!(
+        cold_stdout.contains("0 hits") && cold_stdout.contains("hit rate 0.0%"),
+        "cold run should start from an empty cache: {cold_stdout}"
+    );
+
+    let warm = dse(&["sweep", "--smoke", "--jobs", "4", "--cache-dir", dir_arg]);
+    assert!(warm.status.success());
+    let warm_stdout = String::from_utf8_lossy(&warm.stdout).into_owned();
+
+    // Identical results; only the cache accounting line may differ.
+    let body = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("cache:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(body(&cold_stdout), body(&warm_stdout));
+    assert!(
+        warm_stdout.contains("0 misses") && warm_stdout.contains("hit rate 100.0%"),
+        "warm run must regenerate nothing: {warm_stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_flag_reports_the_warm_pass_in_one_invocation() {
+    let out = dse(&["sweep", "--smoke", "--no-cache", "--warm", "--jobs", "4"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 misses") && stdout.contains("hit rate 100.0%"),
+        "--warm must report the in-process warm pass: {stdout}"
+    );
+}
