@@ -1,0 +1,51 @@
+//! Per-event energy constants each back-end pipeline exposes through
+//! [`crate::BackendPipeline::energy_model`].
+//!
+//! The absolute numbers are order-of-magnitude 7-nm-class estimates; the
+//! *relative* story they produce — accelerators deliver more control-loop
+//! work per joule than wide out-of-order cores at a fraction of the
+//! area — is the robust output. The solve-level accounting that charges
+//! these constants against trace activity lives in `soc-dse::energy`.
+
+/// Per-event dynamic energies in picojoules, 7-nm-class estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Scalar integer op (ALU + pipeline overhead).
+    pub int_op_pj: f64,
+    /// Scalar FP op.
+    pub fp_op_pj: f64,
+    /// L1 load/store access.
+    pub mem_op_pj: f64,
+    /// Vector lane-element operation.
+    pub vector_elem_pj: f64,
+    /// Mesh multiply-accumulate.
+    pub mesh_mac_pj: f64,
+    /// Scratchpad byte moved.
+    pub spad_byte_pj: f64,
+    /// DRAM byte moved (DMA).
+    pub dram_byte_pj: f64,
+    /// Per-instruction frontend overhead of an out-of-order core
+    /// (fetch/rename/ROB) relative to in-order, in pJ.
+    pub ooo_overhead_pj: f64,
+    /// Leakage power density, mW per mm².
+    pub leakage_mw_per_mm2: f64,
+    /// Clock frequency, GHz.
+    pub clock_ghz: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            int_op_pj: 1.5,
+            fp_op_pj: 4.0,
+            mem_op_pj: 10.0,
+            vector_elem_pj: 2.0,
+            mesh_mac_pj: 1.0,
+            spad_byte_pj: 0.3,
+            dram_byte_pj: 20.0,
+            ooo_overhead_pj: 6.0,
+            leakage_mw_per_mm2: 40.0,
+            clock_ghz: 1.0,
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The Gemmini systolic back-end family as a [`BackendPipeline`].
+//!
+//! Gemmini's lowering is stateful — [`soc_gemmini::GemminiKernels`]
+//! tracks scratchpad residency across emissions — so each generated trace
+//! uses a fresh session, and the steady-state pricing relies on the first
+//! emission warming residency for the second.
+
+use crate::pipeline::{
+    core_id, steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    TuningCandidate,
+};
+use crate::scalar::scalar_candidates;
+use soc_area::{gemmini_platform_area, AreaBreakdown};
+use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig};
+use soc_gemmini::{Dataflow, GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit, IsaStyle};
+use soc_isa::{Trace, TraceBuilder};
+use std::sync::Arc;
+use tinympc::{KernelId, ProblemDims};
+
+/// Gemmini: scratchpad words at rest, DMA words in flight, and the RoCC
+/// command stream itself.
+const FAULT_SURFACE: &[FaultSurface] = &[
+    FaultSurface::StoredMatrixWord,
+    FaultSurface::DmaWord,
+    FaultSurface::CommandStream,
+];
+
+/// Workspace matrix identities for the Gemmini scratchpad mapping
+/// (Figure 11 of the paper).
+pub mod ws {
+    #![allow(missing_docs)]
+    use soc_gemmini::MatId;
+    pub const KINF: MatId = MatId(0);
+    pub const KINF_T: MatId = MatId(1);
+    pub const ADYN: MatId = MatId(2);
+    pub const BDYN: MatId = MatId(3);
+    pub const B_T: MatId = MatId(4);
+    pub const AMBK_T: MatId = MatId(5);
+    pub const QUU_INV: MatId = MatId(6);
+    pub const PINF: MatId = MatId(7);
+    pub const QDIAG: MatId = MatId(8);
+    pub const IDENTITY: MatId = MatId(9);
+    pub const NEG_IDENTITY: MatId = MatId(10);
+    pub const RHO_IDENTITY: MatId = MatId(11);
+    pub const X: MatId = MatId(20);
+    pub const U: MatId = MatId(21);
+    pub const D: MatId = MatId(22);
+    pub const P: MatId = MatId(23);
+    pub const Q: MatId = MatId(24);
+    pub const R: MatId = MatId(25);
+    pub const Y: MatId = MatId(26);
+    pub const G: MatId = MatId(27);
+    pub const ZNEW: MatId = MatId(28);
+    pub const VNEW: MatId = MatId(29);
+    pub const XREF: MatId = MatId(30);
+    pub const TMP0: MatId = MatId(40);
+    pub const TMP1: MatId = MatId(41);
+    pub const TMP2: MatId = MatId(42);
+}
+
+/// A Gemmini design point: core + systolic array + mapping options.
+#[derive(Debug, Clone)]
+pub struct GemminiPipeline {
+    core: CoreConfig,
+    config: GemminiConfig,
+    opts: GemminiOpts,
+}
+
+impl GemminiPipeline {
+    /// Creates the pipeline for the given hardware and mapping options.
+    pub fn new(core: CoreConfig, config: GemminiConfig, opts: GemminiOpts) -> Self {
+        GemminiPipeline { core, config, opts }
+    }
+}
+
+struct GemminiLowering {
+    gen: GemminiKernels,
+}
+
+impl KernelLowering for GemminiLowering {
+    fn emit(&mut self, b: &mut TraceBuilder, k: KernelId, d: &ProblemDims) {
+        let gen = &mut self.gen;
+        let (nx, nu) = (d.nx, d.nu);
+        let sx = d.state_elems();
+        let su = d.input_elems();
+        use ws::*;
+        use KernelId::*;
+        match k {
+            ForwardPass1 => {
+                gen.gemv(b, nu, nx, KINF, X, TMP0);
+                gen.elementwise(b, nu, 1, &[TMP0, D], U);
+            }
+            ForwardPass2 => {
+                gen.gemv(b, nx, nx, ADYN, X, TMP0);
+                gen.gemv(b, nx, nu, BDYN, U, TMP1);
+                gen.elementwise(b, nx, 1, &[TMP0, TMP1], X);
+            }
+            BackwardPass1 => {
+                gen.gemv(b, nu, nx, B_T, P, TMP0);
+                gen.elementwise(b, nu, 1, &[TMP0, R], TMP1);
+                gen.gemv(b, nu, nu, QUU_INV, TMP1, D);
+            }
+            BackwardPass2 => {
+                gen.gemv(b, nx, nx, AMBK_T, P, TMP0);
+                gen.gemv(b, nx, nu, KINF_T, R, TMP1);
+                gen.elementwise(b, nx, 2, &[Q, TMP0], P);
+            }
+            UpdateLinearCost4 => {
+                gen.gemv(b, nx, nx, PINF, XREF, TMP0);
+                gen.elementwise(b, nx, 2, &[VNEW, G], P);
+            }
+            UpdateSlack1 => {
+                gen.elementwise(b, su, 1, &[U, Y], TMP0);
+                gen.clip(b, su, TMP0, ZNEW);
+            }
+            UpdateSlack2 => {
+                gen.elementwise(b, sx, 1, &[X, G], TMP0);
+                gen.clip(b, sx, TMP0, VNEW);
+            }
+            UpdateDual1 => {
+                gen.elementwise(b, su, 2, &[Y, U], Y);
+                gen.elementwise(b, sx, 2, &[G, X], G);
+            }
+            UpdateLinearCost1 => gen.elementwise(b, su, 2, &[ZNEW, Y], R),
+            UpdateLinearCost2 => gen.elementwise(b, sx, 2, &[XREF, QDIAG], Q),
+            UpdateLinearCost3 => gen.elementwise(b, sx, 2, &[VNEW, G], Q),
+            PrimalResidualState | DualResidualState => {
+                gen.elementwise(b, sx, 1, &[X, VNEW], TMP2);
+                gen.abs(b, sx, TMP2, TMP2);
+                gen.max_reduce(b, sx, TMP2);
+            }
+            PrimalResidualInput | DualResidualInput => {
+                gen.elementwise(b, su, 1, &[U, ZNEW], TMP2);
+                gen.abs(b, su, TMP2, TMP2);
+                gen.max_reduce(b, su, TMP2);
+            }
+        }
+    }
+}
+
+impl BackendPipeline for GemminiPipeline {
+    fn family(&self) -> &'static str {
+        "gemmini"
+    }
+
+    fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    fn name(&self) -> String {
+        format!("Gemmini {} / {}", self.config.name, self.core.name)
+    }
+
+    fn cache_id(&self) -> String {
+        let df = match self.config.dataflow {
+            Dataflow::WeightStationary => "ws",
+            Dataflow::OutputStationary => "os",
+        };
+        let isa = match self.opts.isa {
+            IsaStyle::Coarse => "coarse",
+            IsaStyle::Fine => "fine",
+        };
+        format!(
+            "gemmini|{}|dim={},df={df},spad={},banks={},acc={},gemv={},rs={},dl={},dbpc={}\
+             |isa={isa},sm={},sr={},fa={},pr={}",
+            core_id(&self.core),
+            self.config.dim,
+            self.config.scratchpad_kb,
+            self.config.scratchpad_banks,
+            self.config.accumulator_kb,
+            self.config.gemv_support,
+            self.config.rs_entries,
+            self.config.dma_latency,
+            self.config.dma_bytes_per_cycle,
+            self.opts.static_mapping,
+            self.opts.scratchpad_resident,
+            self.opts.fuse_activation,
+            self.opts.pooling_reduction
+        )
+    }
+
+    fn describe(&self) -> String {
+        let df = match self.config.dataflow {
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+        };
+        format!(
+            "Gemmini {}x{} {df} mesh, {} KiB scratchpad on {}{}{}",
+            self.config.dim,
+            self.config.dim,
+            self.config.scratchpad_kb,
+            self.core.name,
+            if self.config.gemv_support {
+                ", GEMV ext"
+            } else {
+                ""
+            },
+            if self.opts.scratchpad_resident {
+                ", resident workspace"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn lowering(&self) -> Box<dyn KernelLowering> {
+        Box::new(GemminiLowering {
+            gen: GemminiKernels::new(self.config, self.opts),
+        })
+    }
+
+    fn accelerator(&self) -> Box<dyn Accelerator> {
+        Box::new(GemminiUnit::new(self.config))
+    }
+
+    fn verify_config(&self) -> soc_verify::VerifyConfig {
+        soc_verify::VerifyConfig::with_spad(self.config.spad_rows(), self.config.dim)
+    }
+
+    fn setup_trace(&self, dims: &ProblemDims) -> Trace {
+        if !self.opts.scratchpad_resident {
+            return Trace::new();
+        }
+        // One-time workspace preload: all cached matrices plus the
+        // utility identities (Figure 10/11 of the paper).
+        let (nx, nu) = (dims.nx, dims.nu);
+        let mut gen = GemminiKernels::new(self.config, self.opts);
+        let mut b = TraceBuilder::new();
+        use ws::*;
+        for (id, r, c) in [
+            (KINF, nu, nx),
+            (KINF_T, nx, nu),
+            (ADYN, nx, nx),
+            (BDYN, nx, nu),
+            (B_T, nu, nx),
+            (AMBK_T, nx, nx),
+            (QUU_INV, nu, nu),
+            (PINF, nx, nx),
+            (QDIAG, nx, nx),
+            (IDENTITY, self.config.dim, self.config.dim),
+            (NEG_IDENTITY, self.config.dim, self.config.dim),
+            (RHO_IDENTITY, self.config.dim, self.config.dim),
+        ] {
+            gen.preload(&mut b, id, r, c);
+        }
+        b.fence();
+        b.finish()
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        gemmini_platform_area(&self.config, &self.core)
+    }
+
+    /// Steady-state: the solver's cached matrices stay scratchpad-resident
+    /// across invocations; counting their mvins per invocation would
+    /// overcharge DMA energy.
+    fn energy_trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        let mut session = self.lowering();
+        let mut b = TraceBuilder::new();
+        session.emit(&mut b, kernel, dims);
+        let mark = b.len();
+        session.emit(&mut b, kernel, dims);
+        b.finish().ops()[mark..].iter().copied().collect()
+    }
+
+    fn fault_surface(&self) -> &'static [FaultSurface] {
+        FAULT_SURFACE
+    }
+
+    fn standalone_cycles(
+        &self,
+        shape: KernelShape,
+        residency: Residency,
+        i: usize,
+        k: usize,
+    ) -> u64 {
+        let mut gen = GemminiKernels::new(self.config, self.opts);
+        let mut b = TraceBuilder::new();
+        let (a_id, x_id, y_id) = (
+            soc_gemmini::MatId(0),
+            soc_gemmini::MatId(1),
+            soc_gemmini::MatId(2),
+        );
+        let emit = |gen: &mut GemminiKernels, b: &mut TraceBuilder| match shape {
+            KernelShape::Gemv => gen.gemv(b, i, k, a_id, x_id, y_id),
+            KernelShape::Gemm => gen.gemm(b, i, k, k, a_id, x_id, y_id),
+        };
+        emit(&mut gen, &mut b);
+        let mark = b.len();
+        let cfg = self.config;
+        match residency {
+            Residency::Warm => {
+                emit(&mut gen, &mut b);
+                steady_cost(&self.core, &b.finish(), mark, move || {
+                    Box::new(GemminiUnit::new(cfg))
+                })
+            }
+            Residency::Cold => {
+                // One-shot: the result is stored back and synchronized.
+                gen.sync_to_cpu(&mut b, i, y_id);
+                b.fence();
+                let mut unit = GemminiUnit::new(cfg);
+                simulate_with_accel(&self.core, &b.finish(), &mut unit)
+            }
+        }
+    }
+
+    fn tuning_candidates(&self) -> Vec<TuningCandidate> {
+        let mut v = scalar_candidates(&self.core);
+        let opt = GemminiOpts::optimized();
+        let variants = [
+            ("gemmini optimized", opt),
+            (
+                "gemmini, scalar activations",
+                GemminiOpts {
+                    fuse_activation: false,
+                    ..opt
+                },
+            ),
+            (
+                "gemmini, scalar reductions",
+                GemminiOpts {
+                    pooling_reduction: false,
+                    ..opt
+                },
+            ),
+        ];
+        for (label, opts) in variants {
+            v.push(TuningCandidate {
+                label: label.into(),
+                pipeline: Arc::new(GemminiPipeline::new(self.core.clone(), self.config, opts)),
+            });
+        }
+        v
+    }
+}

@@ -1,0 +1,183 @@
+//! The back-end pipeline seam.
+//!
+//! Every back-end family (scalar cores, Saturn vector units, Gemmini
+//! systolic arrays) is one implementation of [`BackendPipeline`]: a
+//! staged `lower → verify → simulate → price` pipeline plus the
+//! area/energy/fault metadata the experiments need. The
+//! [`Platform`] registry resolves plain-data design-point descriptions
+//! to pipelines through one dispatch point ([`pipeline_for`]), and the
+//! pricer registry ([`priced_for`]) interns one memoized steady-state
+//! pricer per distinct configuration for the whole process.
+//!
+//! Adding a back-end: implement [`BackendPipeline`], give it a
+//! [`Platform`] constructor, and register it (see
+//! [`Platform::table1_registry`]). No other crate needs editing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod gemmini;
+mod pipeline;
+mod platform;
+mod registry;
+mod saturn;
+mod scalar;
+
+pub use energy::EnergyParams;
+pub use gemmini::GemminiPipeline;
+pub use pipeline::{
+    steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    TuningCandidate,
+};
+pub use platform::{pipeline_for, Backend, BackendCatalog, Platform};
+pub use registry::{priced_for, PipelineExecutor, PricedPipeline};
+pub use saturn::SaturnPipeline;
+pub use scalar::ScalarPipeline;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_cpu::{CoreConfig, ScalarStyle};
+    use soc_gemmini::{GemminiConfig, GemminiOpts};
+    use soc_vector::{SaturnConfig, VectorStyle};
+    use tinympc::{KernelId, ProblemDims};
+
+    fn dims() -> ProblemDims {
+        ProblemDims {
+            nx: 12,
+            nu: 4,
+            horizon: 10,
+        }
+    }
+
+    #[test]
+    fn scalar_memoization_is_stable() {
+        let mut e = Platform::rocket_eigen().executor();
+        let a = e.kernel_cycles(KernelId::ForwardPass1, &dims()).unwrap();
+        let b = e.kernel_cycles(KernelId::ForwardPass1, &dims()).unwrap();
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn eigen_beats_matlib_on_every_kernel() {
+        let d = dims();
+        let lib = ScalarPipeline::new(CoreConfig::rocket(), ScalarStyle::Library);
+        let opt = ScalarPipeline::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        for k in KernelId::ALL {
+            let l = lib.steady_cycles(k, &d).unwrap();
+            let o = opt.steady_cycles(k, &d).unwrap();
+            assert!(o <= l, "{k}: optimized {o} vs library {l}");
+        }
+    }
+
+    #[test]
+    fn saturn_accelerates_stripmining_over_rocket() {
+        let d = dims();
+        let scalar = ScalarPipeline::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let saturn = SaturnPipeline::new(
+            CoreConfig::rocket(),
+            SaturnConfig::v512d256(),
+            VectorStyle::Fused,
+        );
+        let s = scalar.steady_cycles(KernelId::UpdateSlack2, &d).unwrap();
+        let v = saturn.steady_cycles(KernelId::UpdateSlack2, &d).unwrap();
+        assert!(v < s, "saturn {v} vs scalar {s}");
+    }
+
+    #[test]
+    fn uniform_lmul_sweep_changes_costs() {
+        let d = dims();
+        let mk = |l: u8| {
+            SaturnPipeline::new(
+                CoreConfig::rocket(),
+                SaturnConfig::v512d256(),
+                VectorStyle::Fused,
+            )
+            .with_uniform_lmul(l)
+        };
+        let strip1 = mk(1).steady_cycles(KernelId::UpdateSlack2, &d).unwrap();
+        let strip8 = mk(8).steady_cycles(KernelId::UpdateSlack2, &d).unwrap();
+        assert!(
+            strip8 <= strip1,
+            "LMUL=8 should help strip-mining: {strip8} vs {strip1}"
+        );
+        let it1 = mk(1).steady_cycles(KernelId::BackwardPass1, &d).unwrap();
+        let it8 = mk(8).steady_cycles(KernelId::BackwardPass1, &d).unwrap();
+        assert!(
+            it8 >= it1,
+            "LMUL=8 should not help iterative kernels: {it8} vs {it1}"
+        );
+    }
+
+    #[test]
+    fn gemmini_setup_charged_only_when_resident() {
+        let d = dims();
+        let opt = GemminiPipeline::new(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::optimized(),
+        );
+        assert!(opt.setup_cost(&d).unwrap() > 0);
+        let base = GemminiPipeline::new(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::baseline(),
+        );
+        assert_eq!(base.setup_cost(&d).unwrap(), 0);
+    }
+
+    #[test]
+    fn gemmini_optimized_beats_baseline_on_iterative_kernels() {
+        let d = dims();
+        let cfg = GemminiConfig::os_4x4_32kb();
+        let opt = GemminiPipeline::new(CoreConfig::rocket(), cfg, GemminiOpts::optimized());
+        let base = GemminiPipeline::new(CoreConfig::rocket(), cfg, GemminiOpts::baseline());
+        for k in [KernelId::ForwardPass1, KernelId::BackwardPass2] {
+            let o = opt.steady_cycles(k, &d).unwrap();
+            let b = base.steady_cycles(k, &d).unwrap();
+            assert!(o < b, "{k}: optimized {o} vs baseline {b}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_have_positive_cost_everywhere() {
+        let d = dims();
+        let pipelines: Vec<Box<dyn BackendPipeline>> = vec![
+            Box::new(ScalarPipeline::new(
+                CoreConfig::rocket(),
+                ScalarStyle::Optimized,
+            )),
+            Box::new(SaturnPipeline::new(
+                CoreConfig::rocket(),
+                SaturnConfig::v512d128(),
+                VectorStyle::Fused,
+            )),
+            Box::new(GemminiPipeline::new(
+                CoreConfig::rocket(),
+                GemminiConfig::os_4x4_32kb(),
+                GemminiOpts::optimized(),
+            )),
+        ];
+        for p in &pipelines {
+            for k in KernelId::ALL {
+                assert!(p.steady_cycles(k, &d).unwrap() > 0, "{k} on {}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fault_surfaces_are_family_shaped() {
+        use FaultSurface::*;
+        let reg = Platform::table1_registry();
+        let surface_of =
+            |name: &str| pipeline_for(reg.iter().find(|p| p.name == name).unwrap()).fault_surface();
+        assert_eq!(surface_of("Rocket"), &[StoredMatrixWord, DmaWord]);
+        assert_eq!(surface_of("RefV512D256Rocket"), &[VectorRegister, DmaWord]);
+        assert_eq!(
+            surface_of("OSGemminiRocket32KB"),
+            &[StoredMatrixWord, DmaWord, CommandStream]
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`BackendPipeline`] trait: one uniform lower → verify → simulate →
+//! price → area/energy seam shared by every back-end family.
+//!
+//! A pipeline is stateless and cheap to construct; all mutable pricing
+//! state (memo tables) lives in the registry's
+//! [`crate::registry::PricedPipeline`] wrapper so every consumer of the
+//! same configuration shares one memoized pricer.
+
+use soc_area::AreaBreakdown;
+use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig};
+use soc_isa::{Trace, TraceBuilder};
+use std::sync::Arc;
+use tinympc::{KernelId, ProblemDims};
+
+use crate::energy::EnergyParams;
+
+/// Simulates `trace`'s twice-emitted kernel material: returns
+/// `cycles(full) − cycles(prefix)` where `prefix` is the first `mark` ops.
+pub fn steady_cost(
+    core: &CoreConfig,
+    trace: &Trace,
+    mark: usize,
+    mut fresh_accel: impl FnMut() -> Box<dyn Accelerator>,
+) -> u64 {
+    let prefix: Trace = trace.ops()[..mark].iter().copied().collect();
+    let mut a1 = fresh_accel();
+    let full = simulate_with_accel(core, trace, a1.as_mut());
+    let mut a2 = fresh_accel();
+    let head = simulate_with_accel(core, &prefix, a2.as_mut());
+    full.saturating_sub(head).max(1)
+}
+
+/// Converts a [`soc_verify::TraceRejection`] into the solver-facing
+/// recoverable error so callers can fall back instead of crashing.
+pub(crate) fn gate_trace(
+    trace: &Trace,
+    config: &soc_verify::VerifyConfig,
+    what: &str,
+) -> tinympc::Result<()> {
+    soc_verify::gate(trace, config, what).map_err(|r| tinympc::Error::InvalidTrace {
+        backend: r.backend,
+        report: r.report,
+    })
+}
+
+/// Canonical serialization of a scalar core for
+/// [`BackendPipeline::cache_id`]: every timing-relevant field, no
+/// display names.
+pub(crate) fn core_id(core: &CoreConfig) -> String {
+    let kind = match &core.kind {
+        soc_cpu::CoreKind::InOrder { issue_width } => format!("io:iw={issue_width}"),
+        soc_cpu::CoreKind::OutOfOrder {
+            fetch_width,
+            decode_width,
+            rob_size,
+            queues,
+        } => format!(
+            "ooo:fw={fetch_width},dw={decode_width},rob={rob_size},mi={},ii={},fi={},iq={}",
+            queues.mem_issue, queues.int_issue, queues.fp_issue, queues.iq_entries
+        ),
+    };
+    let l = &core.latency;
+    format!(
+        "{kind};fpu={},mp={},vds={};lat={},{},{},{},{},{},{},{}",
+        core.fpu_count,
+        core.mem_ports,
+        core.vector_dispatch_slots,
+        l.int_alu,
+        l.int_mul,
+        l.load,
+        l.fp_add,
+        l.fp_mul,
+        l.fp_fma,
+        l.fp_div,
+        l.fp_simple
+    )
+}
+
+/// A hardware structure where an injected fault is architecturally
+/// meaningful on a back-end. The fault-injection campaign derives its
+/// per-back-end site lists from [`BackendPipeline::fault_surface`]
+/// instead of hand-coding them per family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSurface {
+    /// A word of the cached solver matrices at rest (Gemmini scratchpad,
+    /// or the D-cache on scalar cores).
+    StoredMatrixWord,
+    /// A workspace word in flight on the DMA / memory path.
+    DmaWord,
+    /// A vector-register element.
+    VectorRegister,
+    /// A command in flight on the accelerator command stream (RoCC).
+    CommandStream,
+}
+
+/// Standalone kernel shape for the sweep experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelShape {
+    /// Matrix-vector product of an `I × K` matrix.
+    Gemv,
+    /// Matrix-matrix product `I × K` times `K × K`.
+    Gemm,
+}
+
+/// Operand residency for standalone kernel measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Operands arrive from memory: Gemmini pays mvin/mvout DMA, matching
+    /// a one-shot kernel invocation (Figures 13-15, where GEMV's lack of
+    /// reuse is the point).
+    Cold,
+    /// Operands are already resident (scratchpad / L1) and the kernel is
+    /// measured in steady state (Figure 8, which isolates mesh
+    /// utilization).
+    Warm,
+}
+
+/// One lowering session: maps TinyMPC kernels to a back-end's micro-op
+/// stream. A session may be stateful (Gemmini tracks scratchpad residency
+/// across emissions within one trace), so pipelines hand out a **fresh**
+/// session per generated trace.
+pub trait KernelLowering {
+    /// Appends one invocation of `kernel` to the trace under
+    /// construction.
+    fn emit(&mut self, b: &mut TraceBuilder, kernel: KernelId, dims: &ProblemDims);
+}
+
+/// One candidate software mapping the auto-tuner measures for a target.
+pub struct TuningCandidate {
+    /// Human-readable mapping label (stable: reports key off it).
+    pub label: String,
+    /// The pipeline that lowers and prices this mapping.
+    pub pipeline: Arc<dyn BackendPipeline>,
+}
+
+/// A back-end family expressed as a staged pipeline.
+///
+/// Required methods describe the configuration (identity, lowering,
+/// timing-model accelerator, area, fault surface); the provided methods
+/// are the shared stage combinators — trace generation, the verification
+/// gate, steady-state pricing — that used to be triplicated across the
+/// per-family executors.
+pub trait BackendPipeline: Send + Sync {
+    /// Back-end family tag (`"scalar"`, `"saturn"`, `"gemmini"`).
+    fn family(&self) -> &'static str;
+
+    /// The scalar core in front of the back-end.
+    fn core(&self) -> &CoreConfig;
+
+    /// Executor display name (Table I naming conventions).
+    fn name(&self) -> String;
+
+    /// Canonical identity: an explicit serialization of every
+    /// configuration field that determines a cycle count — and nothing
+    /// else (display names are excluded, so two differently-named entries
+    /// with identical hardware+mapping share cache entries and pricers).
+    fn cache_id(&self) -> String;
+
+    /// One-line human-readable configuration summary (`dse backends`).
+    fn describe(&self) -> String;
+
+    /// A fresh lowering session for one trace.
+    fn lowering(&self) -> Box<dyn KernelLowering>;
+
+    /// A fresh instance of the back-end's timing-model accelerator.
+    fn accelerator(&self) -> Box<dyn Accelerator>;
+
+    /// Verifier configuration matching the back-end's geometry.
+    fn verify_config(&self) -> soc_verify::VerifyConfig {
+        soc_verify::VerifyConfig::default()
+    }
+
+    /// One-time setup trace (e.g. Gemmini's workspace preload). Empty by
+    /// default.
+    fn setup_trace(&self, _dims: &ProblemDims) -> Trace {
+        Trace::new()
+    }
+
+    /// Platform area (ASAP7-calibrated model).
+    fn area(&self) -> AreaBreakdown;
+
+    /// Per-event energy constants for this back-end.
+    fn energy_model(&self) -> EnergyParams {
+        EnergyParams::default()
+    }
+
+    /// The fault sites that are architecturally meaningful on this
+    /// back-end, in campaign order.
+    fn fault_surface(&self) -> &'static [FaultSurface];
+
+    /// Cycles for a standalone GEMV/GEMM of the given size (the paper's
+    /// kernel-level methodology; see [`Residency`]).
+    fn standalone_cycles(
+        &self,
+        shape: KernelShape,
+        residency: Residency,
+        i: usize,
+        k: usize,
+    ) -> u64;
+
+    /// Candidate software mappings the auto-tuner measures for this
+    /// target, scalar fallbacks first.
+    fn tuning_candidates(&self) -> Vec<TuningCandidate>;
+
+    // -- provided stage combinators -----------------------------------
+
+    /// The micro-op trace of one cold invocation of `kernel` (for
+    /// listings, analysis and energy accounting).
+    fn lower(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        let mut session = self.lowering();
+        let mut b = TraceBuilder::new();
+        session.emit(&mut b, kernel, dims);
+        b.finish()
+    }
+
+    /// The double-emission trace the timing model replays, plus the op
+    /// index where the steady-state copy begins. The first emission warms
+    /// any residency state; the second is the steady-state cost.
+    fn timed_trace(&self, kernel: KernelId, dims: &ProblemDims) -> (Trace, usize) {
+        let mut session = self.lowering();
+        let mut b = TraceBuilder::new();
+        session.emit(&mut b, kernel, dims);
+        let mark = b.len();
+        session.emit(&mut b, kernel, dims);
+        (b.finish(), mark)
+    }
+
+    /// The per-invocation trace the energy model charges. Defaults to the
+    /// cold trace; residency-tracking back-ends override with the
+    /// steady-state emission so one-time operand loads are not charged
+    /// per invocation.
+    fn energy_trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
+        self.lower(kernel, dims)
+    }
+
+    /// Replays a trace through the core + accelerator timing model.
+    fn simulate(&self, trace: &Trace) -> u64 {
+        let mut accel = self.accelerator();
+        simulate_with_accel(self.core(), trace, accel.as_mut())
+    }
+
+    /// Prices the steady-state cost of one kernel invocation: generate
+    /// the double-emission trace, gate it through the static verifier,
+    /// and charge `cycles(full) − cycles(first emission)`.
+    ///
+    /// # Errors
+    ///
+    /// [`tinympc::Error::InvalidTrace`] when the verifier rejects the
+    /// generated stream.
+    fn steady_cycles(&self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
+        let (trace, mark) = self.timed_trace(kernel, dims);
+        gate_trace(&trace, &self.verify_config(), &self.name())?;
+        Ok(steady_cost(self.core(), &trace, mark, || {
+            self.accelerator()
+        }))
+    }
+
+    /// Prices the one-time setup trace (0 when empty).
+    ///
+    /// # Errors
+    ///
+    /// [`tinympc::Error::InvalidTrace`] when the verifier rejects the
+    /// setup stream.
+    fn setup_cost(&self, dims: &ProblemDims) -> tinympc::Result<u64> {
+        let trace = self.setup_trace(dims);
+        if trace.ops().is_empty() {
+            return Ok(0);
+        }
+        gate_trace(
+            &trace,
+            &self.verify_config(),
+            &format!("{} setup", self.name()),
+        )?;
+        Ok(self.simulate(&trace))
+    }
+}

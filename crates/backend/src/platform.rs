@@ -1,0 +1,357 @@
+//! The design-point registry: every hardware+software configuration the
+//! paper evaluates, resolved to [`BackendPipeline`] instances.
+//!
+//! [`pipeline_for`] is the **one** place a [`Backend`] value is matched
+//! on; everything downstream (pricing, verification, energy, faults,
+//! tuning, the CLI) goes through the returned trait object, so adding a
+//! back-end means implementing the trait and registering a platform —
+//! no dispatch-site edits.
+
+use crate::gemmini::GemminiPipeline;
+use crate::pipeline::BackendPipeline;
+use crate::registry::PipelineExecutor;
+use crate::saturn::SaturnPipeline;
+use crate::scalar::ScalarPipeline;
+use soc_area::AreaBreakdown;
+use soc_cpu::{CoreConfig, ScalarStyle};
+use soc_gemmini::{GemminiConfig, GemminiOpts};
+use soc_vector::{SaturnConfig, VectorStyle};
+use std::sync::Arc;
+use tinympc::KernelExecutor;
+
+/// The accelerator (or lack thereof) attached to the scalar core.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Bare scalar core with a software mapping style.
+    Scalar(ScalarStyle),
+    /// Saturn vector unit.
+    Saturn {
+        /// Vector-unit configuration.
+        config: SaturnConfig,
+        /// Software mapping style.
+        style: VectorStyle,
+        /// Uniform LMUL override (`None` = the optimized per-class
+        /// policy).
+        lmul: Option<u8>,
+    },
+    /// Gemmini systolic array.
+    Gemmini {
+        /// Accelerator configuration.
+        config: GemminiConfig,
+        /// Software mapping options.
+        opts: GemminiOpts,
+    },
+}
+
+/// One design point: a scalar core plus an optional accelerator and the
+/// software mapping used on it.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Display name (Table I naming).
+    pub name: String,
+    /// The scalar frontend.
+    pub core: CoreConfig,
+    /// The attached back-end.
+    pub backend: Backend,
+}
+
+/// Resolves a platform's backend description to its pipeline instance.
+///
+/// This is the single back-end dispatch point in the workspace: the
+/// `Backend` enum is serialization glue (a plain-data description that
+/// sweeps can clone and hash), and this function is where descriptions
+/// become behavior.
+pub fn pipeline_for(platform: &Platform) -> Arc<dyn BackendPipeline> {
+    match &platform.backend {
+        Backend::Scalar(style) => Arc::new(ScalarPipeline::new(platform.core.clone(), *style)),
+        Backend::Saturn {
+            config,
+            style,
+            lmul,
+        } => {
+            let mut p = SaturnPipeline::new(platform.core.clone(), *config, *style);
+            if let Some(l) = lmul {
+                p = p.with_uniform_lmul(*l);
+            }
+            Arc::new(p)
+        }
+        Backend::Gemmini { config, opts } => {
+            Arc::new(GemminiPipeline::new(platform.core.clone(), *config, *opts))
+        }
+    }
+}
+
+/// An ordered collection of registered platforms with unique display
+/// names — the builder behind [`Platform::table1_registry`] and the
+/// seam a new back-end registers into.
+#[derive(Default)]
+pub struct BackendCatalog {
+    platforms: Vec<Platform>,
+}
+
+impl BackendCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        BackendCatalog::default()
+    }
+
+    /// Registers a platform.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a duplicate display name (two registrations that would be
+    /// indistinguishable in every report).
+    pub fn register(&mut self, platform: Platform) -> Result<(), String> {
+        if self.platforms.iter().any(|p| p.name == platform.name) {
+            return Err(format!("backend '{}' is already registered", platform.name));
+        }
+        self.platforms.push(platform);
+        Ok(())
+    }
+
+    /// The registered platforms, in registration order.
+    pub fn platforms(&self) -> &[Platform] {
+        &self.platforms
+    }
+
+    /// Consumes the catalog, yielding the registered platforms.
+    pub fn into_platforms(self) -> Vec<Platform> {
+        self.platforms
+    }
+
+    /// Looks a platform up by display name (case-insensitive).
+    pub fn find(&self, name: &str) -> Option<&Platform> {
+        self.platforms
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+}
+
+impl Platform {
+    /// Rocket running hand-optimized scalar code — the paper's baseline.
+    pub fn rocket_eigen() -> Self {
+        Platform {
+            name: "Rocket".into(),
+            core: CoreConfig::rocket(),
+            backend: Backend::Scalar(ScalarStyle::Optimized),
+        }
+    }
+
+    /// Rocket running `matlib` library code.
+    pub fn rocket_matlib() -> Self {
+        Platform {
+            name: "Rocket (matlib)".into(),
+            core: CoreConfig::rocket(),
+            backend: Backend::Scalar(ScalarStyle::Library),
+        }
+    }
+
+    /// Any bare scalar core running hand-optimized code, named after the
+    /// core.
+    pub fn scalar(core: CoreConfig) -> Self {
+        Platform {
+            name: core.name.to_string(),
+            core,
+            backend: Backend::Scalar(ScalarStyle::Optimized),
+        }
+    }
+
+    /// A BOOM core running hand-optimized scalar code.
+    pub fn boom(core: CoreConfig) -> Self {
+        Platform::scalar(core)
+    }
+
+    /// A Saturn reference design with the hand-optimized mapping.
+    pub fn saturn(core: CoreConfig, config: SaturnConfig) -> Self {
+        Platform {
+            name: format!("Ref{}{}", config.name, core.name),
+            core,
+            backend: Backend::Saturn {
+                config,
+                style: VectorStyle::Fused,
+                lmul: None,
+            },
+        }
+    }
+
+    /// A Saturn design with an explicit style and uniform LMUL.
+    pub fn saturn_with(
+        core: CoreConfig,
+        config: SaturnConfig,
+        style: VectorStyle,
+        lmul: Option<u8>,
+    ) -> Self {
+        let style_tag = match style {
+            VectorStyle::Matlib => "matlib",
+            VectorStyle::Fused => "fused",
+        };
+        let lmul_tag = lmul.map_or(String::new(), |l| format!(",LMUL={l}"));
+        Platform {
+            name: format!("{}{} ({style_tag}{lmul_tag})", config.name, core.name),
+            core,
+            backend: Backend::Saturn {
+                config,
+                style,
+                lmul,
+            },
+        }
+    }
+
+    /// A Gemmini design point.
+    pub fn gemmini(core: CoreConfig, config: GemminiConfig, opts: GemminiOpts) -> Self {
+        Platform {
+            name: format!("{}{}", config.name, core.name),
+            core,
+            backend: Backend::Gemmini { config, opts },
+        }
+    }
+
+    /// Every design point of the paper's Table I (performance rows),
+    /// plus the Shuttle-driven Gemmini variant registered on top of the
+    /// paper's set — the seam's proof that a new platform lands via one
+    /// registration.
+    pub fn table1_registry() -> Vec<Platform> {
+        let mut catalog = BackendCatalog::new();
+        for p in [
+            Platform::rocket_eigen(),
+            Platform::boom(CoreConfig::small_boom()),
+            Platform::boom(CoreConfig::medium_boom()),
+            Platform::boom(CoreConfig::large_boom()),
+            Platform::boom(CoreConfig::mega_boom()),
+            Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d128()),
+            Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+            Platform::saturn(CoreConfig::shuttle(), SaturnConfig::v512d128()),
+            Platform::saturn(CoreConfig::shuttle(), SaturnConfig::v512d256()),
+        ] {
+            catalog.register(p).expect("table1 names are unique");
+        }
+        let mut os32 = Platform::gemmini(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::optimized(),
+        );
+        os32.name = "OSGemminiRocket32KB".into();
+        let mut os64 = Platform::gemmini(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_64kb(),
+            GemminiOpts::optimized(),
+        );
+        os64.name = "OSGemminiRocket64KB".into();
+        // The WS design was evaluated with only unrolling + static
+        // mapping (no residency/fusion/pooling optimizations).
+        let ws_opts = GemminiOpts {
+            isa: soc_gemmini::IsaStyle::Fine,
+            static_mapping: true,
+            scratchpad_resident: false,
+            fuse_activation: false,
+            pooling_reduction: false,
+        };
+        let mut ws64 =
+            Platform::gemmini(CoreConfig::rocket(), GemminiConfig::ws_4x4_64kb(), ws_opts);
+        ws64.name = "WSGemminiRocket64KB".into();
+        // Shuttle-driven Gemmini: the dual-issue frontend feeding the
+        // same mesh. Lands purely via this registration — no dispatch
+        // code anywhere else knows about it.
+        let mut os32_shuttle = Platform::gemmini(
+            CoreConfig::shuttle(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::optimized(),
+        );
+        os32_shuttle.name = "OSGemminiShuttle32KB".into();
+        for p in [os32, os64, ws64, os32_shuttle] {
+            catalog.register(p).expect("table1 names are unique");
+        }
+        catalog.into_platforms()
+    }
+
+    /// Builds the timing executor for this platform: a handle to the
+    /// process-wide shared memoized pricer for this configuration.
+    pub fn executor(&self) -> Box<dyn KernelExecutor> {
+        Box::new(PipelineExecutor::for_platform(self))
+    }
+
+    /// Area of this platform (ASAP7-calibrated model).
+    pub fn area(&self) -> AreaBreakdown {
+        pipeline_for(self).area()
+    }
+
+    /// Canonical configuration identity (display names excluded); the
+    /// sweep cache and the pricer interner key off this.
+    pub fn cache_id(&self) -> String {
+        pipeline_for(self).cache_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table1() {
+        let reg = Platform::table1_registry();
+        assert_eq!(reg.len(), 13);
+        let names: Vec<_> = reg.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"Rocket"));
+        assert!(names.contains(&"MegaBoom"));
+        assert!(names.contains(&"RefV512D256Shuttle"));
+        assert!(names.contains(&"OSGemminiRocket32KB"));
+        assert!(names.contains(&"WSGemminiRocket64KB"));
+        assert!(names.contains(&"OSGemminiShuttle32KB"));
+    }
+
+    #[test]
+    fn registry_areas_match_table1_anchors() {
+        let reg = Platform::table1_registry();
+        let area_of = |n: &str| {
+            reg.iter()
+                .find(|p| p.name == n)
+                .map(|p| p.area().total())
+                .unwrap_or(f64::NAN)
+        };
+        assert!((area_of("Rocket") - 486_287.0).abs() < 1.0);
+        assert!((area_of("RefV512D128Rocket") - 1_340_095.0).abs() < 1_000.0);
+        assert!((area_of("OSGemminiRocket32KB") - 1_506_498.0).abs() < 5_000.0);
+    }
+
+    #[test]
+    fn executors_are_buildable_for_all_platforms() {
+        for p in Platform::table1_registry() {
+            let e = p.executor();
+            assert!(!e.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut catalog = BackendCatalog::new();
+        catalog.register(Platform::rocket_eigen()).unwrap();
+        let err = catalog.register(Platform::rocket_eigen()).unwrap_err();
+        assert!(err.contains("already registered"), "{err}");
+        assert_eq!(catalog.platforms().len(), 1);
+    }
+
+    #[test]
+    fn catalog_finds_by_name_case_insensitively() {
+        let mut catalog = BackendCatalog::new();
+        for p in Platform::table1_registry() {
+            catalog.register(p).unwrap();
+        }
+        assert!(catalog.find("rocket").is_some());
+        assert!(catalog.find("osgemminishuttle32kb").is_some());
+        assert!(catalog.find("no-such-backend").is_none());
+    }
+
+    #[test]
+    fn every_table1_platform_resolves_to_a_pipeline() {
+        for p in Platform::table1_registry() {
+            let pipe = pipeline_for(&p);
+            assert!(!pipe.cache_id().is_empty(), "{}", p.name);
+            assert!(!pipe.fault_surface().is_empty(), "{}", p.name);
+            assert!(
+                matches!(pipe.family(), "scalar" | "saturn" | "gemmini"),
+                "{}",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The shared-pricer registry: one memoized steady-state pricer per
+//! distinct configuration, interned process-wide by
+//! [`BackendPipeline::cache_id`].
+//!
+//! [`crate::Platform::executor`] used to re-box a cold per-executor memo
+//! table on every call; now every executor for the same configuration is
+//! a cheap handle onto the same [`PricedPipeline`], so repeated solves
+//! price each kernel exactly once per process.
+
+use crate::pipeline::BackendPipeline;
+use crate::platform::{pipeline_for, Platform};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use tinympc::{KernelExecutor, KernelId, ProblemDims};
+
+/// A pipeline plus its shared steady-state memo tables.
+pub struct PricedPipeline {
+    pipeline: Arc<dyn BackendPipeline>,
+    kernel_memo: Mutex<HashMap<(KernelId, ProblemDims), u64>>,
+    setup_memo: Mutex<HashMap<ProblemDims, u64>>,
+}
+
+impl PricedPipeline {
+    /// Wraps a pipeline with fresh (empty) memo tables.
+    pub fn new(pipeline: Arc<dyn BackendPipeline>) -> Self {
+        PricedPipeline {
+            pipeline,
+            kernel_memo: Mutex::new(HashMap::new()),
+            setup_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &Arc<dyn BackendPipeline> {
+        &self.pipeline
+    }
+
+    /// Memoized [`BackendPipeline::steady_cycles`].
+    ///
+    /// Pricing runs outside the lock (it can take milliseconds for large
+    /// traces); errors are not memoized so a verification failure
+    /// resurfaces on every call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures from the pipeline.
+    pub fn kernel_cycles(&self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
+        if let Some(&c) = self
+            .kernel_memo
+            .lock()
+            .expect("pricer lock")
+            .get(&(kernel, *dims))
+        {
+            return Ok(c);
+        }
+        let c = self.pipeline.steady_cycles(kernel, dims)?;
+        self.kernel_memo
+            .lock()
+            .expect("pricer lock")
+            .insert((kernel, *dims), c);
+        Ok(c)
+    }
+
+    /// Memoized [`BackendPipeline::setup_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures from the pipeline.
+    pub fn setup_cycles(&self, dims: &ProblemDims) -> tinympc::Result<u64> {
+        if let Some(&c) = self.setup_memo.lock().expect("pricer lock").get(dims) {
+            return Ok(c);
+        }
+        let c = self.pipeline.setup_cost(dims)?;
+        self.setup_memo
+            .lock()
+            .expect("pricer lock")
+            .insert(*dims, c);
+        Ok(c)
+    }
+}
+
+fn interner() -> &'static Mutex<HashMap<String, Arc<PricedPipeline>>> {
+    static INTERNER: OnceLock<Mutex<HashMap<String, Arc<PricedPipeline>>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The process-wide shared pricer for `platform`'s configuration,
+/// interned by [`BackendPipeline::cache_id`]: two platforms with the same
+/// hardware+mapping (however they are named) share one pricer.
+pub fn priced_for(platform: &Platform) -> Arc<PricedPipeline> {
+    let pipeline = pipeline_for(platform);
+    let id = pipeline.cache_id();
+    interner()
+        .lock()
+        .expect("pricer interner lock")
+        .entry(id)
+        .or_insert_with(|| Arc::new(PricedPipeline::new(pipeline)))
+        .clone()
+}
+
+/// The [`KernelExecutor`] every platform hands to the solver: a cheap
+/// clone-able handle onto the shared pricer, carrying its own display
+/// name (several named platforms can share one pricer).
+#[derive(Clone)]
+pub struct PipelineExecutor {
+    name: String,
+    priced: Arc<PricedPipeline>,
+}
+
+impl std::fmt::Debug for PipelineExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineExecutor")
+            .field("name", &self.name)
+            .field("cache_id", &self.priced.pipeline().cache_id())
+            .finish()
+    }
+}
+
+impl PipelineExecutor {
+    /// The executor for `platform`, backed by the shared pricer.
+    pub fn for_platform(platform: &Platform) -> Self {
+        let priced = priced_for(platform);
+        PipelineExecutor {
+            name: priced.pipeline().name(),
+            priced,
+        }
+    }
+
+    /// The underlying pipeline.
+    pub fn pipeline(&self) -> &Arc<dyn BackendPipeline> {
+        self.priced.pipeline()
+    }
+
+    /// The double-emission trace the timing model replays, plus the op
+    /// index where the steady-state copy begins (fault injection rewrites
+    /// these traces before re-pricing them).
+    pub fn timed_trace(&self, kernel: KernelId, dims: &ProblemDims) -> (soc_isa::Trace, usize) {
+        self.pipeline().timed_trace(kernel, dims)
+    }
+
+    /// Verifier configuration for the backing pipeline.
+    pub fn verify_config(&self) -> soc_verify::VerifyConfig {
+        self.pipeline().verify_config()
+    }
+}
+
+impl KernelExecutor for PipelineExecutor {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
+        self.priced.kernel_cycles(kernel, dims)
+    }
+
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> tinympc::Result<u64> {
+        self.priced.setup_cycles(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_cpu::CoreConfig;
+    use soc_vector::SaturnConfig;
+
+    fn dims() -> ProblemDims {
+        ProblemDims {
+            nx: 12,
+            nu: 4,
+            horizon: 10,
+        }
+    }
+
+    #[test]
+    fn same_config_shares_one_pricer() {
+        let a = priced_for(&Platform::rocket_eigen());
+        let mut renamed = Platform::rocket_eigen();
+        renamed.name = "Rocket (baseline)".into();
+        let b = priced_for(&renamed);
+        assert!(Arc::ptr_eq(&a, &b), "renamed clone must share the pricer");
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_pricers() {
+        let a = priced_for(&Platform::rocket_eigen());
+        let b = priced_for(&Platform::rocket_matlib());
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn executor_matches_unmemoized_pipeline() {
+        let p = Platform::saturn(CoreConfig::shuttle(), SaturnConfig::v512d256());
+        let mut e = PipelineExecutor::for_platform(&p);
+        let direct = pipeline_for(&p);
+        for k in KernelId::ALL {
+            assert_eq!(
+                e.kernel_cycles(k, &dims()).unwrap(),
+                direct.steady_cycles(k, &dims()).unwrap(),
+                "{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_keeps_the_platform_display_independent_name() {
+        let mut renamed = Platform::rocket_eigen();
+        renamed.name = "Rocket (renamed)".into();
+        // The executor reports the pipeline's canonical executor name,
+        // which ignores the platform rename — matching the old
+        // per-family executors.
+        let e = PipelineExecutor::for_platform(&renamed);
+        assert_eq!(e.name(), "Rocket (Eigen-opt)");
+    }
+}

@@ -1,0 +1,248 @@
+//! The Saturn vector back-end family as a [`BackendPipeline`].
+//!
+//! LMUL is chosen per kernel class, matching the paper's optimized
+//! mapping: iterative kernels keep `LMUL = 1` (grouping hurts their short
+//! vectors) while strip-mining kernels use `LMUL = 4`. A uniform override
+//! reproduces the Figure 4 sweep.
+
+use crate::pipeline::{
+    core_id, steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    TuningCandidate,
+};
+use crate::scalar::scalar_candidates;
+use soc_area::{saturn_platform_area, AreaBreakdown};
+use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig};
+use soc_isa::TraceBuilder;
+use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
+use std::sync::Arc;
+use tinympc::{KernelClass, KernelId, ProblemDims};
+
+/// Saturn: faults land in vector-register elements or on the memory path.
+const FAULT_SURFACE: &[FaultSurface] = &[FaultSurface::VectorRegister, FaultSurface::DmaWord];
+
+/// A Saturn design point: core + vector unit + software mapping.
+#[derive(Debug, Clone)]
+pub struct SaturnPipeline {
+    core: CoreConfig,
+    config: SaturnConfig,
+    style: VectorStyle,
+    /// Uniform LMUL override (`None` = the optimized per-class policy:
+    /// iterative 1, strip-mining/reduction 4).
+    uniform_lmul: Option<u8>,
+}
+
+impl SaturnPipeline {
+    /// Creates the pipeline with the paper's optimized LMUL policy.
+    pub fn new(core: CoreConfig, config: SaturnConfig, style: VectorStyle) -> Self {
+        SaturnPipeline {
+            core,
+            config,
+            style,
+            uniform_lmul: None,
+        }
+    }
+
+    /// Forces one LMUL for every kernel (the Figure 4 sweep).
+    pub fn with_uniform_lmul(mut self, lmul: u8) -> Self {
+        self.uniform_lmul = Some(lmul);
+        self
+    }
+}
+
+struct SaturnLowering {
+    config: SaturnConfig,
+    style: VectorStyle,
+    uniform_lmul: Option<u8>,
+}
+
+impl SaturnLowering {
+    fn kernels_for(&self, k: KernelId) -> VectorKernels {
+        let lmul = self.uniform_lmul.unwrap_or(match k.class() {
+            KernelClass::Iterative => 1,
+            KernelClass::StripMining | KernelClass::Reduction => 4,
+        });
+        VectorKernels::new(self.config, self.style, lmul)
+    }
+}
+
+impl KernelLowering for SaturnLowering {
+    fn emit(&mut self, b: &mut TraceBuilder, k: KernelId, d: &ProblemDims) {
+        let (nx, nu) = (d.nx, d.nu);
+        let sx = d.state_elems();
+        let su = d.input_elems();
+        let vk = self.kernels_for(k);
+        use KernelId::*;
+        match k {
+            ForwardPass1 => {
+                vk.gemv(b, nu, nx);
+                vk.fused_stripmine(b, nu, 2, 2);
+            }
+            ForwardPass2 => {
+                vk.gemv(b, nx, nx);
+                vk.gemv(b, nx, nu);
+                vk.fused_stripmine(b, nx, 2, 1);
+            }
+            BackwardPass1 => {
+                vk.gemv(b, nu, nx);
+                vk.fused_stripmine(b, nu, 2, 1);
+                vk.gemv(b, nu, nu);
+            }
+            BackwardPass2 => {
+                vk.gemv(b, nx, nx);
+                vk.gemv(b, nx, nu);
+                vk.fused_stripmine(b, nx, 3, 2);
+            }
+            UpdateLinearCost4 => {
+                vk.gemv(b, nx, nx);
+                vk.fused_stripmine(b, nx, 2, 3);
+            }
+            UpdateSlack1 => vk.fused_stripmine(b, su, 2, 3),
+            UpdateSlack2 => vk.fused_stripmine(b, sx, 2, 3),
+            UpdateDual1 => {
+                vk.fused_stripmine(b, su, 3, 2);
+                vk.fused_stripmine(b, sx, 3, 2);
+            }
+            UpdateLinearCost1 => vk.fused_stripmine(b, su, 2, 2),
+            UpdateLinearCost2 => vk.fused_stripmine(b, sx, 2, 2),
+            UpdateLinearCost3 => vk.fused_stripmine(b, sx, 3, 2),
+            PrimalResidualState | DualResidualState => {
+                vk.reduce_max_abs_diff(b, sx);
+            }
+            PrimalResidualInput | DualResidualInput => {
+                vk.reduce_max_abs_diff(b, su);
+            }
+        }
+    }
+}
+
+impl BackendPipeline for SaturnPipeline {
+    fn family(&self) -> &'static str {
+        "saturn"
+    }
+
+    fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    fn name(&self) -> String {
+        let style = match self.style {
+            VectorStyle::Matlib => "vec-matlib",
+            VectorStyle::Fused => "hand-opt",
+        };
+        format!("Saturn {} / {} ({style})", self.config.name, self.core.name)
+    }
+
+    fn cache_id(&self) -> String {
+        let style = match self.style {
+            VectorStyle::Matlib => "lib",
+            VectorStyle::Fused => "fused",
+        };
+        let lmul = self
+            .uniform_lmul
+            .map_or("policy".to_string(), |l| l.to_string());
+        format!(
+            "saturn|{}|vlen={},dlen={},qd={},sl={},cl={},dp={}|style={style},lmul={lmul}",
+            core_id(&self.core),
+            self.config.vlen,
+            self.config.dlen,
+            self.config.queue_depth,
+            self.config.startup_latency,
+            self.config.chain_latency,
+            self.config.dispatch_penalty
+        )
+    }
+
+    fn describe(&self) -> String {
+        let style = match self.style {
+            VectorStyle::Matlib => "vectorized matlib",
+            VectorStyle::Fused => "fused hand-optimized",
+        };
+        let lmul = self
+            .uniform_lmul
+            .map_or("per-class LMUL".to_string(), |l| format!("LMUL={l}"));
+        format!(
+            "Saturn VLEN={} DLEN={} on {}, {style} mapping, {lmul}",
+            self.config.vlen, self.config.dlen, self.core.name
+        )
+    }
+
+    fn lowering(&self) -> Box<dyn KernelLowering> {
+        Box::new(SaturnLowering {
+            config: self.config,
+            style: self.style,
+            uniform_lmul: self.uniform_lmul,
+        })
+    }
+
+    fn accelerator(&self) -> Box<dyn Accelerator> {
+        Box::new(SaturnUnit::new(self.config))
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        saturn_platform_area(&self.config, &self.core)
+    }
+
+    fn fault_surface(&self) -> &'static [FaultSurface] {
+        FAULT_SURFACE
+    }
+
+    fn standalone_cycles(
+        &self,
+        shape: KernelShape,
+        residency: Residency,
+        i: usize,
+        k: usize,
+    ) -> u64 {
+        // The paper's standalone kernels dynamically compute VLMAX: pick
+        // the smallest LMUL whose register group covers the output rows,
+        // up to the paper's LMUL=8 for tall matrices.
+        let fitted = [1u8, 2, 4, 8]
+            .into_iter()
+            .find(|&l| self.config.vlmax(32, l) as usize >= i)
+            .unwrap_or(8);
+        let lmul = self.uniform_lmul.unwrap_or(fitted);
+        let gen = VectorKernels::new(self.config, self.style, lmul);
+        let mut b = TraceBuilder::new();
+        let emit = |b: &mut TraceBuilder| match shape {
+            KernelShape::Gemv => gen.gemv(b, i, k),
+            KernelShape::Gemm => gen.gemm(b, i, k, k),
+        };
+        emit(&mut b);
+        let mark = b.len();
+        let cfg = self.config;
+        match residency {
+            Residency::Warm => {
+                emit(&mut b);
+                steady_cost(&self.core, &b.finish(), mark, move || {
+                    Box::new(SaturnUnit::new(cfg))
+                })
+            }
+            Residency::Cold => {
+                b.fence();
+                let mut unit = SaturnUnit::new(cfg);
+                simulate_with_accel(&self.core, &b.finish(), &mut unit)
+            }
+        }
+    }
+
+    fn tuning_candidates(&self) -> Vec<TuningCandidate> {
+        let mut v = scalar_candidates(&self.core);
+        for lmul in [1u8, 2, 4, 8] {
+            v.push(TuningCandidate {
+                label: format!("saturn fused LMUL={lmul}"),
+                pipeline: Arc::new(
+                    SaturnPipeline::new(self.core.clone(), self.config, VectorStyle::Fused)
+                        .with_uniform_lmul(lmul),
+                ),
+            });
+        }
+        v.push(TuningCandidate {
+            label: "saturn vectorized-matlib".into(),
+            pipeline: Arc::new(
+                SaturnPipeline::new(self.core.clone(), self.config, VectorStyle::Matlib)
+                    .with_uniform_lmul(1),
+            ),
+        });
+        v
+    }
+}

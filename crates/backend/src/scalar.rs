@@ -1,0 +1,199 @@
+//! The scalar back-end family as a [`BackendPipeline`]: a bare core
+//! (Rocket / Shuttle / BOOM) with either the `matlib` library mapping or
+//! the hand-optimized Eigen-equivalent mapping.
+
+use crate::pipeline::{
+    core_id, steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    TuningCandidate,
+};
+use soc_area::{cpu_area, AreaBreakdown};
+use soc_cpu::{
+    simulate_with_accel, Accelerator, CoreConfig, NullAccelerator, ScalarKernels, ScalarStyle,
+};
+use soc_isa::{OpClass, TraceBuilder};
+use std::sync::Arc;
+use tinympc::{KernelId, ProblemDims};
+
+/// Scalar cores: cached matrices live in the D-cache and the workspace
+/// streams over the memory bus.
+const FAULT_SURFACE: &[FaultSurface] = &[FaultSurface::StoredMatrixWord, FaultSurface::DmaWord];
+
+/// A scalar design point: one core plus a software mapping style.
+#[derive(Debug, Clone)]
+pub struct ScalarPipeline {
+    core: CoreConfig,
+    style: ScalarStyle,
+}
+
+impl ScalarPipeline {
+    /// Creates the pipeline for `core` with the given mapping style.
+    pub fn new(core: CoreConfig, style: ScalarStyle) -> Self {
+        ScalarPipeline { core, style }
+    }
+}
+
+struct ScalarLowering {
+    kernels: ScalarKernels,
+}
+
+impl KernelLowering for ScalarLowering {
+    fn emit(&mut self, b: &mut TraceBuilder, k: KernelId, d: &ProblemDims) {
+        let (nx, nu) = (d.nx, d.nu);
+        let sx = d.state_elems();
+        let su = d.input_elems();
+        let ks = &self.kernels;
+        use KernelId::*;
+        match k {
+            // u = −K∞ x − d
+            ForwardPass1 => ks.gemv_with(b, nu, nx, &[OpClass::FpSimple, OpClass::FpAdd]),
+            // x' = A x + B u
+            ForwardPass2 => {
+                ks.gemv(b, nx, nx);
+                ks.gemv_with(b, nx, nu, &[OpClass::FpAdd]);
+            }
+            // d = Quu⁻¹ (Bᵀ p + r)
+            BackwardPass1 => {
+                ks.gemv_with(b, nu, nx, &[OpClass::FpAdd]);
+                ks.gemv(b, nu, nu);
+            }
+            // p = q + (A−BK)ᵀ p − K∞ᵀ r
+            BackwardPass2 => {
+                ks.gemv_with(b, nx, nx, &[OpClass::FpAdd]);
+                ks.gemv_with(b, nx, nu, &[OpClass::FpAdd]);
+            }
+            // p[N−1] = −P∞ xref − ρ(vnew − g)
+            UpdateLinearCost4 => {
+                ks.gemv_with(b, nx, nx, &[OpClass::FpSimple]);
+                ks.fused_map(b, nx, 2, &[OpClass::FpAdd, OpClass::FpFma]);
+            }
+            // znew = clip(u + y)
+            UpdateSlack1 => ks.fused_map(
+                b,
+                su,
+                2,
+                &[OpClass::FpAdd, OpClass::FpSimple, OpClass::FpSimple],
+            ),
+            UpdateSlack2 => ks.fused_map(
+                b,
+                sx,
+                2,
+                &[OpClass::FpAdd, OpClass::FpSimple, OpClass::FpSimple],
+            ),
+            // y += u − znew ; g += x − vnew
+            UpdateDual1 => {
+                ks.fused_map(b, su, 3, &[OpClass::FpAdd, OpClass::FpAdd]);
+                ks.fused_map(b, sx, 3, &[OpClass::FpAdd, OpClass::FpAdd]);
+            }
+            // r = −ρ (znew − y)
+            UpdateLinearCost1 => ks.fused_map(b, su, 2, &[OpClass::FpAdd, OpClass::FpMul]),
+            // q = −(xref ⊙ Qdiag)
+            UpdateLinearCost2 => ks.fused_map(b, sx, 2, &[OpClass::FpMul, OpClass::FpSimple]),
+            // q −= ρ (vnew − g)
+            UpdateLinearCost3 => ks.fused_map(b, sx, 3, &[OpClass::FpAdd, OpClass::FpFma]),
+            PrimalResidualState | DualResidualState => {
+                ks.reduce_max_abs_diff(b, sx);
+            }
+            PrimalResidualInput | DualResidualInput => {
+                ks.reduce_max_abs_diff(b, su);
+            }
+        }
+    }
+}
+
+/// The two scalar software mappings every target can fall back to; the
+/// Saturn and Gemmini pipelines prepend these to their own candidates.
+pub(crate) fn scalar_candidates(core: &CoreConfig) -> Vec<TuningCandidate> {
+    vec![
+        TuningCandidate {
+            label: "scalar hand-optimized".into(),
+            pipeline: Arc::new(ScalarPipeline::new(core.clone(), ScalarStyle::Optimized)),
+        },
+        TuningCandidate {
+            label: "scalar matlib".into(),
+            pipeline: Arc::new(ScalarPipeline::new(core.clone(), ScalarStyle::Library)),
+        },
+    ]
+}
+
+impl BackendPipeline for ScalarPipeline {
+    fn family(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    fn name(&self) -> String {
+        let style = match self.style {
+            ScalarStyle::Library => "matlib",
+            ScalarStyle::Optimized => "Eigen-opt",
+        };
+        format!("{} ({style})", self.core.name)
+    }
+
+    fn cache_id(&self) -> String {
+        let style = match self.style {
+            ScalarStyle::Library => "lib",
+            ScalarStyle::Optimized => "opt",
+        };
+        format!("scalar|{}|style={style}", core_id(&self.core))
+    }
+
+    fn describe(&self) -> String {
+        let style = match self.style {
+            ScalarStyle::Library => "matlib library mapping",
+            ScalarStyle::Optimized => "hand-optimized (Eigen-equivalent) mapping",
+        };
+        format!("bare {} core, {style}", self.core.name)
+    }
+
+    fn lowering(&self) -> Box<dyn KernelLowering> {
+        Box::new(ScalarLowering {
+            kernels: ScalarKernels::new(self.style),
+        })
+    }
+
+    fn accelerator(&self) -> Box<dyn Accelerator> {
+        Box::new(NullAccelerator)
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        cpu_area(&self.core)
+    }
+
+    fn fault_surface(&self) -> &'static [FaultSurface] {
+        FAULT_SURFACE
+    }
+
+    fn standalone_cycles(
+        &self,
+        shape: KernelShape,
+        residency: Residency,
+        i: usize,
+        k: usize,
+    ) -> u64 {
+        let gen = ScalarKernels::new(self.style);
+        let mut b = TraceBuilder::new();
+        let emit = |b: &mut TraceBuilder| match shape {
+            KernelShape::Gemv => gen.gemv(b, i, k),
+            KernelShape::Gemm => gen.gemm(b, i, k, k),
+        };
+        emit(&mut b);
+        let mark = b.len();
+        match residency {
+            Residency::Warm => {
+                emit(&mut b);
+                steady_cost(&self.core, &b.finish(), mark, || Box::new(NullAccelerator))
+            }
+            Residency::Cold => {
+                let mut null = NullAccelerator;
+                simulate_with_accel(&self.core, &b.finish(), &mut null)
+            }
+        }
+    }
+
+    fn tuning_candidates(&self) -> Vec<TuningCandidate> {
+        scalar_candidates(&self.core)
+    }
+}

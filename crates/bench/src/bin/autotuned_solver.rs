@@ -15,16 +15,16 @@ fn main() {
         horizon: 10,
     };
     for space in [
-        TuningSpace::Scalar(CoreConfig::rocket()),
-        TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
-        TuningSpace::Gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb()),
+        TuningSpace::scalar(CoreConfig::rocket()),
+        TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+        TuningSpace::gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb()),
     ] {
         let tuned = tune(&space, &dims);
         println!("{}", tuned.report());
     }
 
     let tuned = tune(
-        &TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+        &TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
         &dims,
     );
     println!(

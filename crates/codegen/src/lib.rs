@@ -34,7 +34,7 @@
 //!
 //! let dims = ProblemDims { nx: 12, nu: 4, horizon: 10 };
 //! let tuned = tune(
-//!     &TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+//!     &TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
 //!     &dims,
 //! );
 //! assert_eq!(tuned.choices.len(), 15);

@@ -1,125 +1,63 @@
 //! The per-kernel mapping tuner.
 
-use soc_cpu::{CoreConfig, ScalarStyle};
-use soc_dse::executors::{GemminiExecutor, SaturnExecutor, ScalarExecutor};
+use soc_backend::{pipeline_for, Platform, TuningCandidate};
+use soc_cpu::CoreConfig;
 use soc_gemmini::{GemminiConfig, GemminiOpts};
-use soc_isa::{disassemble, Trace};
-use soc_vector::{SaturnConfig, VectorStyle};
+use soc_isa::disassemble;
+use soc_vector::SaturnConfig;
 use std::collections::BTreeMap;
 use tinympc::{KernelExecutor, KernelId, ProblemDims};
 
 /// The hardware target being tuned for.
+///
+/// A tuning space is a platform plus a display label; the candidate
+/// mappings come from the platform's pipeline
+/// ([`soc_backend::BackendPipeline::tuning_candidates`]), so a newly
+/// registered back-end family is tunable with no tuner changes.
 #[derive(Debug, Clone)]
-pub enum TuningSpace {
-    /// A bare scalar core: candidates are the library and hand-optimized
-    /// scalar styles.
-    Scalar(CoreConfig),
-    /// A Saturn-equipped core: candidates span mapping style × LMUL, plus
-    /// the scalar fallback.
-    Saturn(CoreConfig, SaturnConfig),
-    /// A Gemmini-equipped core: candidates span the optimization subsets,
-    /// plus the scalar fallback (hybrid mappings).
-    Gemmini(CoreConfig, GemminiConfig),
+pub struct TuningSpace {
+    label: String,
+    platform: Platform,
 }
 
 impl TuningSpace {
-    fn core(&self) -> &CoreConfig {
-        match self {
-            TuningSpace::Scalar(c) | TuningSpace::Saturn(c, _) | TuningSpace::Gemmini(c, _) => c,
+    /// A bare scalar core: candidates are the library and hand-optimized
+    /// scalar styles.
+    pub fn scalar(core: CoreConfig) -> Self {
+        TuningSpace {
+            label: core.name.to_string(),
+            platform: Platform::scalar(core),
+        }
+    }
+
+    /// A Saturn-equipped core: candidates span mapping style × LMUL, plus
+    /// the scalar fallback.
+    pub fn saturn(core: CoreConfig, cfg: SaturnConfig) -> Self {
+        TuningSpace {
+            label: format!("{}+Saturn{}", core.name, cfg.name),
+            platform: Platform::saturn(core, cfg),
+        }
+    }
+
+    /// A Gemmini-equipped core: candidates span the optimization subsets,
+    /// plus the scalar fallback (hybrid mappings).
+    pub fn gemmini(core: CoreConfig, cfg: GemminiConfig) -> Self {
+        TuningSpace {
+            label: format!("{}+{}", core.name, cfg.name),
+            platform: Platform::gemmini(core, cfg, GemminiOpts::optimized()),
         }
     }
 
     /// Human-readable target name.
     pub fn name(&self) -> String {
-        match self {
-            TuningSpace::Scalar(c) => c.name.to_string(),
-            TuningSpace::Saturn(c, s) => format!("{}+Saturn{}", c.name, s.name),
-            TuningSpace::Gemmini(c, g) => format!("{}+{}", c.name, g.name),
-        }
+        self.label.clone()
     }
 }
 
-/// One candidate software mapping for one kernel.
-enum Candidate {
-    Scalar(ScalarExecutor, String),
-    Saturn(SaturnExecutor, String),
-    Gemmini(GemminiExecutor, String),
-}
-
-impl Candidate {
-    fn label(&self) -> &str {
-        match self {
-            Candidate::Scalar(_, l) | Candidate::Saturn(_, l) | Candidate::Gemmini(_, l) => l,
-        }
-    }
-
-    // A candidate whose trace fails verification prices at u64::MAX so it
-    // can never win the selection.
-    fn measure(&mut self, kernel: KernelId, dims: &ProblemDims) -> u64 {
-        match self {
-            Candidate::Scalar(e, _) => e.kernel_cycles(kernel, dims),
-            Candidate::Saturn(e, _) => e.kernel_cycles(kernel, dims),
-            Candidate::Gemmini(e, _) => e.kernel_cycles(kernel, dims),
-        }
-        .unwrap_or(u64::MAX)
-    }
-
-    fn trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
-        match self {
-            Candidate::Scalar(e, _) => e.kernel_trace(kernel, dims),
-            Candidate::Saturn(e, _) => e.kernel_trace(kernel, dims),
-            Candidate::Gemmini(e, _) => e.kernel_trace(kernel, dims),
-        }
-    }
-}
-
-fn candidates(space: &TuningSpace) -> Vec<Candidate> {
-    let core = space.core().clone();
-    let mut v = vec![
-        Candidate::Scalar(
-            ScalarExecutor::new(core.clone(), ScalarStyle::Optimized),
-            "scalar hand-optimized".to_string(),
-        ),
-        Candidate::Scalar(
-            ScalarExecutor::new(core.clone(), ScalarStyle::Library),
-            "scalar matlib".to_string(),
-        ),
-    ];
-    match space {
-        TuningSpace::Scalar(_) => {}
-        TuningSpace::Saturn(_, cfg) => {
-            for lmul in [1u8, 2, 4, 8] {
-                v.push(Candidate::Saturn(
-                    SaturnExecutor::new(core.clone(), *cfg, VectorStyle::Fused)
-                        .with_uniform_lmul(lmul),
-                    format!("saturn fused LMUL={lmul}"),
-                ));
-            }
-            v.push(Candidate::Saturn(
-                SaturnExecutor::new(core.clone(), *cfg, VectorStyle::Matlib).with_uniform_lmul(1),
-                "saturn vectorized-matlib".to_string(),
-            ));
-        }
-        TuningSpace::Gemmini(_, cfg) => {
-            v.push(Candidate::Gemmini(
-                GemminiExecutor::new(core.clone(), *cfg, GemminiOpts::optimized()),
-                "gemmini optimized".to_string(),
-            ));
-            let mut no_act = GemminiOpts::optimized();
-            no_act.fuse_activation = false;
-            v.push(Candidate::Gemmini(
-                GemminiExecutor::new(core.clone(), *cfg, no_act),
-                "gemmini, scalar activations".to_string(),
-            ));
-            let mut no_pool = GemminiOpts::optimized();
-            no_pool.pooling_reduction = false;
-            v.push(Candidate::Gemmini(
-                GemminiExecutor::new(core, *cfg, no_pool),
-                "gemmini, scalar reductions".to_string(),
-            ));
-        }
-    }
-    v
+// A candidate whose trace fails verification prices at u64::MAX so it
+// can never win the selection.
+fn measure(c: &TuningCandidate, kernel: KernelId, dims: &ProblemDims) -> u64 {
+    c.pipeline.steady_cycles(kernel, dims).unwrap_or(u64::MAX)
 }
 
 /// The winning mapping for one kernel.
@@ -216,35 +154,31 @@ impl KernelExecutor for TunedExecutor {
 /// Tunes the solver for a hardware target: measures every candidate
 /// mapping for every kernel and picks the fastest.
 pub fn tune(space: &TuningSpace, dims: &ProblemDims) -> TunedSolver {
-    let mut cands = candidates(space);
+    let cands = pipeline_for(&space.platform).tuning_candidates();
     let mut choices = BTreeMap::new();
     let mut listings = BTreeMap::new();
     for kernel in KernelId::ALL {
-        let (best_idx, best_cycles) = cands
-            .iter_mut()
-            .enumerate()
-            .map(|(i, c)| (i, c.measure(kernel, dims)))
-            .min_by_key(|&(_, c)| c)
+        let (best, best_cycles) = cands
+            .iter()
+            .map(|c| (c, measure(c, kernel, dims)))
+            .min_by_key(|&(_, cycles)| cycles)
             .expect("at least one candidate");
         choices.insert(
             kernel,
             MappingChoice {
-                label: cands[best_idx].label().to_string(),
+                label: best.label.clone(),
                 cycles: best_cycles,
             },
         );
-        listings.insert(kernel, disassemble(&cands[best_idx].trace(kernel, dims)));
+        listings.insert(kernel, disassemble(&best.pipeline.lower(kernel, dims)));
     }
-    // Setup cost: charged if any chosen mapping runs on the accelerator.
+    // Setup cost: charged if any chosen mapping needs one (scalar and
+    // Saturn pipelines have empty setup traces, so this only bites for
+    // scratchpad-resident accelerator mappings).
     let setup_cycles = cands
-        .iter_mut()
-        .filter(|c| {
-            choices.values().any(|ch| ch.label == *c.label()) && matches!(c, Candidate::Gemmini(..))
-        })
-        .map(|c| match c {
-            Candidate::Gemmini(e, _) => e.setup_cycles(dims).unwrap_or(0),
-            _ => 0,
-        })
+        .iter()
+        .filter(|c| choices.values().any(|ch| ch.label == c.label))
+        .map(|c| c.pipeline.setup_cost(dims).unwrap_or(0))
         .max()
         .unwrap_or(0);
 
@@ -260,6 +194,8 @@ pub fn tune(space: &TuningSpace, dims: &ProblemDims) -> TunedSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soc_backend::{BackendPipeline, SaturnPipeline};
+    use soc_vector::VectorStyle;
     use tinympc::KernelClass;
 
     fn dims() -> ProblemDims {
@@ -273,7 +209,7 @@ mod tests {
     #[test]
     fn tuner_rediscovers_saturn_lmul_policy() {
         let tuned = tune(
-            &TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+            &TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
             &dims(),
         );
         // Strip-mining kernels must pick a grouped (LMUL>1) Saturn mapping.
@@ -302,12 +238,12 @@ mod tests {
 
     #[test]
     fn tuned_never_loses_to_any_fixed_candidate() {
-        let space = TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
+        let space = TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
         let tuned = tune(&space, &dims());
         let tuned_total = tuned.cycles_per_iteration();
         // Compare against each uniform-LMUL fixed policy.
         for lmul in [1u8, 2, 4, 8] {
-            let mut fixed = SaturnExecutor::new(
+            let fixed = SaturnPipeline::new(
                 CoreConfig::rocket(),
                 SaturnConfig::v512d256(),
                 VectorStyle::Fused,
@@ -316,7 +252,7 @@ mod tests {
             let total: u64 = KernelId::ALL
                 .iter()
                 .map(|&k| {
-                    fixed.kernel_cycles(k, &dims()).unwrap()
+                    fixed.steady_cycles(k, &dims()).unwrap()
                         * k.invocations_per_iteration(dims().horizon) as u64
                 })
                 .sum();
@@ -329,7 +265,7 @@ mod tests {
 
     #[test]
     fn scalar_space_prefers_optimized_everywhere() {
-        let tuned = tune(&TuningSpace::Scalar(CoreConfig::rocket()), &dims());
+        let tuned = tune(&TuningSpace::scalar(CoreConfig::rocket()), &dims());
         for (k, c) in &tuned.choices {
             assert_eq!(c.label, "scalar hand-optimized", "{k} picked {}", c.label);
         }
@@ -338,7 +274,7 @@ mod tests {
     #[test]
     fn gemmini_space_produces_hybrid_mapping() {
         let tuned = tune(
-            &TuningSpace::Gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb()),
+            &TuningSpace::gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb()),
             &dims(),
         );
         // The iterative matrix-product kernels must run on Gemmini.
@@ -355,7 +291,7 @@ mod tests {
 
     #[test]
     fn listings_render_for_every_kernel() {
-        let tuned = tune(&TuningSpace::Scalar(CoreConfig::rocket()), &dims());
+        let tuned = tune(&TuningSpace::scalar(CoreConfig::rocket()), &dims());
         for k in KernelId::ALL {
             let l = tuned.listing(k).expect("listing exists");
             assert!(!l.is_empty());
@@ -365,7 +301,7 @@ mod tests {
     #[test]
     fn tuned_executor_prices_solves() {
         use tinympc::{problems, AdmmSolver, SolverSettings};
-        let space = TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
+        let space = TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256());
         let tuned = tune(&space, &dims());
         let mut executor = tuned.executor();
         let problem = problems::quadrotor_hover::<f32>(10).unwrap();

@@ -13,52 +13,12 @@
 //! at a fraction of the area — is the robust output.
 
 use crate::experiments::solve_cycles;
-use crate::platform::{Backend, Platform};
+use crate::platform::Platform;
+use soc_backend::pipeline_for;
 use soc_isa::{Payload, RoccCmd, TraceStats};
 use tinympc::KernelId;
 
-/// Per-event dynamic energies in picojoules, 7-nm-class estimates.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EnergyParams {
-    /// Scalar integer op (ALU + pipeline overhead).
-    pub int_op_pj: f64,
-    /// Scalar FP op.
-    pub fp_op_pj: f64,
-    /// L1 load/store access.
-    pub mem_op_pj: f64,
-    /// Vector lane-element operation.
-    pub vector_elem_pj: f64,
-    /// Mesh multiply-accumulate.
-    pub mesh_mac_pj: f64,
-    /// Scratchpad byte moved.
-    pub spad_byte_pj: f64,
-    /// DRAM byte moved (DMA).
-    pub dram_byte_pj: f64,
-    /// Per-instruction frontend overhead of an out-of-order core
-    /// (fetch/rename/ROB) relative to in-order, in pJ.
-    pub ooo_overhead_pj: f64,
-    /// Leakage power density, mW per mm².
-    pub leakage_mw_per_mm2: f64,
-    /// Clock frequency, GHz.
-    pub clock_ghz: f64,
-}
-
-impl Default for EnergyParams {
-    fn default() -> Self {
-        EnergyParams {
-            int_op_pj: 1.5,
-            fp_op_pj: 4.0,
-            mem_op_pj: 10.0,
-            vector_elem_pj: 2.0,
-            mesh_mac_pj: 1.0,
-            spad_byte_pj: 0.3,
-            dram_byte_pj: 20.0,
-            ooo_overhead_pj: 6.0,
-            leakage_mw_per_mm2: 40.0,
-            clock_ghz: 1.0,
-        }
-    }
-}
+pub use soc_backend::EnergyParams;
 
 /// Per-solve energy report.
 #[derive(Debug, Clone)]
@@ -155,33 +115,10 @@ pub fn solve_energy(
         a.dram_bytes += b.dram_bytes * times;
         a.spad_bytes += b.spad_bytes * times;
     };
+    let pipeline = pipeline_for(platform);
     for kernel in KernelId::ALL {
         let times = iterations * kernel.invocations_per_iteration(horizon) as u64;
-        let trace = match &platform.backend {
-            Backend::Scalar(style) => {
-                crate::executors::ScalarExecutor::new(platform.core.clone(), *style)
-                    .kernel_trace(kernel, &dims)
-            }
-            Backend::Saturn {
-                config,
-                style,
-                lmul,
-            } => {
-                let mut e =
-                    crate::executors::SaturnExecutor::new(platform.core.clone(), *config, *style);
-                if let Some(l) = lmul {
-                    e = e.with_uniform_lmul(*l);
-                }
-                e.kernel_trace(kernel, &dims)
-            }
-            Backend::Gemmini { config, opts } => {
-                // Steady-state: the solver's cached matrices stay
-                // scratchpad-resident across invocations; counting their
-                // mvins per invocation would overcharge DMA energy.
-                crate::executors::GemminiExecutor::new(platform.core.clone(), *config, *opts)
-                    .kernel_trace_steady(kernel, &dims)
-            }
-        };
+        let trace = pipeline.energy_trace(kernel, &dims);
         scale(&mut total, activity_of(&trace), times);
     }
 

@@ -9,13 +9,12 @@
 //! crate provides a parallel, memoized implementation that must remain
 //! bit-identical to it.
 
-use crate::platform::{Backend, Platform};
-use soc_cpu::ScalarKernels;
-use soc_gemmini::{GemminiKernels, GemminiUnit, MatId};
-use soc_isa::TraceBuilder;
-use soc_vector::{SaturnUnit, VectorKernels};
+use crate::platform::Platform;
+use soc_backend::pipeline_for;
 use std::collections::BTreeMap;
 use tinympc::{problems, AdmmSolver, KernelId, SolveResult, SolverSettings};
+
+pub use soc_backend::{KernelShape, Residency};
 
 /// Outcome of an end-to-end solve on a platform.
 #[derive(Debug, Clone)]
@@ -295,28 +294,6 @@ pub fn kernel_speedups(
     kernel_speedups_with(&SerialSource, platform, baseline, horizon)
 }
 
-/// Standalone kernel shape for the sweep experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelShape {
-    /// Matrix-vector product of an `I × K` matrix.
-    Gemv,
-    /// Matrix-matrix product `I × K` times `K × K`.
-    Gemm,
-}
-
-/// Operand residency for standalone kernel measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Residency {
-    /// Operands arrive from memory: Gemmini pays mvin/mvout DMA, matching
-    /// a one-shot kernel invocation (Figures 13-15, where GEMV's lack of
-    /// reuse is the point).
-    Cold,
-    /// Operands are already resident (scratchpad / L1) and the kernel is
-    /// measured in steady state (Figure 8, which isolates mesh
-    /// utilization).
-    Warm,
-}
-
 /// Cycles for a standalone GEMV/GEMM of the given size on a platform.
 ///
 /// Measured in steady state (the kernel is emitted twice and the second
@@ -330,88 +307,7 @@ pub fn standalone_kernel(
     i: usize,
     k: usize,
 ) -> u64 {
-    let reps = match residency {
-        Residency::Cold => 1,
-        Residency::Warm => 2,
-    };
-    match &platform.backend {
-        Backend::Scalar(style) => {
-            let gen = ScalarKernels::new(*style);
-            let mut b = TraceBuilder::new();
-            let emit = |b: &mut TraceBuilder| match shape {
-                KernelShape::Gemv => gen.gemv(b, i, k),
-                KernelShape::Gemm => gen.gemm(b, i, k, k),
-            };
-            emit(&mut b);
-            let mark = b.len();
-            if reps == 2 {
-                emit(&mut b);
-                crate::executors::steady_cost(&platform.core, &b.finish(), mark, || {
-                    Box::new(soc_cpu::NullAccelerator)
-                })
-            } else {
-                let mut null = soc_cpu::NullAccelerator;
-                soc_cpu::simulate_with_accel(&platform.core, &b.finish(), &mut null)
-            }
-        }
-        Backend::Saturn {
-            config,
-            style,
-            lmul,
-        } => {
-            // The paper's standalone kernels dynamically compute VLMAX:
-            // pick the smallest LMUL whose register group covers the
-            // output rows, up to the paper's LMUL=8 for tall matrices.
-            let fitted = [1u8, 2, 4, 8]
-                .into_iter()
-                .find(|&l| config.vlmax(32, l) as usize >= i)
-                .unwrap_or(8);
-            let lmul = lmul.unwrap_or(fitted);
-            let gen = VectorKernels::new(*config, *style, lmul);
-            let mut b = TraceBuilder::new();
-            let emit = |b: &mut TraceBuilder| match shape {
-                KernelShape::Gemv => gen.gemv(b, i, k),
-                KernelShape::Gemm => gen.gemm(b, i, k, k),
-            };
-            emit(&mut b);
-            let mark = b.len();
-            let cfg = *config;
-            if reps == 2 {
-                emit(&mut b);
-                crate::executors::steady_cost(&platform.core, &b.finish(), mark, move || {
-                    Box::new(SaturnUnit::new(cfg))
-                })
-            } else {
-                b.fence();
-                let mut unit = SaturnUnit::new(cfg);
-                soc_cpu::simulate_with_accel(&platform.core, &b.finish(), &mut unit)
-            }
-        }
-        Backend::Gemmini { config, opts } => {
-            let mut gen = GemminiKernels::new(*config, *opts);
-            let mut b = TraceBuilder::new();
-            let (a_id, x_id, y_id) = (MatId(0), MatId(1), MatId(2));
-            let emit = |gen: &mut GemminiKernels, b: &mut TraceBuilder| match shape {
-                KernelShape::Gemv => gen.gemv(b, i, k, a_id, x_id, y_id),
-                KernelShape::Gemm => gen.gemm(b, i, k, k, a_id, x_id, y_id),
-            };
-            emit(&mut gen, &mut b);
-            let mark = b.len();
-            let cfg = *config;
-            if reps == 2 {
-                emit(&mut gen, &mut b);
-                crate::executors::steady_cost(&platform.core, &b.finish(), mark, move || {
-                    Box::new(GemminiUnit::new(cfg))
-                })
-            } else {
-                // One-shot: the result is stored back and synchronized.
-                gen.sync_to_cpu(&mut b, i, y_id);
-                b.fence();
-                let mut unit = GemminiUnit::new(cfg);
-                soc_cpu::simulate_with_accel(&platform.core, &b.finish(), &mut unit)
-            }
-        }
-    }
+    pipeline_for(platform).standalone_cycles(shape, residency, i, k)
 }
 
 /// A 2-D sweep of relative speedups over (I, K) kernel sizes.

@@ -11,18 +11,22 @@
 //!
 //! ## Layout
 //!
-//! * [`executors`] — [`tinympc::KernelExecutor`] implementations that map
-//!   each TinyMPC kernel onto a back-end's software mapping and memoize
-//!   simulated cycles.
+//! Back-end dispatch lives in the `soc-backend` crate: each family is a
+//! [`soc_backend::BackendPipeline`] instance and
+//! [`soc_backend::pipeline_for`] is the single point where a platform's
+//! backend description resolves to behavior. This crate consumes that
+//! seam:
+//!
 //! * [`platform`] — the configuration registry (every Table I design
-//!   point) and area/performance plumbing.
+//!   point) and area/performance plumbing, re-exported from
+//!   `soc-backend`.
 //! * [`experiments`] — runnable reproductions of each table and figure.
 //! * [`workloads`] — random kernel-size generators and closed-loop
 //!   reference trajectories.
 //! * [`energy`] — a first-order energy model (an extension beyond the
 //!   paper's published data; see its module docs).
 //! * [`verify`] — sweeps the `soc-verify` static analyzer over every
-//!   trace the executors feed their timing models.
+//!   trace the pipelines feed their timing models.
 //! * [`report`] — plain-text/markdown rendering of results.
 //!
 //! ## Quickstart
@@ -44,7 +48,6 @@
 #![warn(missing_docs)]
 
 pub mod energy;
-pub mod executors;
 pub mod experiments;
 pub mod platform;
 pub mod report;

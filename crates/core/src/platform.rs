@@ -1,231 +1,7 @@
-//! The design-point registry: every hardware+software configuration the
-//! paper evaluates, with area and executor plumbing.
+//! The design-point registry, re-exported from `soc-backend`.
+//!
+//! [`Platform`] and [`Backend`] live in the `soc-backend` crate next to
+//! the pipeline implementations; this module keeps the historical
+//! `soc_dse::platform::Platform` paths working for every consumer.
 
-use crate::executors::{GemminiExecutor, SaturnExecutor, ScalarExecutor};
-use soc_area::{cpu_area, gemmini_platform_area, saturn_platform_area, AreaBreakdown};
-use soc_cpu::{CoreConfig, ScalarStyle};
-use soc_gemmini::{GemminiConfig, GemminiOpts};
-use soc_vector::{SaturnConfig, VectorStyle};
-use tinympc::KernelExecutor;
-
-/// The accelerator (or lack thereof) attached to the scalar core.
-#[derive(Debug, Clone)]
-pub enum Backend {
-    /// Bare scalar core with a software mapping style.
-    Scalar(ScalarStyle),
-    /// Saturn vector unit.
-    Saturn {
-        /// Vector-unit configuration.
-        config: SaturnConfig,
-        /// Software mapping style.
-        style: VectorStyle,
-        /// Uniform LMUL override (`None` = the optimized per-class
-        /// policy).
-        lmul: Option<u8>,
-    },
-    /// Gemmini systolic array.
-    Gemmini {
-        /// Accelerator configuration.
-        config: GemminiConfig,
-        /// Software mapping options.
-        opts: GemminiOpts,
-    },
-}
-
-/// One design point: a scalar core plus an optional accelerator and the
-/// software mapping used on it.
-#[derive(Debug, Clone)]
-pub struct Platform {
-    /// Display name (Table I naming).
-    pub name: String,
-    /// The scalar frontend.
-    pub core: CoreConfig,
-    /// The attached back-end.
-    pub backend: Backend,
-}
-
-impl Platform {
-    /// Rocket running hand-optimized scalar code — the paper's baseline.
-    pub fn rocket_eigen() -> Self {
-        Platform {
-            name: "Rocket".into(),
-            core: CoreConfig::rocket(),
-            backend: Backend::Scalar(ScalarStyle::Optimized),
-        }
-    }
-
-    /// Rocket running `matlib` library code.
-    pub fn rocket_matlib() -> Self {
-        Platform {
-            name: "Rocket (matlib)".into(),
-            core: CoreConfig::rocket(),
-            backend: Backend::Scalar(ScalarStyle::Library),
-        }
-    }
-
-    /// A BOOM core running hand-optimized scalar code.
-    pub fn boom(core: CoreConfig) -> Self {
-        Platform {
-            name: core.name.to_string(),
-            core,
-            backend: Backend::Scalar(ScalarStyle::Optimized),
-        }
-    }
-
-    /// A Saturn reference design with the hand-optimized mapping.
-    pub fn saturn(core: CoreConfig, config: SaturnConfig) -> Self {
-        Platform {
-            name: format!("Ref{}{}", config.name, core.name),
-            core,
-            backend: Backend::Saturn {
-                config,
-                style: VectorStyle::Fused,
-                lmul: None,
-            },
-        }
-    }
-
-    /// A Saturn design with an explicit style and uniform LMUL.
-    pub fn saturn_with(
-        core: CoreConfig,
-        config: SaturnConfig,
-        style: VectorStyle,
-        lmul: Option<u8>,
-    ) -> Self {
-        let style_tag = match style {
-            VectorStyle::Matlib => "matlib",
-            VectorStyle::Fused => "fused",
-        };
-        let lmul_tag = lmul.map_or(String::new(), |l| format!(",LMUL={l}"));
-        Platform {
-            name: format!("{}{} ({style_tag}{lmul_tag})", config.name, core.name),
-            core,
-            backend: Backend::Saturn {
-                config,
-                style,
-                lmul,
-            },
-        }
-    }
-
-    /// A Gemmini design point.
-    pub fn gemmini(core: CoreConfig, config: GemminiConfig, opts: GemminiOpts) -> Self {
-        Platform {
-            name: format!("{}{}", config.name, core.name),
-            core,
-            backend: Backend::Gemmini { config, opts },
-        }
-    }
-
-    /// Every design point of the paper's Table I (performance rows).
-    pub fn table1_registry() -> Vec<Platform> {
-        let mut v = vec![
-            Platform::rocket_eigen(),
-            Platform::boom(CoreConfig::small_boom()),
-            Platform::boom(CoreConfig::medium_boom()),
-            Platform::boom(CoreConfig::large_boom()),
-            Platform::boom(CoreConfig::mega_boom()),
-            Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d128()),
-            Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
-            Platform::saturn(CoreConfig::shuttle(), SaturnConfig::v512d128()),
-            Platform::saturn(CoreConfig::shuttle(), SaturnConfig::v512d256()),
-        ];
-        let mut os32 = Platform::gemmini(
-            CoreConfig::rocket(),
-            GemminiConfig::os_4x4_32kb(),
-            GemminiOpts::optimized(),
-        );
-        os32.name = "OSGemminiRocket32KB".into();
-        let mut os64 = Platform::gemmini(
-            CoreConfig::rocket(),
-            GemminiConfig::os_4x4_64kb(),
-            GemminiOpts::optimized(),
-        );
-        os64.name = "OSGemminiRocket64KB".into();
-        // The WS design was evaluated with only unrolling + static
-        // mapping (no residency/fusion/pooling optimizations).
-        let ws_opts = GemminiOpts {
-            isa: soc_gemmini::IsaStyle::Fine,
-            static_mapping: true,
-            scratchpad_resident: false,
-            fuse_activation: false,
-            pooling_reduction: false,
-        };
-        let mut ws64 =
-            Platform::gemmini(CoreConfig::rocket(), GemminiConfig::ws_4x4_64kb(), ws_opts);
-        ws64.name = "WSGemminiRocket64KB".into();
-        v.push(os32);
-        v.push(os64);
-        v.push(ws64);
-        v
-    }
-
-    /// Builds the timing executor for this platform.
-    pub fn executor(&self) -> Box<dyn KernelExecutor> {
-        match &self.backend {
-            Backend::Scalar(style) => Box::new(ScalarExecutor::new(self.core.clone(), *style)),
-            Backend::Saturn {
-                config,
-                style,
-                lmul,
-            } => {
-                let mut e = SaturnExecutor::new(self.core.clone(), *config, *style);
-                if let Some(l) = lmul {
-                    e = e.with_uniform_lmul(*l);
-                }
-                Box::new(e)
-            }
-            Backend::Gemmini { config, opts } => {
-                Box::new(GemminiExecutor::new(self.core.clone(), *config, *opts))
-            }
-        }
-    }
-
-    /// Area of this platform (ASAP7-calibrated model).
-    pub fn area(&self) -> AreaBreakdown {
-        match &self.backend {
-            Backend::Scalar(_) => cpu_area(&self.core),
-            Backend::Saturn { config, .. } => saturn_platform_area(config, &self.core),
-            Backend::Gemmini { config, .. } => gemmini_platform_area(config, &self.core),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn registry_covers_table1() {
-        let reg = Platform::table1_registry();
-        assert_eq!(reg.len(), 12);
-        let names: Vec<_> = reg.iter().map(|p| p.name.as_str()).collect();
-        assert!(names.contains(&"Rocket"));
-        assert!(names.contains(&"MegaBoom"));
-        assert!(names.contains(&"RefV512D256Shuttle"));
-        assert!(names.contains(&"OSGemminiRocket32KB"));
-        assert!(names.contains(&"WSGemminiRocket64KB"));
-    }
-
-    #[test]
-    fn registry_areas_match_table1_anchors() {
-        let reg = Platform::table1_registry();
-        let area_of = |n: &str| {
-            reg.iter()
-                .find(|p| p.name == n)
-                .map(|p| p.area().total())
-                .unwrap_or(f64::NAN)
-        };
-        assert!((area_of("Rocket") - 486_287.0).abs() < 1.0);
-        assert!((area_of("RefV512D128Rocket") - 1_340_095.0).abs() < 1_000.0);
-        assert!((area_of("OSGemminiRocket32KB") - 1_506_498.0).abs() < 5_000.0);
-    }
-
-    #[test]
-    fn executors_are_buildable_for_all_platforms() {
-        for p in Platform::table1_registry() {
-            let e = p.executor();
-            assert!(!e.name().is_empty());
-        }
-    }
-}
+pub use soc_backend::{Backend, Platform};

@@ -1,14 +1,15 @@
 //! Glue between the [`Platform`] registry and the `soc-verify` static
-//! analyzer: sweep every trace a platform's executor feeds its timing
+//! analyzer: sweep every trace a platform's pipeline feeds its timing
 //! model and collect the findings.
 //!
-//! The executors already run these checks as debug assertions on every
-//! simulated trace (see [`crate::executors`]); this module exists for the
-//! `dse verify` subcommand and the release-build integration tests, which
-//! want the full [`Report`]s rather than a panic on first error.
+//! The pipelines already run these checks as debug assertions on every
+//! simulated trace (see `soc_backend::BackendPipeline::steady_cycles`);
+//! this module exists for the `dse verify` subcommand and the
+//! release-build integration tests, which want the full [`Report`]s
+//! rather than a panic on first error.
 
-use crate::executors::{GemminiExecutor, SaturnExecutor, ScalarExecutor};
-use crate::platform::{Backend, Platform};
+use crate::platform::Platform;
+use soc_backend::pipeline_for;
 use soc_cpu::CoreConfig;
 use soc_gemmini::{GemminiConfig, GemminiOpts, IsaStyle};
 use soc_vector::{SaturnConfig, VectorStyle};
@@ -24,67 +25,33 @@ pub struct TraceReport {
 }
 
 /// Verifier configuration appropriate for `platform`'s back-end: the
-/// scratchpad-residency pass runs only for Gemmini design points, with
-/// the geometry taken from the accelerator configuration.
+/// scratchpad-residency pass runs only for design points whose pipeline
+/// declares a scratchpad geometry.
 pub fn verify_config(platform: &Platform) -> VerifyConfig {
-    match &platform.backend {
-        Backend::Gemmini { config, .. } => VerifyConfig::with_spad(config.spad_rows(), config.dim),
-        _ => VerifyConfig::default(),
-    }
+    pipeline_for(platform).verify_config()
 }
 
-/// Statically verifies every trace `platform`'s executor feeds its timing
+/// Statically verifies every trace `platform`'s pipeline feeds its timing
 /// model — the double-emission trace of each TinyMPC kernel, plus the
-/// workspace-preload trace for scratchpad-resident Gemmini mappings — and
+/// workspace-preload trace for scratchpad-resident mappings — and
 /// returns one report per trace.
 pub fn verify_platform(platform: &Platform, dims: &ProblemDims) -> Vec<TraceReport> {
-    let cfg = verify_config(platform);
+    let pipeline = pipeline_for(platform);
+    let cfg = pipeline.verify_config();
     let mut out = Vec::new();
-    match &platform.backend {
-        Backend::Scalar(style) => {
-            let e = ScalarExecutor::new(platform.core.clone(), *style);
-            for k in KernelId::ALL {
-                let (trace, _) = e.timed_trace(k, dims);
-                out.push(TraceReport {
-                    trace: k.to_string(),
-                    report: soc_verify::verify(&trace, &cfg),
-                });
-            }
-        }
-        Backend::Saturn {
-            config,
-            style,
-            lmul,
-        } => {
-            let mut e = SaturnExecutor::new(platform.core.clone(), *config, *style);
-            if let Some(l) = lmul {
-                e = e.with_uniform_lmul(*l);
-            }
-            for k in KernelId::ALL {
-                let (trace, _) = e.timed_trace(k, dims);
-                out.push(TraceReport {
-                    trace: k.to_string(),
-                    report: soc_verify::verify(&trace, &cfg),
-                });
-            }
-        }
-        Backend::Gemmini { config, opts } => {
-            let e = GemminiExecutor::new(platform.core.clone(), *config, *opts);
-            for k in KernelId::ALL {
-                let (trace, _) = e.timed_trace(k, dims);
-                out.push(TraceReport {
-                    trace: k.to_string(),
-                    report: soc_verify::verify(&trace, &cfg),
-                });
-            }
-            let setup = e.setup_trace(dims);
-            if !setup.ops().is_empty() {
-                out.push(TraceReport {
-                    trace: "workspace-preload".into(),
-                    report: soc_verify::verify(&setup, &cfg),
-                });
-            }
-        }
+    for k in KernelId::ALL {
+        let (trace, _) = pipeline.timed_trace(k, dims);
+        out.push(TraceReport {
+            trace: k.to_string(),
+            report: soc_verify::verify(&trace, &cfg),
+        });
+    }
+    let setup = pipeline.setup_trace(dims);
+    if !setup.ops().is_empty() {
+        out.push(TraceReport {
+            trace: "workspace-preload".into(),
+            report: soc_verify::verify(&setup, &cfg),
+        });
     }
     out
 }

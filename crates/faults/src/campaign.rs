@@ -18,9 +18,10 @@
 //! reports, across runs and across back-ends.
 
 use crate::deadline::{DeadlineConfig, DeadlineSolver, DegradeRung};
-use crate::inject::{BackendExecutor, DataInjector, FaultyExecutor, TraceFaultOutcome};
+use crate::inject::{DataInjector, FaultyExecutor, TraceFaultOutcome};
 use crate::plan::{Fault, FaultKind, FaultPlan, FaultSite};
 use crate::riscv::{run_instruction_campaign, InstructionStats};
+use soc_backend::{pipeline_for, FaultSurface, PipelineExecutor};
 use soc_dse::platform::Platform;
 use soc_dse::report::markdown_table;
 use soc_dse::rng::SplitMix64;
@@ -139,9 +140,20 @@ impl CampaignReport {
     }
 }
 
-/// The back-ends a campaign sweeps and the fault sites meaningful on
-/// each: scratchpad/DMA words everywhere data rests, vector registers on
-/// Saturn, RoCC commands on Gemmini.
+/// Maps a pipeline-declared fault surface onto the campaign's planner
+/// vocabulary.
+fn site_of(surface: FaultSurface) -> FaultSite {
+    match surface {
+        FaultSurface::StoredMatrixWord => FaultSite::ScratchpadWord,
+        FaultSurface::DmaWord => FaultSite::DmaWord,
+        FaultSurface::VectorRegister => FaultSite::VectorRegister,
+        FaultSurface::CommandStream => FaultSite::RoccCommand,
+    }
+}
+
+/// The back-ends a campaign sweeps — one representative per family —
+/// with the fault sites derived from each pipeline's declared
+/// [`FaultSurface`] rather than hand-coded per family.
 fn campaign_targets() -> Vec<(Platform, Vec<FaultSite>)> {
     let registry = Platform::table1_registry();
     let pick = |name: &str| {
@@ -151,24 +163,18 @@ fn campaign_targets() -> Vec<(Platform, Vec<FaultSite>)> {
             .cloned()
             .unwrap_or_else(|| panic!("platform {name} missing from registry"))
     };
-    vec![
-        (
-            pick("Rocket"),
-            vec![FaultSite::ScratchpadWord, FaultSite::DmaWord],
-        ),
-        (
-            pick("RefV512D256Rocket"),
-            vec![FaultSite::VectorRegister, FaultSite::DmaWord],
-        ),
-        (
-            pick("OSGemminiRocket32KB"),
-            vec![
-                FaultSite::ScratchpadWord,
-                FaultSite::DmaWord,
-                FaultSite::RoccCommand,
-            ],
-        ),
-    ]
+    ["Rocket", "RefV512D256Rocket", "OSGemminiRocket32KB"]
+        .into_iter()
+        .map(|name| {
+            let p = pick(name);
+            let sites = pipeline_for(&p)
+                .fault_surface()
+                .iter()
+                .map(|&s| site_of(s))
+                .collect();
+            (p, sites)
+        })
+        .collect()
 }
 
 fn prototype() -> AdmmSolver<f32> {
@@ -190,7 +196,7 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
 
     for (bi, (platform, sites)) in campaign_targets().into_iter().enumerate() {
         // Nominal timing on this back-end sets the deadline budget.
-        let mut nominal_exec = BackendExecutor::from_platform(&platform);
+        let mut nominal_exec = PipelineExecutor::for_platform(&platform);
         let nominal = proto
             .clone()
             .solve(&problem.hover_offset_state(0.2), &mut nominal_exec)
@@ -232,7 +238,7 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
                 // Command-stream fault: route it through the executor so
                 // the static verifier gets first shot at it.
                 let mut faulty =
-                    FaultyExecutor::new(BackendExecutor::from_platform(&platform), *fault);
+                    FaultyExecutor::new(PipelineExecutor::for_platform(&platform), *fault);
                 let o = d.solve(&x0, &mut faulty);
                 if faulty.outcome == TraceFaultOutcome::Undetected {
                     // The stream verified clean but the command is still
@@ -248,7 +254,7 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
                     d = DeadlineSolver::new(proto.clone(), config);
                     d.solve_observed(
                         &x0,
-                        &mut BackendExecutor::from_platform(&platform),
+                        &mut PipelineExecutor::for_platform(&platform),
                         &mut DataInjector::new(equivalent),
                     )
                 } else {
@@ -257,7 +263,7 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
             } else {
                 d.solve_observed(
                     &x0,
-                    &mut BackendExecutor::from_platform(&platform),
+                    &mut PipelineExecutor::for_platform(&platform),
                     &mut DataInjector::new(*fault),
                 )
             };

@@ -22,8 +22,8 @@
 //! infallible: it always returns a finite, feasible `u0`.
 
 use matlib::{Scalar, Vector};
-use soc_cpu::{CoreConfig, ScalarStyle};
-use soc_dse::executors::ScalarExecutor;
+use soc_backend::PipelineExecutor;
+use soc_dse::platform::Platform;
 use tinympc::{
     AdmmSolver, KernelExecutor, KernelId, NullObserver, SolveObserver, SolverSettings,
     TerminationCause, TinyMpcCache,
@@ -311,7 +311,7 @@ impl<T: Scalar> DeadlineSolver<T> {
     /// through to the LQR rung.
     fn recover(&mut self, x0: &Vector<T>, fault: String) -> SolveOutcome<T> {
         self.restore();
-        let mut fallback = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let mut fallback = PipelineExecutor::for_platform(&Platform::rocket_eigen());
         let rung = match self.probe(&mut fallback) {
             Ok(c) => self.select_rung(&c),
             Err(_) => return self.lqr_outcome(x0, true, Some(fault)),
@@ -374,7 +374,7 @@ mod tests {
     fn generous_budget_stays_nominal() {
         let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(u64::MAX));
         let x0 = d.solver().problem().hover_offset_state(0.2);
-        let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
         let o = d.solve(&x0, &mut e);
         assert_eq!(o.rung, DegradeRung::Nominal);
         assert_eq!(o.termination, TerminationCause::Converged);
@@ -390,7 +390,7 @@ mod tests {
         // NullExecutor charges nothing, so even budget 1 fits a full
         // solve; use a real executor for the pressure test below.
         assert!(o.u0.is_finite());
-        let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
         let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(1));
         let o = d.solve(&x0, &mut e);
         assert_eq!(o.rung, DegradeRung::LqrFallback);

@@ -2,8 +2,7 @@
 //! data, to generated micro-op streams, or to a back-end executor.
 
 use crate::plan::{Fault, FaultKind, FaultSite};
-use soc_dse::executors::{GemminiExecutor, SaturnExecutor, ScalarExecutor};
-use soc_dse::platform::{Backend, Platform};
+use soc_backend::PipelineExecutor;
 use soc_isa::{MicroOp, Payload, RoccCmd, Trace};
 use tinympc::{
     KernelExecutor, KernelId, ProblemDims, SolveObserver, TinyMpcCache, TinyMpcWorkspace,
@@ -183,90 +182,6 @@ pub fn corrupt_trace(trace: &Trace, fault: &Fault) -> Trace {
 // Back-end executors with injection
 // ---------------------------------------------------------------------
 
-/// A concrete executor for any shipped back-end family, built from a
-/// [`Platform`] registry entry. Unlike [`Platform::executor`] this keeps
-/// the concrete type visible so the fault layer can reach the back-end's
-/// trace generator and verifier configuration.
-#[derive(Debug, Clone)]
-pub enum BackendExecutor {
-    /// Bare scalar core.
-    Scalar(ScalarExecutor),
-    /// Saturn vector unit.
-    Saturn(SaturnExecutor),
-    /// Gemmini systolic array.
-    Gemmini(GemminiExecutor),
-}
-
-impl BackendExecutor {
-    /// Builds the executor for a registry platform.
-    pub fn from_platform(p: &Platform) -> Self {
-        match &p.backend {
-            Backend::Scalar(style) => {
-                BackendExecutor::Scalar(ScalarExecutor::new(p.core.clone(), *style))
-            }
-            Backend::Saturn {
-                config,
-                style,
-                lmul,
-            } => {
-                let mut e = SaturnExecutor::new(p.core.clone(), *config, *style);
-                if let Some(l) = lmul {
-                    e = e.with_uniform_lmul(*l);
-                }
-                BackendExecutor::Saturn(e)
-            }
-            Backend::Gemmini { config, opts } => {
-                BackendExecutor::Gemmini(GemminiExecutor::new(p.core.clone(), *config, *opts))
-            }
-        }
-    }
-
-    /// The double-emission trace the back-end's timing model replays.
-    pub fn timed_trace(&self, kernel: KernelId, dims: &ProblemDims) -> Trace {
-        match self {
-            BackendExecutor::Scalar(e) => e.timed_trace(kernel, dims).0,
-            BackendExecutor::Saturn(e) => e.timed_trace(kernel, dims).0,
-            BackendExecutor::Gemmini(e) => e.timed_trace(kernel, dims).0,
-        }
-    }
-
-    /// The verifier configuration matching the back-end's geometry.
-    pub fn verify_config(&self) -> soc_verify::VerifyConfig {
-        match self {
-            BackendExecutor::Scalar(_) | BackendExecutor::Saturn(_) => {
-                soc_verify::VerifyConfig::default()
-            }
-            BackendExecutor::Gemmini(e) => e.verify_config(),
-        }
-    }
-}
-
-impl KernelExecutor for BackendExecutor {
-    fn name(&self) -> String {
-        match self {
-            BackendExecutor::Scalar(e) => e.name(),
-            BackendExecutor::Saturn(e) => e.name(),
-            BackendExecutor::Gemmini(e) => e.name(),
-        }
-    }
-
-    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
-        match self {
-            BackendExecutor::Scalar(e) => e.kernel_cycles(kernel, dims),
-            BackendExecutor::Saturn(e) => e.kernel_cycles(kernel, dims),
-            BackendExecutor::Gemmini(e) => e.kernel_cycles(kernel, dims),
-        }
-    }
-
-    fn setup_cycles(&mut self, dims: &ProblemDims) -> tinympc::Result<u64> {
-        match self {
-            BackendExecutor::Scalar(e) => e.setup_cycles(dims),
-            BackendExecutor::Saturn(e) => e.setup_cycles(dims),
-            BackendExecutor::Gemmini(e) => e.setup_cycles(dims),
-        }
-    }
-}
-
 /// What happened to a command-stream fault routed through a
 /// [`FaultyExecutor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -292,7 +207,7 @@ pub enum TraceFaultOutcome {
 /// [`FaultyExecutor::outcome`] records the escape.
 #[derive(Debug, Clone)]
 pub struct FaultyExecutor {
-    inner: BackendExecutor,
+    inner: PipelineExecutor,
     fault: Fault,
     target_call: u64,
     calls: u64,
@@ -303,7 +218,7 @@ pub struct FaultyExecutor {
 impl FaultyExecutor {
     /// Wraps `inner`, scheduling `fault` on one of the first 64 pricing
     /// calls.
-    pub fn new(inner: BackendExecutor, fault: Fault) -> Self {
+    pub fn new(inner: PipelineExecutor, fault: Fault) -> Self {
         FaultyExecutor {
             inner,
             fault,
@@ -323,7 +238,7 @@ impl KernelExecutor for FaultyExecutor {
         let call = self.calls;
         self.calls += 1;
         if call == self.target_call && self.outcome == TraceFaultOutcome::Pending {
-            let bad = corrupt_trace(&self.inner.timed_trace(kernel, dims), &self.fault);
+            let bad = corrupt_trace(&self.inner.timed_trace(kernel, dims).0, &self.fault);
             let report = soc_verify::verify(&bad, &self.inner.verify_config());
             if report.error_count() > 0 {
                 self.outcome = TraceFaultOutcome::Detected;
@@ -355,18 +270,18 @@ mod tests {
         }
     }
 
-    fn gemmini() -> BackendExecutor {
+    fn gemmini() -> PipelineExecutor {
         let p = Platform::table1_registry()
             .into_iter()
             .find(|p| p.name == "OSGemminiRocket32KB")
             .expect("registry platform");
-        BackendExecutor::from_platform(&p)
+        PipelineExecutor::for_platform(&p)
     }
 
     #[test]
     fn corrupted_field_is_caught_by_verifier() {
         let e = gemmini();
-        let trace = e.timed_trace(KernelId::ForwardPass2, &dims());
+        let trace = e.timed_trace(KernelId::ForwardPass2, &dims()).0;
         let fault = Fault {
             site: FaultSite::RoccCommand,
             kind: FaultKind::CorruptedField,
@@ -388,8 +303,8 @@ mod tests {
             .into_iter()
             .find(|p| p.name == "Rocket")
             .unwrap();
-        let e = BackendExecutor::from_platform(&p);
-        let trace = e.timed_trace(KernelId::ForwardPass1, &dims());
+        let e = PipelineExecutor::for_platform(&p);
+        let trace = e.timed_trace(KernelId::ForwardPass1, &dims()).0;
         let fault = Fault {
             site: FaultSite::RoccCommand,
             kind: FaultKind::DroppedOp,

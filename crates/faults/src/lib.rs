@@ -38,6 +38,6 @@ pub mod riscv;
 
 pub use campaign::{run_campaign, BackendStats, CampaignKind, CampaignReport};
 pub use deadline::{DeadlineConfig, DeadlineSolver, DegradeRung, SolveOutcome};
-pub use inject::{corrupt_trace, BackendExecutor, DataInjector, FaultyExecutor, TraceFaultOutcome};
+pub use inject::{corrupt_trace, DataInjector, FaultyExecutor, TraceFaultOutcome};
 pub use plan::{Fault, FaultKind, FaultPlan, FaultSite};
 pub use riscv::{run_instruction_campaign, InstructionStats};

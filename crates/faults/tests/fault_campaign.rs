@@ -1,11 +1,10 @@
 //! End-to-end properties of the fault-injection and degradation stack.
 
-use soc_cpu::{CoreConfig, ScalarStyle};
-use soc_dse::executors::ScalarExecutor;
+use soc_backend::PipelineExecutor;
 use soc_dse::platform::Platform;
 use soc_faults::{
-    run_campaign, BackendExecutor, CampaignKind, DataInjector, DeadlineConfig, DeadlineSolver,
-    DegradeRung, FaultKind, FaultPlan, FaultSite,
+    run_campaign, CampaignKind, DataInjector, DeadlineConfig, DeadlineSolver, DegradeRung,
+    FaultKind, FaultPlan, FaultSite,
 };
 use tinympc::{problems, AdmmSolver, NullExecutor, SolverSettings};
 
@@ -47,7 +46,7 @@ fn ladder_fires_in_order_under_shrinking_budget() {
     let proto = quadrotor_solver();
     let x0 = proto.problem().hover_offset_state(0.3);
     // Nominal cost on the scalar reference back-end.
-    let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+    let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
     let nominal = proto.clone().solve(&x0, &mut e).unwrap().total_cycles;
 
     let budgets = [
@@ -61,7 +60,7 @@ fn ladder_fires_in_order_under_shrinking_budget() {
     let mut rungs = Vec::new();
     for b in budgets {
         let mut d = DeadlineSolver::new(proto.clone(), DeadlineConfig::new(b));
-        let mut e = ScalarExecutor::new(CoreConfig::rocket(), ScalarStyle::Optimized);
+        let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
         let o = d.solve(&x0, &mut e);
         assert!(o.u0.is_finite(), "budget {b}: non-finite control");
         assert!(
@@ -105,7 +104,7 @@ fn never_nan_under_tiny_budget_and_injection() {
     // Nominal cycles so we can pick genuinely starved budgets.
     let nominal = proto
         .clone()
-        .solve(&x0, &mut BackendExecutor::from_platform(&platform))
+        .solve(&x0, &mut PipelineExecutor::for_platform(&platform))
         .unwrap()
         .total_cycles;
 
@@ -119,7 +118,7 @@ fn never_nan_under_tiny_budget_and_injection() {
             let mut d = DeadlineSolver::new(proto.clone(), DeadlineConfig::new(budget));
             let o = d.solve_observed(
                 &x0,
-                &mut BackendExecutor::from_platform(&platform),
+                &mut PipelineExecutor::for_platform(&platform),
                 &mut DataInjector::new(fault),
             );
             assert!(o.u0.is_finite(), "fault {fault}, budget {budget}: NaN u0");

@@ -2,18 +2,23 @@
 //!
 //! A key is a 128-bit FNV-1a hash over a *stable serialization* of
 //! everything that determines a cycle count: a cache-format version tag,
-//! the request kind, the full platform configuration (via its `Debug`
-//! rendering, which prints every field of every backend config), and the
-//! request parameters. Any change to a config field, to the `Debug`
-//! format, or to [`CACHE_VERSION`] changes the key — so a stale cache
-//! can only ever miss, never answer wrong.
+//! the request kind, the platform's canonical configuration identity
+//! ([`soc_dse::platform::Platform::cache_id`] — every behavior-affecting
+//! field spelled out explicitly, display names excluded), and the
+//! request parameters. Any change to a config field or to
+//! [`CACHE_VERSION`] changes the key — so a stale cache can only ever
+//! miss, never answer wrong — while a purely cosmetic rename of a
+//! platform keeps its cached results.
 
-use soc_dse::experiments::{KernelRequest, SolveRequest};
+use soc_dse::experiments::{KernelRequest, KernelShape, Residency, SolveRequest};
 
 /// Bump whenever cycle semantics change (solver defaults, trace
 /// generation, simulation timing) so old cache entries are orphaned
 /// rather than trusted.
-pub const CACHE_VERSION: u32 = 1;
+///
+/// v2: keys switched from `Debug`-rendered platforms to canonical
+/// registry `cache_id`s.
+pub const CACHE_VERSION: u32 = 2;
 
 /// A 128-bit content hash identifying one unit of sweep work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,16 +56,27 @@ pub fn key_of(serialized: &str) -> Key {
 /// Stable serialization of a solve request.
 pub fn solve_serialization(request: &SolveRequest) -> String {
     format!(
-        "soc-sweep v{CACHE_VERSION}|solve|{:?}|horizon={}",
-        request.platform, request.horizon
+        "soc-sweep v{CACHE_VERSION}|solve|{}|horizon={}",
+        request.platform.cache_id(),
+        request.horizon
     )
 }
 
 /// Stable serialization of a standalone-kernel request.
 pub fn kernel_serialization(request: &KernelRequest) -> String {
+    let shape = match request.shape {
+        KernelShape::Gemv => "gemv",
+        KernelShape::Gemm => "gemm",
+    };
+    let residency = match request.residency {
+        Residency::Cold => "cold",
+        Residency::Warm => "warm",
+    };
     format!(
-        "soc-sweep v{CACHE_VERSION}|kernel|{:?}|{:?}|{:?}|i={}|k={}",
-        request.platform, request.shape, request.residency, request.i, request.k
+        "soc-sweep v{CACHE_VERSION}|kernel|{}|{shape}|{residency}|i={}|k={}",
+        request.platform.cache_id(),
+        request.i,
+        request.k
     )
 }
 
@@ -141,5 +157,50 @@ mod tests {
     #[test]
     fn hex_is_32_chars() {
         assert_eq!(solve_key(&solve_req(10)).to_hex().len(), 32);
+    }
+
+    #[test]
+    fn renaming_a_platform_keeps_its_key() {
+        let mut renamed = Platform::rocket_eigen();
+        renamed.name = "Rocket (marketing name)".into();
+        let a = SolveRequest {
+            platform: Platform::rocket_eigen(),
+            horizon: 10,
+        };
+        let b = SolveRequest {
+            platform: renamed,
+            horizon: 10,
+        };
+        assert_eq!(
+            solve_key(&a),
+            solve_key(&b),
+            "display names must not affect cache identity"
+        );
+    }
+
+    #[test]
+    fn distinct_shipped_configs_never_collide() {
+        use soc_dse::verify::shipped_configurations;
+        let shipped = shipped_configurations();
+        for (i, a) in shipped.iter().enumerate() {
+            for b in &shipped[i + 1..] {
+                assert_ne!(
+                    a.cache_id(),
+                    b.cache_id(),
+                    "{} and {} serialize identically",
+                    a.name,
+                    b.name
+                );
+                let ka = solve_key(&SolveRequest {
+                    platform: a.clone(),
+                    horizon: 10,
+                });
+                let kb = solve_key(&SolveRequest {
+                    platform: b.clone(),
+                    horizon: 10,
+                });
+                assert_ne!(ka, kb, "{} and {} collide", a.name, b.name);
+            }
+        }
     }
 }

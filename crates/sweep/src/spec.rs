@@ -119,7 +119,7 @@ mod tests {
     fn full_spec_covers_the_table1_registry() {
         let spec = SweepSpec::full();
         assert_eq!(spec.platforms.len(), Platform::table1_registry().len());
-        assert_eq!(spec.work_items(), 12 + 32);
+        assert_eq!(spec.work_items(), 13 + 32);
     }
 
     #[test]

@@ -77,6 +77,49 @@ impl VerifyConfig {
     }
 }
 
+/// Whether traces should be statically verified before being fed to a
+/// timing model: always in debug builds, and in release builds when the
+/// `SOC_VERIFY=1` environment variable is set (read once per process).
+pub fn verification_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        cfg!(debug_assertions)
+            || std::env::var("SOC_VERIFY").is_ok_and(|v| v != "0" && !v.is_empty())
+    })
+}
+
+/// An error-severity verification finding that rejected a trace.
+#[derive(Debug, Clone)]
+pub struct TraceRejection {
+    /// What generated the rejected trace (executor/pipeline name).
+    pub backend: String,
+    /// The rendered report.
+    pub report: String,
+}
+
+/// The shared verification gate every timing model runs its generated
+/// traces through: a no-op when [`verification_enabled`] is off,
+/// otherwise rejects any trace with error-severity findings.
+///
+/// # Errors
+///
+/// [`TraceRejection`] carrying `what` and the rendered report when the
+/// trace is not clean.
+pub fn gate(trace: &Trace, config: &VerifyConfig, what: &str) -> Result<(), TraceRejection> {
+    if !verification_enabled() {
+        return Ok(());
+    }
+    let report = verify(trace, config);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(TraceRejection {
+            backend: what.to_string(),
+            report: report.render(),
+        })
+    }
+}
+
 /// Runs every pass over `trace` and returns the combined report, ordered
 /// by op index (ties broken by severity).
 pub fn verify(trace: &Trace, config: &VerifyConfig) -> Report {

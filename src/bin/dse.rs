@@ -11,6 +11,7 @@
 //! cargo run --bin dse -- energy
 //! ```
 
+use soc_dse_repro::soc_backend::pipeline_for;
 use soc_dse_repro::soc_codegen::{tune, TuningSpace};
 use soc_dse_repro::soc_cpu::CoreConfig;
 use soc_dse_repro::soc_dse::energy::{solve_energy, EnergyParams};
@@ -35,6 +36,8 @@ USAGE:
 
 COMMANDS:
     list                       List every registered platform
+    backends                   List registered back-end pipelines (family,
+                               area, configuration summary)
     table1                     Regenerate Table I (area + cycles/solve)
     pareto                     Area-vs-performance Pareto analysis (Fig. 20)
     sweep   [--jobs N]         Run a declarative sweep (Table I grid +
@@ -115,6 +118,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|p| vec![p.name.clone(), format!("{:.3} mm^2", p.area().total_mm2())])
                 .collect();
             println!("{}", markdown_table(&["platform", "area"], &rows));
+            Ok(())
+        }
+        "backends" => {
+            let rows: Vec<Vec<String>> = Platform::table1_registry()
+                .iter()
+                .map(|p| {
+                    let pipe = pipeline_for(p);
+                    vec![
+                        p.name.clone(),
+                        pipe.family().to_string(),
+                        format!("{:.3} mm^2", pipe.area().total_mm2()),
+                        pipe.describe(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                markdown_table(&["platform", "family", "area", "configuration"], &rows)
+            );
             Ok(())
         }
         "table1" => {
@@ -337,10 +359,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "tune" => {
             let target = flag(args, "--target").ok_or("tune requires --target KIND")?;
             let space = match target.as_str() {
-                "rocket" => TuningSpace::Scalar(CoreConfig::rocket()),
-                "saturn" => TuningSpace::Saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+                "rocket" => TuningSpace::scalar(CoreConfig::rocket()),
+                "saturn" => TuningSpace::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
                 "gemmini" => {
-                    TuningSpace::Gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb())
+                    TuningSpace::gemmini(CoreConfig::rocket(), GemminiConfig::os_4x4_32kb())
                 }
                 other => return Err(format!("unknown tuning target `{other}`")),
             };

@@ -2,6 +2,7 @@
 //! integration tests and examples that span crates.
 pub use matlib;
 pub use soc_area;
+pub use soc_backend;
 pub use soc_codegen;
 pub use soc_cpu;
 pub use soc_dse;
