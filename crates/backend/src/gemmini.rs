@@ -6,12 +6,12 @@
 //! emission warming residency for the second.
 
 use crate::pipeline::{
-    core_id, steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    core_id, AccelModel, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
     TuningCandidate,
 };
 use crate::scalar::scalar_candidates;
 use soc_area::{gemmini_platform_area, AreaBreakdown};
-use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig};
+use soc_cpu::{Accelerator, CoreConfig};
 use soc_gemmini::{Dataflow, GemminiConfig, GemminiKernels, GemminiOpts, GemminiUnit, IsaStyle};
 use soc_isa::{Trace, TraceBuilder};
 use std::sync::Arc;
@@ -213,6 +213,10 @@ impl BackendPipeline for GemminiPipeline {
         Box::new(GemminiUnit::new(self.config))
     }
 
+    fn accel_model(&self) -> AccelModel {
+        AccelModel::Gemmini(self.config)
+    }
+
     fn verify_config(&self) -> soc_verify::VerifyConfig {
         soc_verify::VerifyConfig::with_spad(self.config.spad_rows(), self.config.dim)
     }
@@ -267,13 +271,13 @@ impl BackendPipeline for GemminiPipeline {
         FAULT_SURFACE
     }
 
-    fn standalone_cycles(
+    fn standalone_trace(
         &self,
         shape: KernelShape,
         residency: Residency,
         i: usize,
         k: usize,
-    ) -> u64 {
+    ) -> (Trace, usize) {
         let mut gen = GemminiKernels::new(self.config, self.opts);
         let mut b = TraceBuilder::new();
         let (a_id, x_id, y_id) = (
@@ -287,20 +291,16 @@ impl BackendPipeline for GemminiPipeline {
         };
         emit(&mut gen, &mut b);
         let mark = b.len();
-        let cfg = self.config;
         match residency {
             Residency::Warm => {
                 emit(&mut gen, &mut b);
-                steady_cost(&self.core, &b.finish(), mark, move || {
-                    Box::new(GemminiUnit::new(cfg))
-                })
+                (b.finish(), mark)
             }
             Residency::Cold => {
                 // One-shot: the result is stored back and synchronized.
                 gen.sync_to_cpu(&mut b, i, y_id);
                 b.fence();
-                let mut unit = GemminiUnit::new(cfg);
-                simulate_with_accel(&self.core, &b.finish(), &mut unit)
+                (b.finish(), 0)
             }
         }
     }

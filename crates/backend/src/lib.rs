@@ -27,8 +27,8 @@ mod scalar;
 pub use energy::EnergyParams;
 pub use gemmini::GemminiPipeline;
 pub use pipeline::{
-    steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
-    TuningCandidate,
+    steady_cost, AccelModel, BackendPipeline, BoundClaim, FaultSurface, KernelLowering,
+    KernelShape, Residency, TuningCandidate,
 };
 pub use platform::{pipeline_for, Backend, BackendCatalog, Platform};
 pub use registry::{priced_for, PipelineExecutor, PricedPipeline};

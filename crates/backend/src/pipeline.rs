@@ -7,8 +7,10 @@
 //! same configuration shares one memoized pricer.
 
 use soc_area::AreaBreakdown;
-use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig};
+use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig, CoreKind};
+use soc_gemmini::GemminiConfig;
 use soc_isa::{Trace, TraceBuilder};
+use soc_vector::SaturnConfig;
 use std::sync::Arc;
 use tinympc::{KernelId, ProblemDims};
 
@@ -93,6 +95,45 @@ pub enum FaultSurface {
     CommandStream,
 }
 
+/// The accelerator configuration attached to a back-end, as plain data.
+///
+/// The trace simulators consume accelerators through the opaque
+/// [`Accelerator`] trait; static analyzers (the `soc-bounds` crate) need
+/// the underlying configuration instead, so they can interpret the same
+/// dispatch algebra abstractly without replaying a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccelModel {
+    /// No accelerator (scalar back-ends; `NullAccelerator`).
+    None,
+    /// A Saturn vector unit.
+    Saturn(SaturnConfig),
+    /// A Gemmini systolic array.
+    Gemmini(GemminiConfig),
+}
+
+/// How tight a static cycle bound a back-end's timing model admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundClaim {
+    /// The analyzer reproduces the trace simulator bit for bit: bounds are
+    /// singleton intervals (in-order cores — the simulator itself is a
+    /// deterministic single pass in program order).
+    Exact,
+    /// The analyzer brackets the simulator from both sides (out-of-order
+    /// cores — backfilling issue-slot allocation is not monotone, so the
+    /// analyzer runs sound lower/upper slot policies instead).
+    Bounded,
+}
+
+impl BoundClaim {
+    /// Stable label used in reports and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundClaim::Exact => "exact",
+            BoundClaim::Bounded => "bounded",
+        }
+    }
+}
+
 /// Standalone kernel shape for the sweep experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelShape {
@@ -165,6 +206,21 @@ pub trait BackendPipeline: Send + Sync {
     /// A fresh instance of the back-end's timing-model accelerator.
     fn accelerator(&self) -> Box<dyn Accelerator>;
 
+    /// The accelerator configuration as plain data, for static analyzers
+    /// that interpret the dispatch algebra without replaying a trace.
+    fn accel_model(&self) -> AccelModel;
+
+    /// How tight a static cycle bound this back-end admits. Derived from
+    /// the core kind: in-order pipelines are a deterministic single pass
+    /// the analyzer replicates exactly; out-of-order pipelines are
+    /// bracketed from both sides.
+    fn bound_claim(&self) -> BoundClaim {
+        match self.core().kind {
+            CoreKind::InOrder { .. } => BoundClaim::Exact,
+            CoreKind::OutOfOrder { .. } => BoundClaim::Bounded,
+        }
+    }
+
     /// Verifier configuration matching the back-end's geometry.
     fn verify_config(&self) -> soc_verify::VerifyConfig {
         soc_verify::VerifyConfig::default()
@@ -188,15 +244,18 @@ pub trait BackendPipeline: Send + Sync {
     /// back-end, in campaign order.
     fn fault_surface(&self) -> &'static [FaultSurface];
 
-    /// Cycles for a standalone GEMV/GEMM of the given size (the paper's
-    /// kernel-level methodology; see [`Residency`]).
-    fn standalone_cycles(
+    /// The micro-op trace of one standalone GEMV/GEMM measurement, plus
+    /// the steady-state mark. A zero mark means a cold one-shot run (the
+    /// whole trace is charged); a non-zero mark means the trace is a
+    /// double emission and only `cycles(full) − cycles(prefix)` is
+    /// charged.
+    fn standalone_trace(
         &self,
         shape: KernelShape,
         residency: Residency,
         i: usize,
         k: usize,
-    ) -> u64;
+    ) -> (Trace, usize);
 
     /// Candidate software mappings the auto-tuner measures for this
     /// target, scalar fallbacks first.
@@ -237,6 +296,25 @@ pub trait BackendPipeline: Send + Sync {
     fn simulate(&self, trace: &Trace) -> u64 {
         let mut accel = self.accelerator();
         simulate_with_accel(self.core(), trace, accel.as_mut())
+    }
+
+    /// Cycles for a standalone GEMV/GEMM of the given size (the paper's
+    /// kernel-level methodology; see [`Residency`]): generate the
+    /// measurement trace via [`BackendPipeline::standalone_trace`] and
+    /// charge either the full cold run or the steady-state delta.
+    fn standalone_cycles(
+        &self,
+        shape: KernelShape,
+        residency: Residency,
+        i: usize,
+        k: usize,
+    ) -> u64 {
+        let (trace, mark) = self.standalone_trace(shape, residency, i, k);
+        if mark == 0 {
+            self.simulate(&trace)
+        } else {
+            steady_cost(self.core(), &trace, mark, || self.accelerator())
+        }
     }
 
     /// Prices the steady-state cost of one kernel invocation: generate

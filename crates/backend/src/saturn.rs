@@ -6,13 +6,13 @@
 //! reproduces the Figure 4 sweep.
 
 use crate::pipeline::{
-    core_id, steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    core_id, AccelModel, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
     TuningCandidate,
 };
 use crate::scalar::scalar_candidates;
 use soc_area::{saturn_platform_area, AreaBreakdown};
-use soc_cpu::{simulate_with_accel, Accelerator, CoreConfig};
-use soc_isa::TraceBuilder;
+use soc_cpu::{Accelerator, CoreConfig};
+use soc_isa::{Trace, TraceBuilder};
 use soc_vector::{SaturnConfig, SaturnUnit, VectorKernels, VectorStyle};
 use std::sync::Arc;
 use tinympc::{KernelClass, KernelId, ProblemDims};
@@ -178,6 +178,10 @@ impl BackendPipeline for SaturnPipeline {
         Box::new(SaturnUnit::new(self.config))
     }
 
+    fn accel_model(&self) -> AccelModel {
+        AccelModel::Saturn(self.config)
+    }
+
     fn area(&self) -> AreaBreakdown {
         saturn_platform_area(&self.config, &self.core)
     }
@@ -186,13 +190,13 @@ impl BackendPipeline for SaturnPipeline {
         FAULT_SURFACE
     }
 
-    fn standalone_cycles(
+    fn standalone_trace(
         &self,
         shape: KernelShape,
         residency: Residency,
         i: usize,
         k: usize,
-    ) -> u64 {
+    ) -> (Trace, usize) {
         // The paper's standalone kernels dynamically compute VLMAX: pick
         // the smallest LMUL whose register group covers the output rows,
         // up to the paper's LMUL=8 for tall matrices.
@@ -209,18 +213,14 @@ impl BackendPipeline for SaturnPipeline {
         };
         emit(&mut b);
         let mark = b.len();
-        let cfg = self.config;
         match residency {
             Residency::Warm => {
                 emit(&mut b);
-                steady_cost(&self.core, &b.finish(), mark, move || {
-                    Box::new(SaturnUnit::new(cfg))
-                })
+                (b.finish(), mark)
             }
             Residency::Cold => {
                 b.fence();
-                let mut unit = SaturnUnit::new(cfg);
-                simulate_with_accel(&self.core, &b.finish(), &mut unit)
+                (b.finish(), 0)
             }
         }
     }

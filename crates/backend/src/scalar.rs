@@ -3,14 +3,12 @@
 //! the hand-optimized Eigen-equivalent mapping.
 
 use crate::pipeline::{
-    core_id, steady_cost, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
+    core_id, AccelModel, BackendPipeline, FaultSurface, KernelLowering, KernelShape, Residency,
     TuningCandidate,
 };
 use soc_area::{cpu_area, AreaBreakdown};
-use soc_cpu::{
-    simulate_with_accel, Accelerator, CoreConfig, NullAccelerator, ScalarKernels, ScalarStyle,
-};
-use soc_isa::{OpClass, TraceBuilder};
+use soc_cpu::{Accelerator, CoreConfig, NullAccelerator, ScalarKernels, ScalarStyle};
+use soc_isa::{OpClass, Trace, TraceBuilder};
 use std::sync::Arc;
 use tinympc::{KernelId, ProblemDims};
 
@@ -158,6 +156,10 @@ impl BackendPipeline for ScalarPipeline {
         Box::new(NullAccelerator)
     }
 
+    fn accel_model(&self) -> AccelModel {
+        AccelModel::None
+    }
+
     fn area(&self) -> AreaBreakdown {
         cpu_area(&self.core)
     }
@@ -166,13 +168,13 @@ impl BackendPipeline for ScalarPipeline {
         FAULT_SURFACE
     }
 
-    fn standalone_cycles(
+    fn standalone_trace(
         &self,
         shape: KernelShape,
         residency: Residency,
         i: usize,
         k: usize,
-    ) -> u64 {
+    ) -> (Trace, usize) {
         let gen = ScalarKernels::new(self.style);
         let mut b = TraceBuilder::new();
         let emit = |b: &mut TraceBuilder| match shape {
@@ -184,12 +186,9 @@ impl BackendPipeline for ScalarPipeline {
         match residency {
             Residency::Warm => {
                 emit(&mut b);
-                steady_cost(&self.core, &b.finish(), mark, || Box::new(NullAccelerator))
+                (b.finish(), mark)
             }
-            Residency::Cold => {
-                let mut null = NullAccelerator;
-                simulate_with_accel(&self.core, &b.finish(), &mut null)
-            }
+            Residency::Cold => (b.finish(), 0),
         }
     }
 

@@ -1,0 +1,335 @@
+//! Abstract accelerator transfer functions.
+//!
+//! Independent reimplementations of the three accelerator timing models
+//! (`NullAccelerator`, `SaturnUnit`, `GemminiUnit`) as transfer functions
+//! over dispatch times, built from each unit's *configuration* rather
+//! than its simulator object — so the analyzer cross-validates the
+//! models instead of merely calling them.
+//!
+//! Every transfer function here is a composition of `max`, `+` and
+//! `div_ceil` over its inputs — monotone — with one exception: Gemmini's
+//! pipeline-fill charge, which is paid only when a compute tile starts on
+//! an *idle* mesh and therefore can shrink as inputs grow. [`Mode`]
+//! resolves it: exactly (in-order analysis), never (lower bracket), or
+//! always (upper bracket).
+
+use soc_backend::AccelModel;
+use soc_gemmini::{Dataflow, GemminiConfig};
+use soc_isa::{Cycles, MicroOp, Payload, RoccCmd, VReg, VecOpKind, VectorSpec};
+use soc_vector::SaturnConfig;
+use std::collections::{HashMap, VecDeque};
+
+/// How the abstract accelerator resolves timing decisions that are not
+/// monotone in dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Replicate the simulator's decision exactly (sound only when the
+    /// feeding machine is itself exact, i.e. in-order cores).
+    Exact,
+    /// Resolve every such decision toward fewer cycles.
+    Lower,
+    /// Resolve every such decision toward more cycles.
+    Upper,
+}
+
+/// An accelerator as a pure timing transfer function: present a command
+/// at `issue` with operands ready at `operands`, get back
+/// `(accepted_at, completes_at)`.
+pub(crate) trait AbstractAccel {
+    fn dispatch(&mut self, op: &MicroOp, issue: Cycles, operands: Cycles) -> (Cycles, Cycles);
+    fn drain(&self) -> Cycles;
+}
+
+/// A fresh abstract accelerator for the backend's declared model.
+pub(crate) fn fresh(model: &AccelModel, mode: Mode) -> Box<dyn AbstractAccel> {
+    match model {
+        AccelModel::None => Box::new(NullModel),
+        AccelModel::Saturn(c) => Box::new(SaturnModel::new(*c)),
+        AccelModel::Gemmini(c) => Box::new(GemminiModel::new(*c, mode)),
+    }
+}
+
+/// No accelerator: every command is a 1-cycle no-op, nothing drains.
+struct NullModel;
+
+impl AbstractAccel for NullModel {
+    fn dispatch(&mut self, _op: &MicroOp, issue: Cycles, operands: Cycles) -> (Cycles, Cycles) {
+        let t = issue.max(operands);
+        (t, t + 1)
+    }
+
+    fn drain(&self) -> Cycles {
+        0
+    }
+}
+
+/// Saturn's decoupled two-pipe vector unit with chaining, a bounded
+/// dispatch queue, and a rate-limited scalar→vector port. Fully monotone,
+/// so one implementation serves every [`Mode`].
+struct SaturnModel {
+    config: SaturnConfig,
+    regs: HashMap<VReg, (Cycles, Cycles)>,
+    mem_free: Cycles,
+    arith_free: Cycles,
+    queue: VecDeque<Cycles>,
+    port_free: Cycles,
+    drain: Cycles,
+}
+
+impl SaturnModel {
+    fn new(config: SaturnConfig) -> Self {
+        SaturnModel {
+            config,
+            regs: HashMap::new(),
+            mem_free: 0,
+            arith_free: 0,
+            queue: VecDeque::new(),
+            port_free: 0,
+            drain: 0,
+        }
+    }
+
+    fn group_walk(&self, lmul: u8) -> Cycles {
+        if lmul > 1 {
+            lmul as u64 * (self.config.vlen as u64).div_ceil(self.config.dlen as u64)
+        } else {
+            0
+        }
+    }
+
+    fn occupancy(&self, spec: &VectorSpec) -> Cycles {
+        let lanes = self.config.lanes(spec.sew) as u64;
+        let vl = spec.vl as u64;
+        match spec.kind {
+            VecOpKind::Reduction => vl.max(1),
+            VecOpKind::LoadStrided | VecOpKind::StoreStrided => vl.max(1),
+            VecOpKind::Move => spec.lmul as u64,
+            _ => vl.div_ceil(lanes).max(self.group_walk(spec.lmul)),
+        }
+    }
+
+    fn is_mem(kind: VecOpKind) -> bool {
+        matches!(
+            kind,
+            VecOpKind::Load | VecOpKind::Store | VecOpKind::LoadStrided | VecOpKind::StoreStrided
+        )
+    }
+}
+
+impl AbstractAccel for SaturnModel {
+    fn dispatch(&mut self, op: &MicroOp, issue: Cycles, operands: Cycles) -> (Cycles, Cycles) {
+        let spec = match op.payload {
+            Payload::Vector(spec) => spec,
+            _ => {
+                let t = issue.max(operands);
+                return (t, t + 1);
+            }
+        };
+
+        let mut accepted = issue.max(operands).max(self.port_free);
+        while self.queue.len() >= self.config.queue_depth {
+            let head_start = self.queue.pop_front().expect("queue nonempty");
+            accepted = accepted.max(head_start);
+        }
+        self.port_free = accepted + self.config.dispatch_penalty;
+
+        let mut chain_start = accepted;
+        let mut chain_finish = 0;
+        for src in op.sources() {
+            if let Some(&(s, f)) = self.regs.get(&src) {
+                chain_start = chain_start.max(s + self.config.chain_latency);
+                chain_finish = chain_finish.max(f + 1);
+            }
+        }
+
+        let occ = self.occupancy(&spec);
+        let pipe_free = if Self::is_mem(spec.kind) {
+            self.mem_free
+        } else {
+            self.arith_free
+        };
+        let start = chain_start.max(pipe_free);
+        let finish = (start + self.config.startup_latency + occ - 1).max(chain_finish);
+
+        if Self::is_mem(spec.kind) {
+            self.mem_free = start + occ;
+        } else {
+            self.arith_free = start + occ;
+        }
+        self.queue.push_back(start);
+        self.drain = self.drain.max(finish);
+        if let Some(dst) = op.dst {
+            self.regs.insert(dst, (start, finish));
+        }
+        (accepted, finish)
+    }
+
+    fn drain(&self) -> Cycles {
+        self.drain
+    }
+}
+
+/// Gemmini's three decoupled controllers (load / store / execute) behind
+/// a reservation station, with explicit codegen dependencies. Monotone
+/// except for the mesh pipeline-fill charge, resolved per [`Mode`].
+struct GemminiModel {
+    config: GemminiConfig,
+    mode: Mode,
+    regs: HashMap<VReg, Cycles>,
+    load_free: Cycles,
+    store_free: Cycles,
+    ex_free: Cycles,
+    rs: VecDeque<Cycles>,
+    drain: Cycles,
+}
+
+impl GemminiModel {
+    fn new(config: GemminiConfig, mode: Mode) -> Self {
+        GemminiModel {
+            config,
+            mode,
+            regs: HashMap::new(),
+            load_free: 0,
+            store_free: 0,
+            ex_free: 0,
+            rs: VecDeque::new(),
+            drain: 0,
+        }
+    }
+
+    fn compute_cycles(&self, rows: u64, cols: u64, ks: u64, gemv: bool) -> Cycles {
+        let dim = self.config.dim as u64;
+        if gemv && self.config.gemv_support {
+            (rows * ks).div_ceil(dim * dim).max(1)
+        } else if cols == 1 {
+            ks + dim
+        } else {
+            ks.max(1)
+        }
+    }
+
+    fn compute_fill(&self, gemv: bool) -> Cycles {
+        if gemv && self.config.gemv_support {
+            2
+        } else {
+            match self.config.dataflow {
+                Dataflow::OutputStationary => self.config.dim as u64,
+                Dataflow::WeightStationary => 2 * self.config.dim as u64,
+            }
+        }
+    }
+
+    fn dma_transfer(&self, rows: u16, cols: u16) -> Cycles {
+        (rows as u64 * cols as u64 * 4).div_ceil(self.config.dma_bytes_per_cycle)
+    }
+
+    fn record(&mut self, op: &MicroOp, finish: Cycles) {
+        self.rs.push_back(finish);
+        self.drain = self.drain.max(finish);
+        if let Some(dst) = op.dst {
+            self.regs.insert(dst, finish);
+        }
+    }
+}
+
+impl AbstractAccel for GemminiModel {
+    fn dispatch(&mut self, op: &MicroOp, issue: Cycles, operands: Cycles) -> (Cycles, Cycles) {
+        let cmd = match op.payload {
+            Payload::Rocc(cmd) => cmd,
+            _ => {
+                let t = issue.max(operands);
+                return (t, t + 1);
+            }
+        };
+
+        let mut accepted = issue.max(operands);
+        while self.rs.len() >= self.config.rs_entries {
+            let head_done = self.rs.pop_front().expect("rs nonempty");
+            accepted = accepted.max(head_done);
+        }
+
+        let mut dep_ready = accepted;
+        for src in op.sources() {
+            if let Some(&t) = self.regs.get(&src) {
+                dep_ready = dep_ready.max(t);
+            }
+        }
+
+        let finish = match cmd {
+            RoccCmd::Mvin { rows, cols, .. } => {
+                let transfer = self.dma_transfer(rows, cols);
+                let start = dep_ready.max(self.load_free);
+                self.load_free = start + transfer;
+                start + transfer + self.config.dma_latency
+            }
+            RoccCmd::Mvout { rows, cols, .. } => {
+                let transfer = self.dma_transfer(rows, cols);
+                let start = dep_ready.max(self.store_free);
+                self.store_free = start + transfer;
+                start + transfer + self.config.dma_latency
+            }
+            RoccCmd::Preload => {
+                let cost = match self.config.dataflow {
+                    Dataflow::WeightStationary => self.config.dim as u64,
+                    Dataflow::OutputStationary => 1,
+                };
+                let start = dep_ready.max(self.ex_free);
+                self.ex_free = start + cost;
+                self.ex_free
+            }
+            RoccCmd::ComputeTile {
+                rows,
+                cols,
+                ks,
+                gemv,
+                ..
+            } => {
+                let start = dep_ready.max(self.ex_free);
+                let mut cost = self.compute_cycles(rows as u64, cols as u64, ks as u64, gemv);
+                // The fill charge depends on whether the mesh sat idle —
+                // the one anti-monotone decision in the model.
+                let fill = match self.mode {
+                    Mode::Exact => start > self.ex_free || self.ex_free == 0,
+                    Mode::Lower => false,
+                    Mode::Upper => true,
+                };
+                if fill {
+                    cost += self.compute_fill(gemv);
+                }
+                self.ex_free = start + cost;
+                self.ex_free
+            }
+            RoccCmd::LoopMatmul { m, n, k } => {
+                let dim = self.config.dim as u64;
+                let tiles = (m as u64).div_ceil(dim) * (n as u64).div_ceil(dim);
+                let k_tiles = (k as u64).div_ceil(dim);
+                let mesh = tiles * k_tiles * (dim + dim);
+                let dma_elems = m as u64 * k as u64 + k as u64 * n as u64 + m as u64 * n as u64;
+                let dma = (dma_elems * 4).div_ceil(self.config.dma_bytes_per_cycle);
+                let cost = mesh.max(dma) + self.config.dma_latency + 10;
+                let start = dep_ready
+                    .max(self.ex_free)
+                    .max(self.load_free)
+                    .max(self.store_free);
+                self.load_free = start + cost;
+                self.store_free = start + cost;
+                self.ex_free = start + cost;
+                self.ex_free
+            }
+            // Config, Flush, and any future command: 1-cycle execute-pipe
+            // traffic.
+            _ => {
+                let start = dep_ready.max(self.ex_free);
+                self.ex_free = start + 1;
+                self.ex_free
+            }
+        };
+
+        self.record(op, finish);
+        (accepted, finish)
+    }
+
+    fn drain(&self) -> Cycles {
+        self.drain
+    }
+}

@@ -6,16 +6,19 @@
 //! ```text
 //! <32-hex-digit key>.entry
 //!   line 1: soc-sweep-cache v1        (format magic + version)
-//!   line 2: kind solve | kind kernel
+//!   line 2: kind solve | kind kernel | kind solve-bounds
 //!   solve:  total_cycles / iterations / converged / kernels k=v,k=v,...
 //!   kernel: cycles N
+//!   solve-bounds: lo N / hi N
 //! ```
 //!
 //! Writes are atomic (`.tmp-<pid>` then rename) so a crashed or
 //! concurrent `dse` never leaves a torn entry; anything unparsable is
-//! treated as a miss and rewritten. Only `Ok` solve summaries are
-//! persisted — errors stay in the in-memory tier so a transient failure
-//! is never immortalized.
+//! treated as a miss and rewritten — and **counted** (see
+//! [`SweepCache::corrupt_entries`]) so a degraded disk tier surfaces in
+//! the sweep's stderr summary instead of silently regenerating. Only
+//! `Ok` results are persisted — errors stay in the in-memory tier so a
+//! transient failure is never immortalized.
 
 use crate::key::Key;
 use soc_dse::experiments::SolveSummary;
@@ -41,6 +44,8 @@ pub struct SweepCache {
     dir: Option<PathBuf>,
     solves: HashMap<Key, tinympc::Result<SolveSummary>>,
     kernels: HashMap<Key, u64>,
+    bounds: HashMap<Key, tinympc::Result<(u64, u64)>>,
+    corrupt_entries: usize,
 }
 
 impl SweepCache {
@@ -71,7 +76,13 @@ impl SweepCache {
 
     /// Number of entries resident in memory.
     pub fn len(&self) -> usize {
-        self.solves.len() + self.kernels.len()
+        self.solves.len() + self.kernels.len() + self.bounds.len()
+    }
+
+    /// On-disk entries that were readable but unparsable (torn writes,
+    /// foreign bytes, format drift) and therefore degraded to misses.
+    pub fn corrupt_entries(&self) -> usize {
+        self.corrupt_entries
     }
 
     /// True when no entries are resident in memory.
@@ -113,13 +124,38 @@ impl SweepCache {
         self.kernels.insert(key, cycles);
     }
 
+    /// Probes for an analytical solve-bounds interval `(lo, hi)`.
+    pub fn get_bounds(&mut self, key: &Key) -> Option<(tinympc::Result<(u64, u64)>, HitLevel)> {
+        if let Some(v) = self.bounds.get(key) {
+            return Some((v.clone(), HitLevel::Memory));
+        }
+        let interval = self.read_entry(key, parse_bounds)?;
+        self.bounds.insert(*key, Ok(interval));
+        Some((Ok(interval), HitLevel::Disk))
+    }
+
+    /// Stores an analytical solve-bounds interval in memory, and on disk
+    /// when `Ok`.
+    pub fn put_bounds(&mut self, key: Key, value: &tinympc::Result<(u64, u64)>) {
+        if let Ok((lo, hi)) = value {
+            self.write_entry(&key, &render_bounds(*lo, *hi));
+        }
+        self.bounds.insert(key, value.clone());
+    }
+
     fn entry_path(&self, key: &Key) -> Option<PathBuf> {
         Some(self.dir.as_ref()?.join(format!("{}.entry", key.to_hex())))
     }
 
-    fn read_entry<T>(&self, key: &Key, parse: fn(&str) -> Option<T>) -> Option<T> {
+    fn read_entry<T>(&mut self, key: &Key, parse: fn(&str) -> Option<T>) -> Option<T> {
         let text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
-        parse(&text)
+        let parsed = parse(&text);
+        if parsed.is_none() {
+            // The file exists but its bytes are garbage: a degradation
+            // worth surfacing, unlike a plain absent-entry miss.
+            self.corrupt_entries += 1;
+        }
+        parsed
     }
 
     /// Atomic write: tmp file + rename. IO failures degrade the disk
@@ -158,6 +194,10 @@ fn render_solve(s: &SolveSummary) -> String {
 
 fn render_kernel(cycles: u64) -> String {
     format!("{MAGIC}\nkind kernel\ncycles {cycles}\n")
+}
+
+fn render_bounds(lo: u64, hi: u64) -> String {
+    format!("{MAGIC}\nkind solve-bounds\nlo {lo}\nhi {hi}\n")
 }
 
 fn field<'a>(lines: &mut std::str::Lines<'a>, name: &str) -> Option<&'a str> {
@@ -207,6 +247,16 @@ fn parse_kernel(text: &str) -> Option<u64> {
     field(&mut lines, "cycles")?.parse().ok()
 }
 
+fn parse_bounds(text: &str) -> Option<(u64, u64)> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC || lines.next()? != "kind solve-bounds" {
+        return None;
+    }
+    let lo: u64 = field(&mut lines, "lo")?.parse().ok()?;
+    let hi: u64 = field(&mut lines, "hi")?.parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +283,18 @@ mod tests {
     #[test]
     fn kernel_round_trips_through_text() {
         assert_eq!(parse_kernel(&render_kernel(40_961)), Some(40_961));
+    }
+
+    #[test]
+    fn bounds_round_trip_through_text() {
+        assert_eq!(parse_bounds(&render_bounds(100, 140)), Some((100, 140)));
+        assert_eq!(parse_bounds(&render_bounds(7, 7)), Some((7, 7)));
+        assert_eq!(
+            parse_bounds("soc-sweep-cache v1\nkind solve-bounds\nlo 9\nhi 3\n"),
+            None,
+            "inverted intervals are rejected"
+        );
+        assert_eq!(parse_bounds(&render_kernel(9)), None);
     }
 
     #[test]
@@ -275,10 +337,44 @@ mod tests {
         assert_eq!(reader.get_kernel(&key_of("kernel")).unwrap().0, 99);
         assert_eq!(reader.get_kernel(&key_of("absent")), None);
 
-        // Torn/corrupt on-disk bytes degrade to a miss, not an error.
+        // Torn/corrupt on-disk bytes degrade to a *counted* miss, not an
+        // error — and a plain absent entry is not counted.
         std::fs::write(dir.join(format!("{}.entry", key.to_hex())), "garbage").unwrap();
         let mut corrupt = SweepCache::with_dir(&dir).unwrap();
+        assert_eq!(corrupt.corrupt_entries(), 0);
         assert_eq!(corrupt.get_solve(&key), None);
+        assert_eq!(corrupt.corrupt_entries(), 1);
+        assert_eq!(corrupt.get_kernel(&key_of("never written")), None);
+        assert_eq!(corrupt.corrupt_entries(), 1, "absent entries not counted");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounds_disk_tier_round_trips_and_skips_errors() {
+        let dir = std::env::temp_dir().join(format!("soc-sweep-bounds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_of("bounds entry");
+
+        let mut writer = SweepCache::with_dir(&dir).unwrap();
+        writer.put_bounds(key, &Ok((1_000, 1_250)));
+        writer.put_bounds(
+            key_of("failed bounds"),
+            &Err(tinympc::Error::CorruptedWorkspace {
+                what: "synthetic".into(),
+            }),
+        );
+
+        let mut reader = SweepCache::with_dir(&dir).unwrap();
+        let (got, level) = reader.get_bounds(&key).unwrap();
+        assert_eq!(got.unwrap(), (1_000, 1_250));
+        assert_eq!(level, HitLevel::Disk);
+        assert_eq!(reader.get_bounds(&key).unwrap().1, HitLevel::Memory);
+        assert_eq!(
+            reader.get_bounds(&key_of("failed bounds")),
+            None,
+            "errored bounds are never persisted"
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -22,7 +22,7 @@
 //! [`SerialSource`]: soc_dse::experiments::SerialSource
 
 use crate::cache::{HitLevel, SweepCache};
-use crate::key::{kernel_key, solve_key, Key};
+use crate::key::{bounds_key, kernel_key, solve_key, Key};
 use crate::pool::{run_sharded, ShardStats};
 use soc_dse::experiments::{
     solve_cycles, standalone_kernel, CycleSource, KernelRequest, SolveRequest, SolveSummary,
@@ -139,6 +139,27 @@ impl SweepEngine {
         let mut inner = self.lock();
         inner.stats = EngineStats::default();
         inner.shards.clear();
+    }
+
+    /// On-disk entries that were readable but unparsable since the engine
+    /// (or its cache directory) was opened. Nondeterministic across
+    /// machines — report to stderr, never into a golden-checked body.
+    pub fn corrupt_entries(&self) -> usize {
+        self.lock().cache.corrupt_entries()
+    }
+
+    /// Analytical `[lo, hi]` solve-cycle bounds for each request, memoized
+    /// under the `solve-bounds` cache kind. Runs the `soc-bounds` abstract
+    /// interpreter twice per miss (once per interval side) instead of the
+    /// trace simulator; results never alias trace-priced totals.
+    pub fn bounds_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<(u64, u64)>> {
+        self.batch(
+            requests,
+            bounds_key,
+            SweepCache::get_bounds,
+            |cache, key, value| cache.put_bounds(key, value),
+            |r| soc_bounds::solve_bounds(&r.platform, r.horizon).map(|i| (i.lo, i.hi)),
+        )
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {

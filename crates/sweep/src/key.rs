@@ -80,9 +80,25 @@ pub fn kernel_serialization(request: &KernelRequest) -> String {
     )
 }
 
+/// Stable serialization of an analytical solve-bounds request. A
+/// distinct kind tag keeps bound intervals and trace-priced totals from
+/// ever aliasing, even for the same platform and horizon.
+pub fn bounds_serialization(request: &SolveRequest) -> String {
+    format!(
+        "soc-sweep v{CACHE_VERSION}|solve-bounds|{}|horizon={}",
+        request.platform.cache_id(),
+        request.horizon
+    )
+}
+
 /// Key of a solve request.
 pub fn solve_key(request: &SolveRequest) -> Key {
     key_of(&solve_serialization(request))
+}
+
+/// Key of an analytical solve-bounds request.
+pub fn bounds_key(request: &SolveRequest) -> Key {
+    key_of(&bounds_serialization(request))
 }
 
 /// Key of a standalone-kernel request.
@@ -152,6 +168,13 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn bounds_keys_never_alias_solve_keys() {
+        let req = solve_req(10);
+        assert_ne!(solve_key(&req), bounds_key(&req));
+        assert_ne!(bounds_key(&req), bounds_key(&solve_req(11)));
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod spec;
 
 pub use cache::SweepCache;
 pub use engine::{EngineStats, SweepEngine};
-pub use run::{run_sweep, SweepReport};
+pub use run::{run_sweep, run_sweep_tiered, SweepReport, SweepTier};
 pub use spec::{HeatmapSpec, SweepSpec};

@@ -30,6 +30,14 @@ pub enum Error {
         /// Description of the violated invariant.
         what: String,
     },
+    /// A static-analysis claim failed to hold against trace simulation —
+    /// an analytical cycle bound excluded the simulated count, or a
+    /// bounds-pruned sweep produced a different Pareto frontier than the
+    /// trace-priced reference.
+    AnalysisMismatch {
+        /// Description of the violated claim.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +52,9 @@ impl fmt::Display for Error {
             Error::CorruptedWorkspace { what } => {
                 write!(f, "solver workspace corrupted: {what}")
             }
+            Error::AnalysisMismatch { what } => {
+                write!(f, "static analysis mismatch: {what}")
+            }
         }
     }
 }
@@ -54,7 +65,8 @@ impl std::error::Error for Error {
             Error::Cache(e) | Error::Numeric(e) => Some(e),
             Error::BadProblem { .. }
             | Error::InvalidTrace { .. }
-            | Error::CorruptedWorkspace { .. } => None,
+            | Error::CorruptedWorkspace { .. }
+            | Error::AnalysisMismatch { .. } => None,
         }
     }
 }

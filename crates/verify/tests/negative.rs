@@ -1,0 +1,184 @@
+//! Negative-case coverage: one deliberately broken trace per verifier
+//! rule, driven through the public [`soc_verify::verify`] entry point.
+//!
+//! The per-pass unit tests check the analyses in isolation; these tests
+//! pin the *integration* contract — that each of the twelve rules fires
+//! through the combined pipeline with its stable diagnostic code and
+//! documented severity, so a codegen regression can never silently
+//! downgrade or rename a finding class.
+
+use soc_isa::{MicroOp, OpClass, RoccCmd, TraceBuilder, VReg, VecOpKind, VectorSpec};
+use soc_verify::{rules, verify, Report, Severity, VerifyConfig};
+
+fn assert_fires(report: &Report, rule: &str, severity: Severity) {
+    let hit = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.rule == rule)
+        .unwrap_or_else(|| {
+            panic!(
+                "expected rule `{rule}` to fire; got {:?}",
+                report
+                    .diagnostics()
+                    .iter()
+                    .map(|d| d.rule)
+                    .collect::<Vec<_>>()
+            )
+        });
+    assert_eq!(hit.severity, severity, "wrong severity for `{rule}`");
+}
+
+fn mvin(b: &mut TraceBuilder, rows: u16, cols: u16, base: u32) -> VReg {
+    b.rocc(RoccCmd::Mvin { rows, cols, base }, &[])
+}
+
+fn mvout(b: &mut TraceBuilder, rows: u16, cols: u16, base: u32) -> VReg {
+    b.rocc(
+        RoccCmd::Mvout {
+            rows,
+            cols,
+            pool_stride: 1,
+            base,
+        },
+        &[],
+    )
+}
+
+#[test]
+fn ssa_use_before_def_fires() {
+    let mut b = TraceBuilder::new();
+    b.fp(OpClass::FpAdd, &[VReg(999)]);
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::SSA_USE_BEFORE_DEF, Severity::Error);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn ssa_redefinition_fires() {
+    let mut b = TraceBuilder::new();
+    let x = b.load();
+    // The typed builder cannot express a redefinition; push the raw op.
+    b.push(MicroOp::scalar(OpClass::FpAdd, Some(x), &[]));
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::SSA_REDEF, Severity::Error);
+}
+
+#[test]
+fn vset_missing_fires() {
+    let mut b = TraceBuilder::new();
+    b.vload(12, 2);
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::VSET_MISSING, Severity::Error);
+}
+
+#[test]
+fn vset_stale_fires() {
+    let mut b = TraceBuilder::new();
+    b.vset_f32(16, 2);
+    b.vector(VectorSpec::f32(VecOpKind::Arith, 4, 2), &[]);
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::VSET_STALE, Severity::Error);
+}
+
+#[test]
+fn vset_dead_fires() {
+    let mut b = TraceBuilder::new();
+    b.vset_f32(4, 1); // replaced before any vector op uses it
+    b.vset_f32(8, 1);
+    b.vload(8, 1);
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::VSET_DEAD, Severity::Perf);
+    assert_eq!(
+        report.diagnostics()[0].index,
+        0,
+        "the dead vsetvli is the first one"
+    );
+}
+
+#[test]
+fn hazard_load_race_fires() {
+    let mut b = TraceBuilder::new();
+    mvout(&mut b, 4, 4, 0);
+    b.load(); // does not consume the mvout token, no fence between
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::HAZARD_LOAD_RACE, Severity::Error);
+}
+
+#[test]
+fn hazard_mvin_race_fires() {
+    let mut b = TraceBuilder::new();
+    let x = b.load();
+    b.store(&[x]); // unfenced CPU store ...
+    mvin(&mut b, 4, 4, 0); // ... racing the DMA read
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::HAZARD_MVIN_RACE, Severity::Error);
+}
+
+#[test]
+fn spad_oob_fires() {
+    let mut b = TraceBuilder::new();
+    // 16 rows * ceil(20/4) = 80 scratchpad rows > the 64 configured.
+    mvin(&mut b, 16, 20, 0);
+    let report = verify(&b.finish(), &VerifyConfig::with_spad(64, 4));
+    assert_fires(&report, rules::SPAD_OOB, Severity::Error);
+}
+
+#[test]
+fn spad_unwritten_fires() {
+    let mut b = TraceBuilder::new();
+    mvin(&mut b, 4, 4, 0); // writes rows 0..4
+    mvout(&mut b, 8, 4, 0); // reads rows 0..8 — 4..8 never written
+    let report = verify(&b.finish(), &VerifyConfig::with_spad(64, 4));
+    assert_fires(&report, rules::SPAD_UNWRITTEN, Severity::Error);
+}
+
+#[test]
+fn spad_overlap_fires() {
+    let mut b = TraceBuilder::new();
+    mvin(&mut b, 8, 4, 0); // rows 0..8
+    mvin(&mut b, 8, 4, 8); // rows 8..16
+    mvin(&mut b, 8, 4, 4); // rows 4..12 straddle both live allocations
+    let report = verify(&b.finish(), &VerifyConfig::with_spad(64, 4));
+    assert_fires(&report, rules::SPAD_OVERLAP, Severity::Warn);
+}
+
+#[test]
+fn fence_redundant_fires() {
+    let mut b = TraceBuilder::new();
+    b.fence(); // nothing to order since trace start
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::FENCE_REDUNDANT, Severity::Perf);
+    assert!(report.is_clean(), "perf lints alone keep a trace clean");
+}
+
+#[test]
+fn store_dead_fires() {
+    let mut b = TraceBuilder::new();
+    let x = b.load();
+    b.store(&[x]); // token never consumed by a later load_after
+    let report = verify(&b.finish(), &VerifyConfig::default());
+    assert_fires(&report, rules::STORE_DEAD, Severity::Perf);
+}
+
+#[test]
+fn every_rule_is_covered_by_a_negative_test() {
+    // Keep this list in sync with `soc_verify::rules`: adding a rule
+    // without a negative test above should fail here, loudly.
+    let covered = [
+        rules::SSA_USE_BEFORE_DEF,
+        rules::SSA_REDEF,
+        rules::VSET_MISSING,
+        rules::VSET_STALE,
+        rules::VSET_DEAD,
+        rules::HAZARD_LOAD_RACE,
+        rules::HAZARD_MVIN_RACE,
+        rules::SPAD_OOB,
+        rules::SPAD_UNWRITTEN,
+        rules::SPAD_OVERLAP,
+        rules::FENCE_REDUNDANT,
+        rules::STORE_DEAD,
+    ];
+    assert_eq!(covered.len(), 12);
+    let unique: std::collections::BTreeSet<&str> = covered.into_iter().collect();
+    assert_eq!(unique.len(), 12, "duplicate rule in the coverage list");
+}

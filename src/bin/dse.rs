@@ -11,7 +11,8 @@
 //! cargo run --bin dse -- energy
 //! ```
 
-use soc_dse_repro::soc_backend::pipeline_for;
+use soc_dse_repro::soc_backend::{pipeline_for, BoundClaim};
+use soc_dse_repro::soc_bounds::{kernel_bounds, CycleInterval};
 use soc_dse_repro::soc_codegen::{tune, TuningSpace};
 use soc_dse_repro::soc_cpu::CoreConfig;
 use soc_dse_repro::soc_dse::energy::{solve_energy, EnergyParams};
@@ -23,7 +24,7 @@ use soc_dse_repro::soc_dse::report::markdown_table;
 use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
 use soc_dse_repro::soc_faults::{run_campaign, CampaignKind};
 use soc_dse_repro::soc_gemmini::GemminiConfig;
-use soc_dse_repro::soc_sweep::{run_sweep, SweepEngine, SweepSpec};
+use soc_dse_repro::soc_sweep::{run_sweep_tiered, SweepEngine, SweepSpec, SweepTier};
 use soc_dse_repro::soc_vector::SaturnConfig;
 use soc_dse_repro::soc_verify::Severity;
 use soc_dse_repro::tinympc::{KernelId, ProblemDims};
@@ -45,9 +46,22 @@ COMMANDS:
             [--no-cache]       engine; --smoke selects the seconds-scale
             [--warm]           CI spec, --no-cache disables the on-disk
             [--cache-dir DIR]  tier, --warm runs the spec twice and
-                               reports the warm pass (100% hit rate).
+            [--tier KIND]      reports the warm pass (100% hit rate).
+                               --tier analytical prices the solve grid
+                               with static cycle bounds first, prunes
+                               dominated points, then confirms by trace
+                               (KIND: trace|analytical, default trace).
                                Report on stdout is byte-identical for
-                               every --jobs; shard timing goes to stderr
+                               every --jobs and tier; shard timing and
+                               tier accounting go to stderr
+    bounds  [--horizon N]      Static cycle-bound analysis: abstract-
+            [--json]           interpret every back-end's kernel programs
+                               into [lower, upper] steady-state intervals
+                               and differential-check them against the
+                               trace simulators (exact on in-order cores,
+                               bracketing on OoO); exits non-zero on any
+                               bound violation. --json emits machine-
+                               readable per-kernel results
     energy                     Energy-per-solve analysis (extension)
     solve   --platform NAME    Solve the quadrotor MPC on one platform
             [--horizon N]      Horizon length (default 10)
@@ -55,8 +69,10 @@ COMMANDS:
     tune    --target KIND      Auto-tune a solver (rocket|saturn|gemmini)
     verify  [--platform NAME]  Statically verify every generated micro-op
             [--verbose]        trace (hazards, vsetvli state, scratchpad
-                               residency, perf lints); exits non-zero on
-                               any error-severity finding
+            [--strict]         residency, perf lints); exits non-zero on
+            [--json]           any error-severity finding. --strict also
+                               fails on perf lints; --json emits machine-
+                               readable diagnostics instead of text
     faults  [--seed N]         Seeded fault-injection campaign across the
             [--campaign KIND]  back-end families (KIND: smoke|full,
             [--smoke]          default smoke); --smoke additionally gates
@@ -70,6 +86,24 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Minimal JSON string escaping for the hand-rolled `--json` outputs
+/// (names and diagnostic messages are ASCII, but quotes and backslashes
+/// must still be safe).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Default shard-pool width: one worker per available hardware thread.
@@ -198,6 +232,11 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 SweepSpec::full()
             };
+            let tier = match flag(args, "--tier").as_deref() {
+                None | Some("trace") => SweepTier::Trace,
+                Some("analytical") => SweepTier::Analytical,
+                Some(other) => return Err(format!("unknown tier `{other}`")),
+            };
             let engine = if args.iter().any(|a| a == "--no-cache") {
                 SweepEngine::in_memory(jobs)
             } else {
@@ -207,14 +246,166 @@ fn run(args: &[String]) -> Result<(), String> {
                 SweepEngine::with_cache_dir(jobs, dir)
                     .map_err(|e| format!("cache directory: {e}"))?
             };
-            let mut report = run_sweep(&spec, &engine).map_err(|e| e.to_string())?;
+            let mut report = run_sweep_tiered(&spec, &engine, tier).map_err(|e| e.to_string())?;
             if args.iter().any(|a| a == "--warm") {
                 // Second pass over the warm engine: identical results,
                 // zero regenerations. The report shows the warm pass.
-                report = run_sweep(&spec, &engine).map_err(|e| e.to_string())?;
+                report = run_sweep_tiered(&spec, &engine, tier).map_err(|e| e.to_string())?;
             }
             print!("{}", report.render());
             eprint!("{}", report.render_timing());
+            if let Some(summary) = &report.tier_summary {
+                eprint!("{summary}");
+            }
+            let corrupt = engine.corrupt_entries();
+            if corrupt > 0 {
+                eprintln!(
+                    "warning: {corrupt} corrupt cache entr{} ignored and regenerated",
+                    if corrupt == 1 { "y" } else { "ies" }
+                );
+            }
+            Ok(())
+        }
+        "bounds" => {
+            let horizon: usize = flag(args, "--horizon")
+                .map(|h| h.parse().map_err(|_| format!("bad horizon `{h}`")))
+                .transpose()?
+                .unwrap_or(10);
+            let json = args.iter().any(|a| a == "--json");
+            let dims = ProblemDims {
+                nx: 12,
+                nu: 4,
+                horizon,
+            };
+
+            struct BackendBounds {
+                name: String,
+                claim: BoundClaim,
+                kernels: Vec<(KernelId, CycleInterval, u64)>,
+            }
+
+            let mut backends = Vec::new();
+            let mut violations: Vec<String> = Vec::new();
+            for platform in &Platform::table1_registry() {
+                let pipeline = pipeline_for(platform);
+                let claim = pipeline.bound_claim();
+                let mut kernels = Vec::new();
+                for &kernel in KernelId::ALL.iter() {
+                    let interval = kernel_bounds(pipeline.as_ref(), kernel, &dims)
+                        .map_err(|e| e.to_string())?;
+                    let cycles = pipeline
+                        .steady_cycles(kernel, &dims)
+                        .map_err(|e| e.to_string())?;
+                    if !interval.contains(cycles) {
+                        violations.push(format!(
+                            "{} / {kernel}: simulated {cycles} outside {interval}",
+                            platform.name
+                        ));
+                    }
+                    if claim == BoundClaim::Exact && !interval.is_exact() {
+                        violations.push(format!(
+                            "{} / {kernel}: exactness claimed but interval is {interval}",
+                            platform.name
+                        ));
+                    }
+                    kernels.push((kernel, interval, cycles));
+                }
+                backends.push(BackendBounds {
+                    name: platform.name.clone(),
+                    claim,
+                    kernels,
+                });
+            }
+
+            if json {
+                let mut out = String::from("{\n");
+                out.push_str(&format!("  \"horizon\": {horizon},\n"));
+                out.push_str("  \"backends\": [\n");
+                for (i, b) in backends.iter().enumerate() {
+                    let exact = b.kernels.iter().filter(|(_, iv, _)| iv.is_exact()).count();
+                    let agree = b
+                        .kernels
+                        .iter()
+                        .filter(|(_, iv, c)| iv.contains(*c))
+                        .count();
+                    let max_rel = b
+                        .kernels
+                        .iter()
+                        .map(|(_, iv, _)| iv.rel_width())
+                        .fold(0.0f64, f64::max);
+                    out.push_str(&format!(
+                        "    {{\"name\": \"{}\", \"claim\": \"{}\", \"exact\": {exact}, \
+                         \"contained\": {agree}, \"kernels\": {}, \
+                         \"max_rel_width\": {max_rel:.6}, \"per_kernel\": [\n",
+                        json_escape(&b.name),
+                        b.claim.label(),
+                        b.kernels.len()
+                    ));
+                    for (j, (k, iv, c)) in b.kernels.iter().enumerate() {
+                        out.push_str(&format!(
+                            "      {{\"kernel\": \"{k}\", \"lower\": {}, \"upper\": {}, \
+                             \"simulated\": {c}, \"contained\": {}}}{}\n",
+                            iv.lo,
+                            iv.hi,
+                            iv.contains(*c),
+                            if j + 1 < b.kernels.len() { "," } else { "" }
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "    ]}}{}\n",
+                        if i + 1 < backends.len() { "," } else { "" }
+                    ));
+                }
+                out.push_str("  ],\n");
+                out.push_str(&format!("  \"violations\": {}\n}}", violations.len()));
+                println!("{out}");
+            } else {
+                let rows: Vec<Vec<String>> = backends
+                    .iter()
+                    .map(|b| {
+                        let exact = b.kernels.iter().filter(|(_, iv, _)| iv.is_exact()).count();
+                        let agree = b
+                            .kernels
+                            .iter()
+                            .filter(|(_, iv, c)| iv.contains(*c))
+                            .count();
+                        let max_rel = b
+                            .kernels
+                            .iter()
+                            .map(|(_, iv, _)| iv.rel_width())
+                            .fold(0.0f64, f64::max);
+                        vec![
+                            b.name.clone(),
+                            b.claim.label().to_string(),
+                            format!("{exact}/{}", b.kernels.len()),
+                            format!("{agree}/{}", b.kernels.len()),
+                            format!("{:.1}%", 100.0 * max_rel),
+                        ]
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    markdown_table(
+                        &[
+                            "configuration",
+                            "claim",
+                            "exact kernels",
+                            "contained",
+                            "max interval width"
+                        ],
+                        &rows
+                    )
+                );
+            }
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("bound violation: {v}");
+                }
+                return Err(format!("{} bound violation(s)", violations.len()));
+            }
+            if !json {
+                println!("all analytical bounds verified against trace simulation");
+            }
             Ok(())
         }
         "energy" => {
@@ -280,6 +471,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 horizon: 10,
             };
             let verbose = args.iter().any(|a| a == "--verbose");
+            let strict = args.iter().any(|a| a == "--strict");
+            let json = args.iter().any(|a| a == "--json");
             let platforms = match flag(args, "--platform") {
                 Some(name) => {
                     let p = shipped_configurations()
@@ -291,6 +484,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 None => shipped_configurations(),
             };
             let mut total = [0usize; 3]; // errors, warnings, perf lints
+            let mut json_platforms = Vec::new();
             for p in &platforms {
                 let reports = verify_platform(p, &dims);
                 let count = |s| reports.iter().map(|r| r.report.count(s)).sum::<usize>();
@@ -302,33 +496,88 @@ fn run(args: &[String]) -> Result<(), String> {
                 total[0] += e;
                 total[1] += w;
                 total[2] += l;
-                println!(
-                    "{:<40} {:>2} traces  {e:>3} errors  {w:>3} warnings  {l:>3} perf lints",
-                    p.name,
-                    reports.len()
-                );
-                for r in &reports {
-                    let dirty = r.report.error_count() > 0
-                        || (verbose && !r.report.diagnostics().is_empty());
-                    if dirty {
-                        println!("  {}:", r.trace);
-                        for line in r.report.render().lines() {
-                            println!("    {line}");
+                if json {
+                    let mut traces = Vec::new();
+                    for r in &reports {
+                        let diags: Vec<String> = r
+                            .report
+                            .diagnostics()
+                            .iter()
+                            .map(|d| {
+                                format!(
+                                    "{{\"rule\": \"{}\", \"severity\": \"{}\", \
+                                     \"index\": {}, \"message\": \"{}\"}}",
+                                    d.rule,
+                                    d.severity,
+                                    d.index,
+                                    json_escape(&d.message)
+                                )
+                            })
+                            .collect();
+                        traces.push(format!(
+                            "        {{\"trace\": \"{}\", \"errors\": {}, \"warnings\": {}, \
+                             \"perf\": {}, \"diagnostics\": [{}]}}",
+                            json_escape(&r.trace),
+                            r.report.error_count(),
+                            r.report.warn_count(),
+                            r.report.perf_count(),
+                            diags.join(", ")
+                        ));
+                    }
+                    json_platforms.push(format!(
+                        "    {{\"name\": \"{}\", \"traces\": [\n{}\n    ]}}",
+                        json_escape(&p.name),
+                        traces.join(",\n")
+                    ));
+                } else {
+                    println!(
+                        "{:<40} {:>2} traces  {e:>3} errors  {w:>3} warnings  {l:>3} perf lints",
+                        p.name,
+                        reports.len()
+                    );
+                    for r in &reports {
+                        let dirty = r.report.error_count() > 0
+                            || (strict && r.report.perf_count() > 0)
+                            || (verbose && !r.report.diagnostics().is_empty());
+                        if dirty {
+                            println!("  {}:", r.trace);
+                            for line in r.report.render().lines() {
+                                println!("    {line}");
+                            }
                         }
                     }
                 }
             }
-            println!(
-                "\n{} platforms: {} errors, {} warnings, {} perf lints",
-                platforms.len(),
-                total[0],
-                total[1],
-                total[2]
-            );
+            if json {
+                println!(
+                    "{{\n  \"strict\": {strict},\n  \"platforms\": [\n{}\n  ],\n  \
+                     \"totals\": {{\"errors\": {}, \"warnings\": {}, \"perf\": {}}}\n}}",
+                    json_platforms.join(",\n"),
+                    total[0],
+                    total[1],
+                    total[2]
+                );
+            } else {
+                println!(
+                    "\n{} platforms: {} errors, {} warnings, {} perf lints",
+                    platforms.len(),
+                    total[0],
+                    total[1],
+                    total[2]
+                );
+            }
             if total[0] > 0 {
                 return Err(format!("{} error-severity findings", total[0]));
             }
-            println!("all generated traces verified clean");
+            if strict && total[2] > 0 {
+                return Err(format!(
+                    "{} perf-lint findings (promoted to errors by --strict)",
+                    total[2]
+                ));
+            }
+            if !json {
+                println!("all generated traces verified clean");
+            }
             Ok(())
         }
         "faults" => {

@@ -3,6 +3,7 @@
 pub use matlib;
 pub use soc_area;
 pub use soc_backend;
+pub use soc_bounds;
 pub use soc_codegen;
 pub use soc_cpu;
 pub use soc_dse;
