@@ -10,8 +10,17 @@
 use crate::pipeline::BackendPipeline;
 use crate::platform::{pipeline_for, Platform};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use tinympc::{KernelExecutor, KernelId, ProblemDims};
+
+/// Locks a memo-table mutex, recovering from poisoning. Every critical
+/// section here is a single probe or insert on an insert-only map, so a
+/// panic unwinding through a lock holder cannot leave the table
+/// half-updated — recovering is strictly better than bricking every
+/// future pricing call in the process.
+fn memo_lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A pipeline plus its shared steady-state memo tables.
 pub struct PricedPipeline {
@@ -45,19 +54,11 @@ impl PricedPipeline {
     ///
     /// Propagates verification failures from the pipeline.
     pub fn kernel_cycles(&self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
-        if let Some(&c) = self
-            .kernel_memo
-            .lock()
-            .expect("pricer lock")
-            .get(&(kernel, *dims))
-        {
+        if let Some(&c) = memo_lock(&self.kernel_memo).get(&(kernel, *dims)) {
             return Ok(c);
         }
         let c = self.pipeline.steady_cycles(kernel, dims)?;
-        self.kernel_memo
-            .lock()
-            .expect("pricer lock")
-            .insert((kernel, *dims), c);
+        memo_lock(&self.kernel_memo).insert((kernel, *dims), c);
         Ok(c)
     }
 
@@ -67,14 +68,11 @@ impl PricedPipeline {
     ///
     /// Propagates verification failures from the pipeline.
     pub fn setup_cycles(&self, dims: &ProblemDims) -> tinympc::Result<u64> {
-        if let Some(&c) = self.setup_memo.lock().expect("pricer lock").get(dims) {
+        if let Some(&c) = memo_lock(&self.setup_memo).get(dims) {
             return Ok(c);
         }
         let c = self.pipeline.setup_cost(dims)?;
-        self.setup_memo
-            .lock()
-            .expect("pricer lock")
-            .insert(*dims, c);
+        memo_lock(&self.setup_memo).insert(*dims, c);
         Ok(c)
     }
 }
@@ -90,9 +88,7 @@ fn interner() -> &'static Mutex<HashMap<String, Arc<PricedPipeline>>> {
 pub fn priced_for(platform: &Platform) -> Arc<PricedPipeline> {
     let pipeline = pipeline_for(platform);
     let id = pipeline.cache_id();
-    interner()
-        .lock()
-        .expect("pricer interner lock")
+    memo_lock(interner())
         .entry(id)
         .or_insert_with(|| Arc::new(PricedPipeline::new(pipeline)))
         .clone()

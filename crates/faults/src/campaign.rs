@@ -186,9 +186,10 @@ fn prototype() -> AdmmSolver<f32> {
 ///
 /// # Errors
 ///
-/// Returns a message if a nominal (fault-free) solve fails — that means
-/// the environment is broken, not that a fault escaped.
-pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, String> {
+/// Returns [`tinympc::Error::Campaign`] if a nominal (fault-free) solve
+/// or the instruction harness fails — that means the environment is
+/// broken, not that a fault escaped.
+pub fn run_campaign(seed: u64, kind: CampaignKind) -> tinympc::Result<CampaignReport> {
     let proto = prototype();
     let problem = proto.problem();
     let sdc_bound = 0.05 * (problem.u_max - problem.u_min);
@@ -200,7 +201,9 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
         let nominal = proto
             .clone()
             .solve(&problem.hover_offset_state(0.2), &mut nominal_exec)
-            .map_err(|e| format!("nominal solve failed on {}: {e}", platform.name))?;
+            .map_err(|e| tinympc::Error::Campaign {
+                what: format!("nominal solve failed on {}: {e}", platform.name),
+            })?;
         let budget = nominal.total_cycles * 3 / 2;
         // Plan the ladder around the measured fault-free iteration count,
         // not the generic default, so the 1.5× budget genuinely admits a
@@ -230,7 +233,9 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
             let u_ref = proto
                 .clone()
                 .solve(&x0, &mut NullExecutor)
-                .map_err(|e| format!("reference solve failed: {e}"))?
+                .map_err(|e| tinympc::Error::Campaign {
+                    what: format!("reference solve failed: {e}"),
+                })?
                 .u0;
             let mut d = DeadlineSolver::new(proto.clone(), config);
 
@@ -301,7 +306,9 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> Result<CampaignReport, Str
     }
 
     let instruction = run_instruction_campaign(seed ^ 0x5bf0_3635, kind.instruction_trials())
-        .map_err(|e| format!("instruction harness failed: {e}"))?;
+        .map_err(|e| tinympc::Error::Campaign {
+            what: format!("instruction harness failed: {e}"),
+        })?;
     Ok(CampaignReport {
         seed,
         backends,

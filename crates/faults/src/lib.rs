@@ -21,6 +21,10 @@
 //!   deadline-missed / masked / SDC.
 //! - [`riscv`] — instruction-level bit flips on the functional RV32IMF
 //!   machine as an ISA-level ground truth.
+//! - [`chaos`] — seeded campaigns against the *platform itself*: worker
+//!   panics, cache corruption, lock poisoning and slow items thrown at
+//!   the sweep/bounds execution stack, each trial classified
+//!   recovered / degraded / aborted (`dse chaos`).
 //!
 //! Detection itself is layered through the rest of the workspace: matlib
 //! guards every hot-op output for non-finite values, the ADMM loop
@@ -31,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod deadline;
 pub mod inject;
 pub mod plan;
 pub mod riscv;
 
 pub use campaign::{run_campaign, BackendStats, CampaignKind, CampaignReport};
+pub use chaos::{recoverable_strikes, run_chaos, ChaosOutcome, ChaosReport, ChaosTrial};
 pub use deadline::{DeadlineConfig, DeadlineSolver, DegradeRung, SolveOutcome};
 pub use inject::{corrupt_trace, DataInjector, FaultyExecutor, TraceFaultOutcome};
 pub use plan::{Fault, FaultKind, FaultPlan, FaultSite};

@@ -1,23 +1,28 @@
-//! Content-addressed cycle cache: in-memory map with an optional
-//! on-disk tier.
+//! Content-addressed cycle cache: in-memory map with an optional,
+//! self-healing on-disk tier.
 //!
 //! Layout on disk (one file per entry, under the cache directory):
 //!
 //! ```text
 //! <32-hex-digit key>.entry
-//!   line 1: soc-sweep-cache v1        (format magic + version)
+//!   line 1: soc-sweep-cache v2        (format magic + version)
 //!   line 2: kind solve | kind kernel | kind solve-bounds
 //!   solve:  total_cycles / iterations / converged / kernels k=v,k=v,...
 //!   kernel: cycles N
 //!   solve-bounds: lo N / hi N
+//!   last:   checksum <16-hex>         (FNV-1a over everything above)
 //! ```
 //!
 //! Writes are atomic (`.tmp-<pid>` then rename) so a crashed or
-//! concurrent `dse` never leaves a torn entry; anything unparsable is
-//! treated as a miss and rewritten — and **counted** (see
-//! [`SweepCache::corrupt_entries`]) so a degraded disk tier surfaces in
-//! the sweep's stderr summary instead of silently regenerating. Only
-//! `Ok` results are persisted — errors stay in the in-memory tier so a
+//! concurrent `dse` never leaves a torn entry. Every entry carries a
+//! checksum footer; an entry whose bytes fail the checksum or whose
+//! body fails to parse is **quarantined** — moved into
+//! `<dir>/quarantine/` next to a `.reason` file naming the corruption —
+//! counted (see [`SweepCache::corrupt_entries`]), and treated as a
+//! miss. The recompute then rewrites a healed entry at the original
+//! path, so a corrupted cache converges back to a 100% hit rate on the
+//! next warm run instead of silently degrading forever. Only `Ok`
+//! results are persisted — errors stay in the in-memory tier so a
 //! transient failure is never immortalized.
 
 use crate::key::Key;
@@ -36,7 +41,13 @@ pub enum HitLevel {
     Disk,
 }
 
-const MAGIC: &str = "soc-sweep-cache v1";
+/// v2: entries carry a `checksum` footer line (v1 entries are keyed
+/// under the old `CACHE_VERSION` and are simply never probed).
+const MAGIC: &str = "soc-sweep-cache v2";
+
+/// Subdirectory corrupt entries are moved into, next to their reason
+/// files.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Two-tier (memory + optional disk) cache for sweep work products.
 #[derive(Debug, Default)]
@@ -74,13 +85,19 @@ impl SweepCache {
         self.dir.as_deref()
     }
 
+    /// Where corrupt entries are moved, if a disk tier is attached.
+    pub fn quarantine_dir(&self) -> Option<PathBuf> {
+        Some(self.dir.as_ref()?.join(QUARANTINE_DIR))
+    }
+
     /// Number of entries resident in memory.
     pub fn len(&self) -> usize {
         self.solves.len() + self.kernels.len() + self.bounds.len()
     }
 
-    /// On-disk entries that were readable but unparsable (torn writes,
-    /// foreign bytes, format drift) and therefore degraded to misses.
+    /// On-disk entries that failed their checksum or body parse (torn
+    /// writes, bit rot, foreign bytes) and were therefore quarantined
+    /// and degraded to misses.
     pub fn corrupt_entries(&self) -> usize {
         self.corrupt_entries
     }
@@ -148,14 +165,42 @@ impl SweepCache {
     }
 
     fn read_entry<T>(&mut self, key: &Key, parse: fn(&str) -> Option<T>) -> Option<T> {
-        let text = std::fs::read_to_string(self.entry_path(key)?).ok()?;
-        let parsed = parse(&text);
-        if parsed.is_none() {
-            // The file exists but its bytes are garbage: a degradation
-            // worth surfacing, unlike a plain absent-entry miss.
-            self.corrupt_entries += 1;
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        let reason = match verify_seal(&text) {
+            Err(reason) => Some(reason),
+            Ok(()) => match parse(&text) {
+                Some(parsed) => return Some(parsed),
+                // Checksum valid but the body is not something this
+                // probe can use: format drift or a kind mismatch.
+                None => Some("well-sealed entry with an unparsable body".to_string()),
+            },
+        };
+        // The file exists but its bytes are bad: a degradation worth
+        // surfacing (unlike a plain absent-entry miss) — quarantine the
+        // evidence and let the recompute heal the original path.
+        self.corrupt_entries += 1;
+        self.quarantine(key, &path, &reason.unwrap_or_default());
+        None
+    }
+
+    /// Moves a corrupt entry into the quarantine subdirectory and drops
+    /// a `.reason` file beside it. Best-effort: IO failures degrade to
+    /// leaving the bad entry in place (it will be overwritten by the
+    /// healed rewrite anyway).
+    fn quarantine(&self, key: &Key, path: &Path, reason: &str) {
+        let Some(qdir) = self.quarantine_dir() else {
+            return;
+        };
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return;
         }
-        parsed
+        let hex = key.to_hex();
+        let _ = std::fs::rename(path, qdir.join(format!("{hex}.entry")));
+        let _ = std::fs::write(
+            qdir.join(format!("{hex}.reason")),
+            format!("soc-sweep quarantine\nkey {hex}\nreason {reason}\n"),
+        );
     }
 
     /// Atomic write: tmp file + rename. IO failures degrade the disk
@@ -165,9 +210,10 @@ impl SweepCache {
             return;
         };
         let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        let sealed = seal(body);
         let write = || -> std::io::Result<()> {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(body.as_bytes())?;
+            f.write_all(sealed.as_bytes())?;
             f.sync_all()?;
             std::fs::rename(&tmp, &path)
         };
@@ -175,6 +221,46 @@ impl SweepCache {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+}
+
+/// 64-bit FNV-1a over the entry body, rendered into the footer line.
+fn body_checksum(body: &str) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = BASIS;
+    for &b in body.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Appends the checksum footer to a rendered entry body.
+fn seal(body: &str) -> String {
+    format!("{body}checksum {:016x}\n", body_checksum(body))
+}
+
+/// Validates the checksum footer of on-disk bytes, returning the
+/// corruption reason on failure.
+fn verify_seal(text: &str) -> Result<(), String> {
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let Some(footer_at) = trimmed.rfind('\n') else {
+        return Err("entry too short for a checksum footer".to_string());
+    };
+    let (body, footer) = trimmed.split_at(footer_at + 1);
+    let Some(stored) = footer.strip_prefix("checksum ") else {
+        return Err("missing checksum footer".to_string());
+    };
+    let Ok(stored) = u64::from_str_radix(stored.trim_end(), 16) else {
+        return Err(format!("unparsable checksum footer `{footer}`"));
+    };
+    let computed = body_checksum(body);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+        ));
+    }
+    Ok(())
 }
 
 fn render_solve(s: &SolveSummary) -> String {
@@ -290,7 +376,7 @@ mod tests {
         assert_eq!(parse_bounds(&render_bounds(100, 140)), Some((100, 140)));
         assert_eq!(parse_bounds(&render_bounds(7, 7)), Some((7, 7)));
         assert_eq!(
-            parse_bounds("soc-sweep-cache v1\nkind solve-bounds\nlo 9\nhi 3\n"),
+            parse_bounds("soc-sweep-cache v2\nkind solve-bounds\nlo 9\nhi 3\n"),
             None,
             "inverted intervals are rejected"
         );
@@ -302,7 +388,7 @@ mod tests {
         assert_eq!(parse_solve(""), None);
         assert_eq!(parse_solve("soc-sweep-cache v0\nkind solve\n"), None);
         assert_eq!(
-            parse_kernel("soc-sweep-cache v1\nkind solve\ncycles 1\n"),
+            parse_kernel("soc-sweep-cache v2\nkind solve\ncycles 1\n"),
             None
         );
         assert_eq!(
@@ -313,6 +399,21 @@ mod tests {
             parse_solve(&render_solve(&summary()).replace("ForwardPass1", "NotAKernel")),
             None
         );
+    }
+
+    #[test]
+    fn seal_round_trips_and_rejects_tampering() {
+        let body = render_kernel(123);
+        let sealed = seal(&body);
+        assert!(verify_seal(&sealed).is_ok());
+        // One flipped digit in the body: the checksum catches it.
+        let tampered = sealed.replace("cycles 123", "cycles 124");
+        let err = verify_seal(&tampered).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // Truncation (torn write) is caught too.
+        assert!(verify_seal(&sealed[..sealed.len() / 2]).is_err());
+        assert!(verify_seal("").is_err());
+        assert!(verify_seal("no footer at all\n").is_err());
     }
 
     #[test]
@@ -346,6 +447,41 @@ mod tests {
         assert_eq!(corrupt.corrupt_entries(), 1);
         assert_eq!(corrupt.get_kernel(&key_of("never written")), None);
         assert_eq!(corrupt.corrupt_entries(), 1, "absent entries not counted");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_with_reason_then_healed() {
+        let dir = std::env::temp_dir().join(format!("soc-sweep-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_of("quarantine me");
+        let hex = key.to_hex();
+
+        let mut writer = SweepCache::with_dir(&dir).unwrap();
+        writer.put_kernel(key, 4_321);
+
+        // Corrupt the entry on disk (simulated bit rot).
+        let entry = dir.join(format!("{hex}.entry"));
+        let bytes = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(&entry, bytes.replace("4321", "9999")).unwrap();
+
+        // The probe misses, counts, and quarantines entry + reason.
+        let mut reader = SweepCache::with_dir(&dir).unwrap();
+        assert_eq!(reader.get_kernel(&key), None);
+        assert_eq!(reader.corrupt_entries(), 1);
+        assert!(!entry.exists(), "corrupt entry moved out of the hot path");
+        let qdir = reader.quarantine_dir().unwrap();
+        assert!(qdir.join(format!("{hex}.entry")).exists());
+        let reason = std::fs::read_to_string(qdir.join(format!("{hex}.reason"))).unwrap();
+        assert!(reason.contains("checksum mismatch"), "{reason}");
+        assert!(reason.contains(&hex), "{reason}");
+
+        // Heal: the recompute rewrites the entry; a cold reopen now hits.
+        reader.put_kernel(key, 4_321);
+        let mut healed = SweepCache::with_dir(&dir).unwrap();
+        assert_eq!(healed.get_kernel(&key), Some((4_321, HitLevel::Disk)));
+        assert_eq!(healed.corrupt_entries(), 0, "healed entry is clean");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

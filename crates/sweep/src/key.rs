@@ -18,7 +18,11 @@ use soc_dse::experiments::{KernelRequest, KernelShape, Residency, SolveRequest};
 ///
 /// v2: keys switched from `Debug`-rendered platforms to canonical
 /// registry `cache_id`s.
-pub const CACHE_VERSION: u32 = 2;
+///
+/// v3: on-disk entries gained a checksum footer (cache format v2);
+/// keying the format version orphans un-checksummed entries instead of
+/// quarantining them as corrupt.
+pub const CACHE_VERSION: u32 = 3;
 
 /// A 128-bit content hash identifying one unit of sweep work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

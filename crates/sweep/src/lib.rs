@@ -25,8 +25,20 @@
 //! For any spec and any `jobs >= 1`, [`run_sweep`]'s rendered report is
 //! byte-identical to the `jobs = 1` run, and every cycle count is
 //! bit-identical to [`SerialSource`](soc_dse::experiments::SerialSource).
-//! Only [`ShardStats`](pool::ShardStats) — wall time and per-shard item
+//! Only [`ShardStats`] — wall time and per-shard item
 //! counts — depend on scheduling, and they are rendered separately.
+//!
+//! ## Fault tolerance
+//!
+//! The execution stack survives partial failure with bounded,
+//! observable degradation: every work item runs under `catch_unwind`
+//! with a bounded retry budget ([`RetryPolicy`]), items that exhaust it
+//! surface as [`tinympc::Error::ShardFailed`] slots and explicit
+//! `FAILED` report rows instead of aborting the sweep, the engine lock
+//! recovers from poisoning, and corrupt disk-cache entries are
+//! checksummed, quarantined with a reason file, and healed on
+//! recompute. Deterministic chaos campaigns over this machinery live in
+//! `soc-faults::chaos` (`dse chaos`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +63,7 @@ pub mod run;
 pub mod spec;
 
 pub use cache::SweepCache;
-pub use engine::{EngineStats, SweepEngine};
+pub use engine::{ChaosAction, ChaosCtx, ChaosHook, EngineStats, FaultStats, SweepEngine};
+pub use pool::{run_sharded, run_sharded_isolated, RetryPolicy, ShardFailure, ShardStats};
 pub use run::{run_sweep, run_sweep_tiered, SweepReport, SweepTier};
 pub use spec::{HeatmapSpec, SweepSpec};

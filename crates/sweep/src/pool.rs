@@ -1,11 +1,23 @@
-//! A scoped `std::thread` shard pool with dynamic work stealing.
+//! A scoped `std::thread` shard pool with dynamic work stealing and
+//! per-item panic isolation.
 //!
 //! Items are claimed one at a time off a shared atomic counter, so
 //! shards self-balance (a shard stuck on an expensive BOOM solve does
 //! not idle the others), while results land in per-item slots so the
 //! output order is the input order — scheduling can never reorder or
 //! otherwise perturb what the caller sees.
+//!
+//! Every item runs under [`std::panic::catch_unwind`]: a panicking work
+//! item never takes its shard (or the whole batch) down. Failed items
+//! are retried in place up to a bounded attempt budget with a
+//! deterministic per-attempt backoff; an item that exhausts the budget
+//! surfaces as a typed [`ShardFailure`] in its result slot while every
+//! other slot still carries its computed value. A per-item deadline
+//! watchdog counts items whose (successful) computation overran the
+//! configured budget — the result is kept, but the overrun becomes an
+//! observable signal in [`ShardStats`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -15,10 +27,178 @@ use std::time::{Duration, Instant};
 pub struct ShardStats {
     /// Shard index within the pool.
     pub shard: usize,
-    /// Items this shard computed.
+    /// Items this shard computed (counting an item once however many
+    /// attempts it took).
     pub items: usize,
+    /// Extra attempts this shard spent re-running panicked items.
+    pub retries: usize,
+    /// Successful items whose computation overran the per-item
+    /// deadline watchdog (the results are still used).
+    pub watchdog_trips: usize,
     /// Wall time the shard spent, from spawn to drain.
     pub wall: Duration,
+}
+
+/// One work item that panicked on every attempt of its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the item within the batch.
+    pub item: usize,
+    /// Attempts made (the full budget).
+    pub attempts: u32,
+    /// Stringified panic payload from the last attempt.
+    pub payload: String,
+}
+
+/// Bounded-retry and watchdog policy for a sharded batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per item (first run + retries). Clamped to >= 1.
+    pub max_attempts: u32,
+    /// Base backoff slept before retry `n` as `backoff * n` — a
+    /// deterministic, linearly growing schedule (ordering, not timing,
+    /// is what the determinism contract covers).
+    pub backoff: Duration,
+    /// Per-item deadline: a successful attempt slower than this trips
+    /// the watchdog counter in [`ShardStats`]. `None` disables it.
+    pub item_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_micros(500),
+            item_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (and never sleeps).
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            item_deadline: None,
+        }
+    }
+}
+
+/// Renders a panic payload for diagnostics: `String` and `&str`
+/// payloads verbatim, anything else as a placeholder.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` over every item on `jobs` worker threads with per-item
+/// panic isolation, returning per-item `Result` slots **in item order**
+/// plus per-shard statistics.
+///
+/// `f` receives `(item_index, attempt, item)`; `attempt` starts at 1
+/// and reaches at most `policy.max_attempts`. A panicking attempt is
+/// caught and retried in place (after a deterministic backoff) until
+/// the budget is exhausted, at which point the slot carries a
+/// [`ShardFailure`] with the last panic's payload. All other slots are
+/// unaffected — one poisoned item can no longer abort a batch.
+///
+/// Determinism contract: as long as `f` is a pure function of
+/// `(item, attempt)`, the returned vector is identical for every
+/// `jobs >= 1`. Only [`ShardStats`] (timing, per-shard counts) vary
+/// with scheduling.
+pub fn run_sharded_isolated<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    policy: RetryPolicy,
+    f: F,
+) -> (Vec<Result<R, ShardFailure>>, Vec<ShardStats>)
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, u32, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    let budget = policy.max_attempts.max(1);
+    let slots: Vec<OnceLock<Result<R, ShardFailure>>> =
+        items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let mut stats = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|shard| {
+                let (slots, next, f) = (&slots, &next, &f);
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut done = 0usize;
+                    let mut retries = 0usize;
+                    let mut watchdog_trips = 0usize;
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(idx) else {
+                            break;
+                        };
+                        let mut attempt = 1u32;
+                        let outcome = loop {
+                            let attempt_start = Instant::now();
+                            match catch_unwind(AssertUnwindSafe(|| f(idx, attempt, item))) {
+                                Ok(value) => {
+                                    if let Some(deadline) = policy.item_deadline {
+                                        if attempt_start.elapsed() > deadline {
+                                            watchdog_trips += 1;
+                                        }
+                                    }
+                                    break Ok(value);
+                                }
+                                Err(panic) => {
+                                    if attempt >= budget {
+                                        break Err(ShardFailure {
+                                            item: idx,
+                                            attempts: attempt,
+                                            payload: payload_string(panic.as_ref()),
+                                        });
+                                    }
+                                    retries += 1;
+                                    if !policy.backoff.is_zero() {
+                                        std::thread::sleep(policy.backoff * attempt);
+                                    }
+                                    attempt += 1;
+                                }
+                            }
+                        };
+                        assert!(
+                            slots[idx].set(outcome).is_ok(),
+                            "work item {idx} claimed twice"
+                        );
+                        done += 1;
+                    }
+                    ShardStats {
+                        shard,
+                        items: done,
+                        retries,
+                        watchdog_trips,
+                        wall: start.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A shard body can no longer panic (every user closure runs
+            // under catch_unwind), so a join failure would indicate a
+            // bug in the pool itself.
+            stats.push(handle.join().expect("shard bookkeeping panicked"));
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("work item left uncomputed"))
+        .collect();
+    (results, stats)
 }
 
 /// Runs `f` over every item on `jobs` worker threads and returns the
@@ -30,51 +210,23 @@ pub struct ShardStats {
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` after the scope unwinds.
+/// Re-raises a panic from `f` (with its stringified payload) after the
+/// whole batch has drained — use [`run_sharded_isolated`] to handle
+/// failures per item instead.
 pub fn run_sharded<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<R>, Vec<ShardStats>)
 where
     T: Sync,
     R: Send + Sync,
     F: Fn(&T) -> R + Sync,
 {
-    let jobs = jobs.max(1).min(items.len().max(1));
-    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    let mut stats = Vec::with_capacity(jobs);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|shard| {
-                let (slots, next, f) = (&slots, &next, &f);
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    let mut done = 0usize;
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(idx) else {
-                            break;
-                        };
-                        let computed = f(item);
-                        assert!(
-                            slots[idx].set(computed).is_ok(),
-                            "work item {idx} claimed twice"
-                        );
-                        done += 1;
-                    }
-                    ShardStats {
-                        shard,
-                        items: done,
-                        wall: start.elapsed(),
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            stats.push(handle.join().expect("sweep shard panicked"));
-        }
-    });
-    let results = slots
+    let (results, stats) =
+        run_sharded_isolated(jobs, items, RetryPolicy::no_retry(), |_, _, item| f(item));
+    let results = results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("work item left uncomputed"))
+        .map(|slot| match slot {
+            Ok(value) => value,
+            Err(failure) => panic!("work item {} panicked: {}", failure.item, failure.payload),
+        })
         .collect();
     (results, stats)
 }
@@ -82,6 +234,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn results_are_in_item_order_for_any_job_count() {
@@ -108,5 +261,132 @@ mod tests {
         let (got, stats) = run_sharded(16, &[1, 2], |x| x + 1);
         assert_eq!(got, vec![2, 3]);
         assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn panicking_item_is_recovered_on_retry() {
+        // Item 3 panics on its first attempt only; the retry succeeds
+        // and the batch is indistinguishable from a clean run.
+        let items: Vec<u64> = (0..8).collect();
+        let policy = RetryPolicy {
+            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        for jobs in [1, 4, 16] {
+            let (got, stats) = run_sharded_isolated(jobs, &items, policy, |idx, attempt, x| {
+                if idx == 3 && attempt == 1 {
+                    panic!("chaos: injected worker panic");
+                }
+                x * 10
+            });
+            let values: Vec<u64> = got.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60, 70], "jobs={jobs}");
+            assert_eq!(
+                stats.iter().map(|s| s.retries).sum::<usize>(),
+                1,
+                "exactly one retry, jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_surfaces_a_shard_failure() {
+        let items: Vec<u64> = (0..6).collect();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+            item_deadline: None,
+        };
+        for jobs in [1, 4] {
+            let (got, _) = run_sharded_isolated(jobs, &items, policy, |idx, _, x| {
+                if idx == 2 {
+                    panic!("chaos: persistent fault");
+                }
+                x + 1
+            });
+            for (idx, slot) in got.iter().enumerate() {
+                if idx == 2 {
+                    let failure = slot.as_ref().unwrap_err();
+                    assert_eq!(failure.item, 2);
+                    assert_eq!(failure.attempts, 3);
+                    assert!(failure.payload.contains("persistent fault"));
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), items[idx] + 1, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_slots_are_jobs_invariant() {
+        let items: Vec<u64> = (0..32).collect();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+            item_deadline: None,
+        };
+        let outcome = |jobs| {
+            run_sharded_isolated(jobs, &items, policy, |idx, _, x| {
+                if idx % 7 == 3 {
+                    panic!("fails every attempt");
+                }
+                x * 3
+            })
+            .0
+        };
+        let reference = outcome(1);
+        for jobs in [2, 4, 16] {
+            assert_eq!(outcome(jobs), reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn watchdog_counts_slow_items_without_discarding_them() {
+        let items: Vec<u64> = (0..4).collect();
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            item_deadline: Some(Duration::from_millis(5)),
+        };
+        let (got, stats) = run_sharded_isolated(2, &items, policy, |idx, _, x| {
+            if idx == 1 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            x + 100
+        });
+        let values: Vec<u64> = got.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![100, 101, 102, 103], "slow results are kept");
+        assert_eq!(stats.iter().map(|s| s.watchdog_trips).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let calls = AtomicUsize::new(0);
+        let items = [0u8];
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::ZERO,
+            item_deadline: None,
+        };
+        let (got, _) = run_sharded_isolated(1, &items, policy, |_, _, _: &u8| -> u8 {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always");
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "budget respected");
+        assert_eq!(got[0].as_ref().unwrap_err().attempts, 4);
+    }
+
+    #[test]
+    fn run_sharded_reraises_after_draining() {
+        let result = catch_unwind(|| {
+            run_sharded(2, &[1u8, 2, 3], |x| {
+                if *x == 2 {
+                    panic!("boom");
+                }
+                *x
+            })
+        });
+        let payload = result.unwrap_err();
+        assert!(payload_string(payload.as_ref()).contains("boom"));
     }
 }

@@ -7,10 +7,12 @@
 //! [`render_timing`](SweepReport::render_timing), which callers print to
 //! stderr.
 
-use crate::engine::{EngineStats, SweepEngine};
+use crate::engine::{EngineStats, FaultStats, SweepEngine};
 use crate::pool::ShardStats;
 use crate::spec::SweepSpec;
-use soc_dse::experiments::{pareto_frontier, speedup_heatmap_with, CycleSource, SolveRequest};
+use soc_dse::experiments::{
+    pareto_frontier, speedup_heatmap_with, CycleSource, SolveRequest, SolveSummary,
+};
 use soc_dse::report::{heatmap_text, markdown_table};
 
 /// Which pricing tier drives a sweep's end-to-end solve search.
@@ -40,6 +42,13 @@ pub struct SweepReport {
     pub shards: Vec<ShardStats>,
     /// Shard-pool width the pass ran with.
     pub jobs: usize,
+    /// Work items that exhausted their retry budget and render as
+    /// explicit `FAILED` rows in the body. Zero on a clean run —
+    /// deterministic under seeded chaos injection, so the body stays
+    /// byte-identical for any `--jobs`.
+    pub failed_points: usize,
+    /// Fault-recovery accounting for the pass (stderr only).
+    pub faults: FaultStats,
     /// Analytical-tier accounting (pruning, containment, frontier
     /// confirmation), present only for [`SweepTier::Analytical`]. Kept
     /// out of [`SweepReport::render`] so the body stays byte-identical
@@ -127,33 +136,50 @@ pub fn run_sweep_tiered(
 
     engine.reset_stats();
     let mut body = format!("# sweep: {}\n\n", spec.label);
-    let summaries: Vec<_> = engine
-        .solve_batch(&requests)
-        .into_iter()
-        .collect::<tinympc::Result<_>>()?;
+    // Every slot is either a summary, an isolated shard failure (which
+    // renders as an explicit FAILED row — the partial sweep still
+    // completes), or a genuine solver error (which propagates).
+    let mut summaries: Vec<Option<SolveSummary>> = Vec::with_capacity(requests.len());
+    let mut failed_points = 0usize;
+    for slot in engine.solve_batch(&requests) {
+        match slot {
+            Ok(summary) => summaries.push(Some(summary)),
+            Err(tinympc::Error::ShardFailed { .. }) => {
+                failed_points += 1;
+                summaries.push(None);
+            }
+            Err(e) => return Err(e),
+        }
+    }
     let mut summaries_iter = summaries.iter();
 
     for &horizon in &spec.horizons {
-        let mut rows = Vec::with_capacity(spec.platforms.len());
+        let mut rows: Vec<(String, f64, Option<u64>)> = Vec::with_capacity(spec.platforms.len());
         for platform in &spec.platforms {
             let summary = summaries_iter.next().expect("one summary per request");
             rows.push((
                 platform.name.clone(),
                 platform.area().total(),
-                summary.total_cycles,
+                summary.as_ref().map(|s| s.total_cycles),
             ));
         }
 
         body.push_str(&format!("## Table I @ horizon {horizon}\n\n"));
         let table: Vec<Vec<String>> = rows
             .iter()
-            .map(|(name, area, cycles)| {
-                vec![
+            .map(|(name, area, cycles)| match cycles {
+                Some(cycles) => vec![
                     name.clone(),
                     format!("{area:.0}"),
                     cycles.to_string(),
                     format!("{:.0}", 1.0e9 / (*cycles).max(1) as f64),
-                ]
+                ],
+                None => vec![
+                    name.clone(),
+                    format!("{area:.0}"),
+                    "FAILED".to_string(),
+                    "-".to_string(),
+                ],
             })
             .collect();
         body.push_str(&markdown_table(
@@ -167,20 +193,39 @@ pub fn run_sweep_tiered(
         ));
 
         body.push_str(&format!("\n## Pareto frontier @ horizon {horizon}\n\n"));
-        let mut by_area: Vec<&(String, f64, u64)> = rows.iter().collect();
+        let mut by_area: Vec<&(String, f64, Option<u64>)> = rows.iter().collect();
         by_area.sort_by(|a, b| a.1.total_cmp(&b.1));
+        // Failed points are listed (marked `!`) but cannot join the
+        // frontier: their cycle count is unknown.
+        let priced: Vec<&(String, f64, Option<u64>)> = by_area
+            .iter()
+            .copied()
+            .filter(|(_, _, c)| c.is_some())
+            .collect();
         let frontier = pareto_frontier(
-            &by_area
+            &priced
                 .iter()
-                .map(|(_, area, cycles)| (*area, *cycles as f64))
+                .map(|(_, area, cycles)| (*area, cycles.unwrap_or(u64::MAX) as f64))
                 .collect::<Vec<_>>(),
         );
-        for ((name, area, cycles), on) in by_area.iter().zip(frontier) {
-            body.push_str(&format!(
-                "{}{name:<24} {:>8.3} mm^2 {cycles:>10} cycles\n",
-                if on { "* " } else { "  " },
-                area / 1e6
-            ));
+        let mut on_frontier = priced.iter().zip(frontier);
+        for (name, area, cycles) in &by_area {
+            match cycles {
+                Some(cycles) => {
+                    let on = on_frontier.next().map(|(_, on)| on).unwrap_or(false);
+                    body.push_str(&format!(
+                        "{}{name:<24} {:>8.3} mm^2 {cycles:>10} cycles\n",
+                        if on { "* " } else { "  " },
+                        area / 1e6
+                    ));
+                }
+                None => {
+                    body.push_str(&format!(
+                        "! {name:<24} {:>8.3} mm^2     FAILED\n",
+                        area / 1e6
+                    ));
+                }
+            }
         }
         body.push('\n');
     }
@@ -216,6 +261,8 @@ pub fn run_sweep_tiered(
         stats: engine.stats(),
         shards: engine.shard_stats(),
         jobs: engine.jobs(),
+        failed_points,
+        faults: engine.fault_stats(),
         tier_summary,
     })
 }
@@ -227,26 +274,30 @@ pub fn run_sweep_tiered(
 fn confirm_analytical_tier(
     spec: &SweepSpec,
     intervals: &[(u64, u64)],
-    summaries: &[soc_dse::experiments::SolveSummary],
+    summaries: &[Option<SolveSummary>],
     bounds_stats: &EngineStats,
 ) -> tinympc::Result<String> {
     let mut out = String::from("tier analytical:\n");
     for (h_idx, &horizon) in spec.horizons.iter().enumerate() {
         let base = h_idx * spec.platforms.len();
         // (name, area, lo, hi, trace-priced cycles) per design point.
+        // Points whose trace pricing failed (isolated shard failure)
+        // carry no total and are excluded from containment and
+        // frontier confirmation — noted in the summary line.
+        let mut failed = 0usize;
         let points: Vec<(&str, f64, u64, u64, u64)> = spec
             .platforms
             .iter()
             .enumerate()
-            .map(|(i, p)| {
+            .filter_map(|(i, p)| {
                 let (lo, hi) = intervals[base + i];
-                (
-                    p.name.as_str(),
-                    p.area().total(),
-                    lo,
-                    hi,
-                    summaries[base + i].total_cycles,
-                )
+                match &summaries[base + i] {
+                    Some(s) => Some((p.name.as_str(), p.area().total(), lo, hi, s.total_cycles)),
+                    None => {
+                        failed += 1;
+                        None
+                    }
+                }
             })
             .collect();
 
@@ -302,6 +353,11 @@ fn confirm_analytical_tier(
             points.len(),
             full.len()
         ));
+        if failed > 0 {
+            out.push_str(&format!(
+                "  horizon {horizon}: {failed} FAILED point(s) excluded from confirmation\n"
+            ));
+        }
     }
     out.push_str(&format!("  bounds {}\n", bounds_stats.render_line()));
     Ok(out)
@@ -363,6 +419,54 @@ mod tests {
     fn trace_tier_has_no_tier_summary() {
         let report = run_sweep(&SweepSpec::smoke(), &SweepEngine::in_memory(2)).unwrap();
         assert!(report.tier_summary.is_none());
+    }
+
+    #[test]
+    fn recovered_chaos_run_is_byte_identical_to_clean() {
+        use crate::engine::{ChaosAction, ChaosCtx, ChaosHook};
+        use std::sync::Arc;
+        let spec = SweepSpec::smoke();
+        let reference = run_sweep(&spec, &SweepEngine::in_memory(1))
+            .unwrap()
+            .render();
+        for jobs in [1, 4] {
+            // Strike the first attempt of every third work item: each
+            // strike panics once, the retry recovers it.
+            let hook: ChaosHook = Arc::new(|ctx: &ChaosCtx| {
+                (ctx.attempt == 1 && ctx.item.is_multiple_of(3))
+                    .then(|| ChaosAction::Panic("chaos: injected worker panic".into()))
+            });
+            let engine = SweepEngine::in_memory(jobs).with_chaos(hook);
+            let report = run_sweep(&spec, &engine).unwrap();
+            assert_eq!(report.render(), reference, "jobs={jobs}");
+            assert_eq!(report.failed_points, 0);
+            assert!(report.faults.retries > 0, "strikes actually happened");
+        }
+    }
+
+    #[test]
+    fn exhausted_item_renders_a_failed_row_and_the_sweep_completes() {
+        use crate::engine::{ChaosAction, ChaosCtx, ChaosHook};
+        use std::sync::Arc;
+        let spec = SweepSpec::smoke();
+        // Work item 0 of the solve batch (batch 0) fails every attempt.
+        let hook: ChaosHook = Arc::new(|ctx: &ChaosCtx| {
+            (ctx.batch == 0 && ctx.item == 0)
+                .then(|| ChaosAction::Panic("chaos: persistent fault".into()))
+        });
+        let render = |jobs| {
+            let engine = SweepEngine::in_memory(jobs).with_chaos(hook.clone());
+            let report = run_sweep(&spec, &engine).unwrap();
+            assert_eq!(report.failed_points, 1, "jobs={jobs}");
+            assert_eq!(report.faults.failed_items, 1);
+            report.render()
+        };
+        let reference = render(1);
+        assert!(reference.contains("FAILED"), "{reference}");
+        assert!(reference.contains("! "), "failed Pareto row marked");
+        for jobs in [4, 16] {
+            assert_eq!(render(jobs), reference, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -38,6 +38,25 @@ pub enum Error {
         /// Description of the violated claim.
         what: String,
     },
+    /// A sweep work item panicked on every attempt of its retry budget.
+    /// The surrounding batch still completes: the failed item surfaces
+    /// as this error in its result slot (and as a `FAILED` row in the
+    /// rendered report) instead of aborting the process.
+    ShardFailed {
+        /// Index of the work item within its batch.
+        item: usize,
+        /// Attempts made before giving up (the full retry budget).
+        attempts: u32,
+        /// Stringified panic payload from the last attempt.
+        payload: String,
+    },
+    /// A fault-injection or chaos campaign could not run at all — the
+    /// harness environment is broken (e.g. a fault-free reference solve
+    /// failed), as opposed to an injected fault escaping detection.
+    Campaign {
+        /// Description of the environment failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +74,19 @@ impl fmt::Display for Error {
             Error::AnalysisMismatch { what } => {
                 write!(f, "static analysis mismatch: {what}")
             }
+            Error::ShardFailed {
+                item,
+                attempts,
+                payload,
+            } => {
+                write!(
+                    f,
+                    "sweep work item {item} failed after {attempts} attempt(s): {payload}"
+                )
+            }
+            Error::Campaign { what } => {
+                write!(f, "campaign harness failure: {what}")
+            }
         }
     }
 }
@@ -66,7 +98,9 @@ impl std::error::Error for Error {
             Error::BadProblem { .. }
             | Error::InvalidTrace { .. }
             | Error::CorruptedWorkspace { .. }
-            | Error::AnalysisMismatch { .. } => None,
+            | Error::AnalysisMismatch { .. }
+            | Error::ShardFailed { .. }
+            | Error::Campaign { .. } => None,
         }
     }
 }

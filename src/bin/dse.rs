@@ -22,7 +22,7 @@ use soc_dse_repro::soc_dse::experiments::{
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::report::markdown_table;
 use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
-use soc_dse_repro::soc_faults::{run_campaign, CampaignKind};
+use soc_dse_repro::soc_faults::{recoverable_strikes, run_campaign, run_chaos, CampaignKind};
 use soc_dse_repro::soc_gemmini::GemminiConfig;
 use soc_dse_repro::soc_sweep::{run_sweep_tiered, SweepEngine, SweepSpec, SweepTier};
 use soc_dse_repro::soc_vector::SaturnConfig;
@@ -47,13 +47,15 @@ COMMANDS:
             [--warm]           CI spec, --no-cache disables the on-disk
             [--cache-dir DIR]  tier, --warm runs the spec twice and
             [--tier KIND]      reports the warm pass (100% hit rate).
-                               --tier analytical prices the solve grid
+            [--chaos-seed N]   --tier analytical prices the solve grid
                                with static cycle bounds first, prunes
                                dominated points, then confirms by trace
                                (KIND: trace|analytical, default trace).
+                               --chaos-seed injects seeded recoverable
+                               worker panics (the report must not change).
                                Report on stdout is byte-identical for
-                               every --jobs and tier; shard timing and
-                               tier accounting go to stderr
+                               every --jobs and tier; shard timing, tier
+                               and fault accounting go to stderr
     bounds  [--horizon N]      Static cycle-bound analysis: abstract-
             [--json]           interpret every back-end's kernel programs
                                into [lower, upper] steady-state intervals
@@ -78,6 +80,14 @@ COMMANDS:
             [--smoke]          default smoke); --smoke additionally gates
                                on zero silent corruptions on the scalar
                                back-end (CI mode), exiting non-zero
+    chaos   [--seed N]         Seeded chaos campaign against the platform
+            [--smoke]          itself: worker panics, cache corruption,
+                               lock poisoning and slow items injected into
+                               the sweep/bounds/faults execution paths,
+                               each trial classified recovered / degraded
+                               / aborted (seed default 7); --smoke trims
+                               the jobs grid for CI and exits non-zero on
+                               any aborted trial
 
 Platform names are the Table-I identifiers shown by `dse list`.";
 
@@ -237,7 +247,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some("analytical") => SweepTier::Analytical,
                 Some(other) => return Err(format!("unknown tier `{other}`")),
             };
-            let engine = if args.iter().any(|a| a == "--no-cache") {
+            let mut engine = if args.iter().any(|a| a == "--no-cache") {
                 SweepEngine::in_memory(jobs)
             } else {
                 let dir = flag(args, "--cache-dir")
@@ -246,6 +256,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 SweepEngine::with_cache_dir(jobs, dir)
                     .map_err(|e| format!("cache directory: {e}"))?
             };
+            if let Some(chaos_seed) = flag(args, "--chaos-seed") {
+                let chaos_seed: u64 = chaos_seed
+                    .parse()
+                    .map_err(|_| format!("bad chaos seed `{chaos_seed}`"))?;
+                engine = engine.with_chaos(recoverable_strikes(chaos_seed));
+            }
             let mut report = run_sweep_tiered(&spec, &engine, tier).map_err(|e| e.to_string())?;
             if args.iter().any(|a| a == "--warm") {
                 // Second pass over the warm engine: identical results,
@@ -257,12 +273,46 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(summary) = &report.tier_summary {
                 eprint!("{summary}");
             }
+            if !report.faults.is_clean() {
+                eprintln!("{}", report.faults.render_line());
+            }
+            if report.failed_points > 0 {
+                eprintln!(
+                    "warning: {} design point(s) exhausted their retry budget and render \
+                     as FAILED rows",
+                    report.failed_points
+                );
+            }
             let corrupt = engine.corrupt_entries();
             if corrupt > 0 {
                 eprintln!(
-                    "warning: {corrupt} corrupt cache entr{} ignored and regenerated",
-                    if corrupt == 1 { "y" } else { "ies" }
+                    "warning: {corrupt} corrupt cache entr{} quarantined under \
+                     {} and regenerated",
+                    if corrupt == 1 { "y" } else { "ies" },
+                    engine
+                        .quarantine_dir()
+                        .map(|d| d.display().to_string())
+                        .unwrap_or_else(|| "the quarantine directory".to_string())
                 );
+            }
+            Ok(())
+        }
+        "chaos" => {
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?
+                .unwrap_or(7);
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let report = run_chaos(seed, smoke);
+            println!("{}", report.render());
+            let aborted = report.aborted();
+            if aborted > 0 {
+                return Err(format!(
+                    "{aborted} chaos trial(s) aborted: a recovery contract was violated"
+                ));
+            }
+            if smoke {
+                println!("smoke gate passed: zero aborted trials");
             }
             Ok(())
         }
@@ -592,7 +642,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some("full") => CampaignKind::Full,
                 Some(other) => return Err(format!("unknown campaign `{other}`")),
             };
-            let report = run_campaign(seed, kind)?;
+            let report = run_campaign(seed, kind).map_err(|e| e.to_string())?;
             println!("{}", report.render());
             if gate {
                 let sdc = report.scalar_sdc();

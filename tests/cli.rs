@@ -41,6 +41,16 @@ fn verify_single_platform_is_clean() {
 }
 
 #[test]
+fn chaos_smoke_gate_reports_zero_aborts() {
+    let out = dse(&["chaos", "--seed", "7", "--smoke"]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Chaos campaign (seed 7, smoke)"), "{s}");
+    assert!(s.contains("0 aborted"), "{s}");
+    assert!(s.contains("smoke gate passed: zero aborted trials"), "{s}");
+}
+
+#[test]
 fn unknown_platform_is_a_clean_error() {
     let out = dse(&["solve", "--platform", "Cray1"]);
     assert!(!out.status.success());

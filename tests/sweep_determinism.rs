@@ -5,7 +5,12 @@
 //!   produce **byte-identical** stdout (shard timing is stderr-only);
 //! * a cache-warm second invocation over the same `--cache-dir` must
 //!   produce identical results while regenerating nothing (`0 misses`,
-//!   100% reported hit rate).
+//!   100% reported hit rate);
+//! * a chaos-injected run (`--chaos-seed`: seeded worker panics,
+//!   recovered by retry) must stay byte-identical to the fault-free
+//!   run at every `--jobs` value — injection is keyed on
+//!   scheduling-independent coordinates, so recovery never perturbs
+//!   the report.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -69,6 +74,33 @@ fn cache_warm_rerun_regenerates_nothing() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_injected_run_recovers_byte_identical_at_every_jobs_count() {
+    let clean = dse(&["sweep", "--smoke", "--no-cache", "--jobs", "1"]);
+    assert!(clean.status.success());
+    for jobs in ["1", "4", "16"] {
+        let got = dse(&[
+            "sweep",
+            "--smoke",
+            "--no-cache",
+            "--jobs",
+            jobs,
+            "--chaos-seed",
+            "7",
+        ]);
+        assert!(got.status.success(), "--jobs {jobs} chaos run failed");
+        assert_eq!(
+            got.stdout, clean.stdout,
+            "--jobs {jobs}: recovered chaos report diverged from the clean run"
+        );
+        let stderr = String::from_utf8_lossy(&got.stderr);
+        assert!(
+            stderr.contains("faults:") && !stderr.contains("faults: 0 retries"),
+            "injected strikes must actually land and be retried: {stderr}"
+        );
+    }
 }
 
 #[test]
