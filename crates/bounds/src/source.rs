@@ -10,11 +10,11 @@
 
 use crate::{steady_bounds, trace_bounds, CycleInterval, Side};
 use soc_backend::{pipeline_for, BackendPipeline, KernelShape, Platform, Residency};
-use soc_dse::experiments::{CycleSource, KernelRequest, SolveRequest, SolveSummary};
+use soc_dse::experiments::{CycleSource, KernelRequest, Scenario, SolveRequest, SolveSummary};
 use soc_isa::Trace;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tinympc::{problems, AdmmSolver, KernelExecutor, KernelId, ProblemDims, SolverSettings};
+use tinympc::{AdmmSolver, KernelExecutor, KernelId, ProblemDims, SolverSettings};
 
 fn gate(trace: &Trace, config: &soc_verify::VerifyConfig, what: &str) -> tinympc::Result<()> {
     soc_verify::gate(trace, config, what).map_err(|r| tinympc::Error::InvalidTrace {
@@ -159,9 +159,28 @@ pub fn analytical_solve(
     horizon: usize,
     side: Side,
 ) -> tinympc::Result<SolveSummary> {
-    let problem = problems::quadrotor_hover::<f32>(horizon)?;
+    analytical_solve_scenario(platform, &Scenario::hover(), horizon, side)
+}
+
+/// [`analytical_solve`] over an arbitrary scenario: the scenario's
+/// plant, reference window and initial state, priced analytically —
+/// mirroring `solve_scenario_cycles` exactly (hover stays bit-identical
+/// to the legacy path).
+///
+/// # Errors
+///
+/// Propagates solver construction/solve errors, including
+/// [`tinympc::Error::InvalidTrace`] from the verification gate.
+pub fn analytical_solve_scenario(
+    platform: &Platform,
+    scenario: &Scenario,
+    horizon: usize,
+    side: Side,
+) -> tinympc::Result<SolveSummary> {
+    let problem = scenario.problem::<f32>(horizon)?;
     let mut solver = AdmmSolver::new(problem, SolverSettings::default())?;
-    let x0 = solver.problem().hover_offset_state(0.2);
+    solver.set_reference(&scenario.reference::<f32>(horizon, 0))?;
+    let x0 = scenario.initial_state::<f32>();
     let mut executor = AnalyticalExecutor::for_platform(platform, side);
     let result = solver.solve(&x0, &mut executor)?;
     Ok(SolveSummary {
@@ -178,8 +197,21 @@ pub fn analytical_solve(
 ///
 /// Propagates errors from either side's solve.
 pub fn solve_bounds(platform: &Platform, horizon: usize) -> tinympc::Result<CycleInterval> {
-    let lo = analytical_solve(platform, horizon, Side::Lower)?;
-    let hi = analytical_solve(platform, horizon, Side::Upper)?;
+    solve_bounds_scenario(platform, &Scenario::hover(), horizon)
+}
+
+/// [`solve_bounds`] over an arbitrary scenario.
+///
+/// # Errors
+///
+/// Propagates errors from either side's solve.
+pub fn solve_bounds_scenario(
+    platform: &Platform,
+    scenario: &Scenario,
+    horizon: usize,
+) -> tinympc::Result<CycleInterval> {
+    let lo = analytical_solve_scenario(platform, scenario, horizon, Side::Lower)?;
+    let hi = analytical_solve_scenario(platform, scenario, horizon, Side::Upper)?;
     Ok(CycleInterval::new(
         lo.total_cycles.min(hi.total_cycles),
         hi.total_cycles,
@@ -220,7 +252,7 @@ impl CycleSource for AnalyticalSource {
     fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<SolveSummary>> {
         requests
             .iter()
-            .map(|r| analytical_solve(&r.platform, r.horizon, self.side))
+            .map(|r| analytical_solve_scenario(&r.platform, &r.scenario, r.horizon, self.side))
             .collect()
     }
 

@@ -12,9 +12,10 @@
 use crate::platform::Platform;
 use soc_backend::pipeline_for;
 use std::collections::BTreeMap;
-use tinympc::{problems, AdmmSolver, KernelId, SolveResult, SolverSettings};
+use tinympc::{AdmmSolver, KernelId, SolveResult, SolverSettings};
 
 pub use soc_backend::{KernelShape, Residency};
+pub use soc_scenarios::{evaluate_closed_loop, ClosedLoopReport, Scenario, ScenarioCatalog};
 
 /// Outcome of an end-to-end solve on a platform.
 #[derive(Debug, Clone)]
@@ -33,7 +34,9 @@ impl SolveOutcome {
 }
 
 /// Solves the quadrotor hover problem on a platform, charging cycles to
-/// its executor.
+/// its executor. Equivalent to [`solve_scenario_cycles`] with the
+/// `hover` scenario (bit for bit — the scenario path is the only solve
+/// path).
 ///
 /// # Errors
 ///
@@ -53,8 +56,49 @@ pub fn solve_cycles_with(
     horizon: usize,
     settings: SolverSettings,
 ) -> tinympc::Result<SolveOutcome> {
-    let problem = problems::quadrotor_hover::<f32>(horizon)?;
-    solve_problem_cycles(platform, problem, settings)
+    solve_scenario_cycles_with(platform, &Scenario::hover(), horizon, settings)
+}
+
+/// Solves one MPC instance of `scenario` on a platform, charging cycles
+/// to its executor: the scenario's plant at `horizon`, its reference
+/// window at rollout step 0, from its characteristic initial state.
+///
+/// For the `hover` scenario this is bit-identical to the legacy
+/// hover-only path (the hover reference is all zeros, exactly the
+/// workspace default).
+///
+/// # Errors
+///
+/// Propagates solver construction/solve failures.
+pub fn solve_scenario_cycles(
+    platform: &Platform,
+    scenario: &Scenario,
+    horizon: usize,
+) -> tinympc::Result<SolveOutcome> {
+    solve_scenario_cycles_with(platform, scenario, horizon, SolverSettings::default())
+}
+
+/// [`solve_scenario_cycles`] with explicit solver settings.
+///
+/// # Errors
+///
+/// Propagates solver construction/solve failures.
+pub fn solve_scenario_cycles_with(
+    platform: &Platform,
+    scenario: &Scenario,
+    horizon: usize,
+    settings: SolverSettings,
+) -> tinympc::Result<SolveOutcome> {
+    let problem = scenario.problem::<f32>(horizon)?;
+    let mut solver = AdmmSolver::new(problem, settings)?;
+    solver.set_reference(&scenario.reference::<f32>(horizon, 0))?;
+    let x0 = scenario.initial_state::<f32>();
+    let mut executor = platform.executor();
+    let result = solver.solve(&x0, executor.as_mut())?;
+    Ok(SolveOutcome {
+        platform: platform.name.clone(),
+        result,
+    })
 }
 
 /// Prices an arbitrary MPC problem (any state/input dimensions) on a
@@ -104,13 +148,32 @@ impl From<&SolveOutcome> for SolveSummary {
     }
 }
 
-/// A request to price one end-to-end quadrotor-hover solve.
+/// A request to price one end-to-end MPC solve of a scenario.
 #[derive(Debug, Clone)]
 pub struct SolveRequest {
     /// Platform to charge cycles to.
     pub platform: Platform,
+    /// Workload to solve.
+    pub scenario: Scenario,
     /// MPC horizon length.
     pub horizon: usize,
+}
+
+impl SolveRequest {
+    /// A solve request for an arbitrary scenario.
+    pub fn new(platform: Platform, scenario: Scenario, horizon: usize) -> Self {
+        Self {
+            platform,
+            scenario,
+            horizon,
+        }
+    }
+
+    /// A quadrotor-hover solve request — the compatibility default all
+    /// legacy (pre-scenario) call sites map onto.
+    pub fn hover(platform: Platform, horizon: usize) -> Self {
+        Self::new(platform, Scenario::hover(), horizon)
+    }
 }
 
 /// A request to price one standalone kernel invocation.
@@ -154,7 +217,13 @@ impl CycleSource for SerialSource {
     fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<SolveSummary>> {
         requests
             .iter()
-            .map(|r| Ok(SolveSummary::from(&solve_cycles(&r.platform, r.horizon)?)))
+            .map(|r| {
+                Ok(SolveSummary::from(&solve_scenario_cycles(
+                    &r.platform,
+                    &r.scenario,
+                    r.horizon,
+                )?))
+            })
             .collect()
     }
 
@@ -181,18 +250,30 @@ pub struct Table1Row {
 
 /// Regenerates Table I: area and cycles-per-solve for every registry
 /// platform, submitting the solves through `source` as one batch.
+/// Solves the hover scenario (the paper's workload).
 ///
 /// # Errors
 ///
 /// Propagates solver failures.
 pub fn table1_with(source: &dyn CycleSource, horizon: usize) -> tinympc::Result<Vec<Table1Row>> {
+    table1_scenario_with(source, &Scenario::hover(), horizon)
+}
+
+/// [`table1_with`] over an arbitrary scenario: the same back-end
+/// registry, priced on a different workload.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn table1_scenario_with(
+    source: &dyn CycleSource,
+    scenario: &Scenario,
+    horizon: usize,
+) -> tinympc::Result<Vec<Table1Row>> {
     let registry = Platform::table1_registry();
     let requests: Vec<SolveRequest> = registry
         .iter()
-        .map(|p| SolveRequest {
-            platform: p.clone(),
-            horizon,
-        })
+        .map(|p| SolveRequest::new(p.clone(), scenario.clone(), horizon))
         .collect();
     let summaries = source.solve_batch(&requests);
     assert_eq!(summaries.len(), requests.len(), "CycleSource contract");
@@ -258,14 +339,8 @@ pub fn kernel_speedups_with(
     horizon: usize,
 ) -> tinympc::Result<Vec<(KernelId, f64)>> {
     let requests = [
-        SolveRequest {
-            platform: platform.clone(),
-            horizon,
-        },
-        SolveRequest {
-            platform: baseline.clone(),
-            horizon,
-        },
+        SolveRequest::hover(platform.clone(), horizon),
+        SolveRequest::hover(baseline.clone(), horizon),
     ];
     let mut summaries = source.solve_batch(&requests).into_iter();
     let (Some(a), Some(b)) = (summaries.next(), summaries.next()) else {
@@ -438,6 +513,35 @@ mod tests {
     }
 
     #[test]
+    fn hover_scenario_is_bit_identical_to_the_legacy_path() {
+        // The pre-scenario solve path: quadrotor_hover problem, no
+        // set_reference (workspace xref stays zeroed), x0 offset 0.2.
+        let platform = Platform::rocket_eigen();
+        let problem = tinympc::problems::quadrotor_hover::<f32>(10).unwrap();
+        let legacy = solve_problem_cycles(&platform, problem, SolverSettings::default()).unwrap();
+        let scenario = solve_scenario_cycles(&platform, &Scenario::hover(), 10).unwrap();
+        assert_eq!(legacy.result.total_cycles, scenario.result.total_cycles);
+        assert_eq!(legacy.result.iterations, scenario.result.iterations);
+        assert_eq!(
+            legacy.result.u0, scenario.result.u0,
+            "u0 must match bit for bit"
+        );
+    }
+
+    #[test]
+    fn scenarios_change_the_priced_workload() {
+        let platform = Platform::rocket_eigen();
+        let hover = solve_scenario_cycles(&platform, &Scenario::hover(), 10).unwrap();
+        let dint = solve_scenario_cycles(&platform, &Scenario::double_integrator(), 10).unwrap();
+        // A 2×1 plant must be far cheaper per ADMM iteration than the
+        // 12×4 quad (iteration counts differ between workloads).
+        assert!(dint.cycles_per_iteration() < hover.cycles_per_iteration() / 4.0);
+        // And the SOC scenario must still solve to a finite input.
+        let soc = solve_scenario_cycles(&platform, &Scenario::soft_landing(), 10).unwrap();
+        assert!(soc.result.u0.is_finite());
+    }
+
+    #[test]
     fn rocket_solve_produces_breakdown() {
         let outcome = solve_cycles(&Platform::rocket_eigen(), 10).unwrap();
         assert!(outcome.result.converged);
@@ -583,14 +687,8 @@ mod tests {
 
         // Solve batch ≡ solve_cycles, element for element.
         let requests = [
-            SolveRequest {
-                platform: rocket.clone(),
-                horizon: 8,
-            },
-            SolveRequest {
-                platform: saturn.clone(),
-                horizon: 8,
-            },
+            SolveRequest::hover(rocket.clone(), 8),
+            SolveRequest::hover(saturn.clone(), 8),
         ];
         let batch = SerialSource.solve_batch(&requests);
         assert_eq!(batch.len(), 2);

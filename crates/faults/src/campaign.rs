@@ -22,6 +22,7 @@ use crate::inject::{DataInjector, FaultyExecutor, TraceFaultOutcome};
 use crate::plan::{Fault, FaultKind, FaultPlan, FaultSite};
 use crate::riscv::{run_instruction_campaign, InstructionStats};
 use soc_backend::{pipeline_for, FaultSurface, PipelineExecutor};
+use soc_dse::experiments::Scenario;
 use soc_dse::platform::Platform;
 use soc_dse::report::markdown_table;
 use soc_dse::rng::SplitMix64;
@@ -77,6 +78,8 @@ pub struct BackendStats {
 pub struct CampaignReport {
     /// The seed everything was derived from.
     pub seed: u64,
+    /// Name of the scenario the campaign flew.
+    pub workload: String,
     /// Per-back-end data/command fault stats.
     pub backends: Vec<BackendStats>,
     /// Instruction-level stats from the functional RISC-V harness
@@ -102,7 +105,10 @@ impl CampaignReport {
                 ]
             })
             .collect();
-        let mut out = format!("Fault campaign (seed {})\n\n", self.seed);
+        let mut out = format!(
+            "Fault campaign (seed {}, workload {})\n\n",
+            self.seed, self.workload
+        );
         out.push_str(&markdown_table(
             &[
                 "back-end",
@@ -177,9 +183,18 @@ fn campaign_targets() -> Vec<(Platform, Vec<FaultSite>)> {
         .collect()
 }
 
-fn prototype() -> AdmmSolver<f32> {
-    let p = tinympc::problems::quadrotor_hover::<f32>(10).expect("quadrotor problem");
-    AdmmSolver::new(p, SolverSettings::default()).expect("solver construction")
+/// Builds the campaign's solver for a scenario: its plant at the
+/// scenario's default horizon with the step-0 reference window set (for
+/// hover this is bit-identical to the legacy hover-only prototype — the
+/// hover window is all zeros, exactly the workspace default).
+fn prototype_for(scenario: &Scenario) -> AdmmSolver<f32> {
+    let horizon = scenario.default_horizon();
+    let p = scenario.problem::<f32>(horizon).expect("scenario problem");
+    let mut solver = AdmmSolver::new(p, SolverSettings::default()).expect("solver construction");
+    solver
+        .set_reference(&scenario.reference::<f32>(horizon, 0))
+        .expect("reference window");
+    solver
 }
 
 /// Runs one seeded campaign.
@@ -190,7 +205,23 @@ fn prototype() -> AdmmSolver<f32> {
 /// or the instruction harness fails — that means the environment is
 /// broken, not that a fault escaped.
 pub fn run_campaign(seed: u64, kind: CampaignKind) -> tinympc::Result<CampaignReport> {
-    let proto = prototype();
+    run_campaign_scenario(seed, kind, &Scenario::hover())
+}
+
+/// [`run_campaign`] flying an arbitrary scenario: the same fault plans,
+/// deadline ladder and classification, against that scenario's plant,
+/// reference and (randomly rescaled) initial states.
+///
+/// # Errors
+///
+/// Returns [`tinympc::Error::Campaign`] if a nominal (fault-free) solve
+/// or the instruction harness fails.
+pub fn run_campaign_scenario(
+    seed: u64,
+    kind: CampaignKind,
+    scenario: &Scenario,
+) -> tinympc::Result<CampaignReport> {
+    let proto = prototype_for(scenario);
     let problem = proto.problem();
     let sdc_bound = 0.05 * (problem.u_max - problem.u_min);
     let mut backends = Vec::new();
@@ -200,7 +231,7 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> tinympc::Result<CampaignRe
         let mut nominal_exec = PipelineExecutor::for_platform(&platform);
         let nominal = proto
             .clone()
-            .solve(&problem.hover_offset_state(0.2), &mut nominal_exec)
+            .solve(&scenario.initial_state::<f32>(), &mut nominal_exec)
             .map_err(|e| tinympc::Error::Campaign {
                 what: format!("nominal solve failed on {}: {e}", platform.name),
             })?;
@@ -229,7 +260,12 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> tinympc::Result<CampaignRe
         };
 
         for fault in &plan.faults {
-            let x0 = problem.hover_offset_state(0.05 + 0.3 * rng.unit_f64());
+            // Each trial perturbs the scenario's characteristic initial
+            // state by a random scale in [0.25, 1.75] — for hover this
+            // spans the legacy 0.05..0.35 offset range.
+            let x0 = scenario
+                .initial_state::<f32>()
+                .scale((0.25 + 1.5 * rng.unit_f64()) as f32);
             let u_ref = proto
                 .clone()
                 .solve(&x0, &mut NullExecutor)
@@ -311,6 +347,7 @@ pub fn run_campaign(seed: u64, kind: CampaignKind) -> tinympc::Result<CampaignRe
         })?;
     Ok(CampaignReport {
         seed,
+        workload: scenario.name().to_string(),
         backends,
         instruction,
     })
@@ -345,10 +382,30 @@ mod tests {
     }
 
     #[test]
+    fn scenario_campaign_flies_the_soc_workload() {
+        let r = run_campaign_scenario(11, CampaignKind::Smoke, &Scenario::soft_landing()).unwrap();
+        assert_eq!(r.workload, "soft-landing");
+        assert!(r.render().contains("workload soft-landing"));
+        for b in &r.backends {
+            assert_eq!(
+                b.detected + b.masked + b.sdc + b.deadline_missed,
+                b.trials,
+                "buckets must partition {}: {b:?}",
+                b.backend
+            );
+        }
+        // Identical seed, identical report — scenario campaigns keep
+        // the determinism contract.
+        let again =
+            run_campaign_scenario(11, CampaignKind::Smoke, &Scenario::soft_landing()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
     fn null_observer_is_a_clean_baseline() {
         // No fault: the deadline solver under the campaign budget must
         // match the reference exactly.
-        let proto = prototype();
+        let proto = prototype_for(&Scenario::hover());
         let x0 = proto.problem().hover_offset_state(0.2);
         let u_ref = proto.clone().solve(&x0, &mut NullExecutor).unwrap().u0;
         let mut d = DeadlineSolver::new(proto, DeadlineConfig::new(u64::MAX));

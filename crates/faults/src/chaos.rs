@@ -392,10 +392,7 @@ fn bounds_worker_panic(seed: u64) -> Result<(ChaosOutcome, String), String> {
     let requests: Vec<SolveRequest> = SweepSpec::smoke()
         .platforms
         .into_iter()
-        .map(|platform| SolveRequest {
-            platform,
-            horizon: 8,
-        })
+        .map(|platform| SolveRequest::hover(platform, 8))
         .collect();
     let clean: Vec<(u64, u64)> = SweepEngine::in_memory(1)
         .bounds_batch(&requests)

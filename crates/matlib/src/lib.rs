@@ -40,6 +40,7 @@ mod matrix;
 mod ops;
 mod qr;
 mod riccati;
+pub mod rng;
 mod scalar;
 mod solve;
 mod vector;

@@ -1,0 +1,78 @@
+//! A tiny deterministic PRNG for workload and problem generation.
+//!
+//! The sweeps, fault campaigns and random-plant scenario families only
+//! need reproducible, well-mixed draws — not cryptographic quality — so
+//! a dependency-free SplitMix64 keeps the workspace fully
+//! self-contained. It lives in `matlib` (the root of the dependency
+//! graph) so every layer — problem constructors, scenario generators,
+//! fault planners — draws from the same generator.
+
+/// SplitMix64 generator (Steele, Lea & Flood; the `java.util` splittable
+/// random mixer). One 64-bit word of state, passes BigCrush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Every seed, including 0, is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = SplitMix64::new(43);
+        assert_ne!(a[0], r.next_u64());
+    }
+
+    #[test]
+    fn range_and_unit_stay_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.range_usize(4, 64);
+            assert!((4..=64).contains(&v));
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # soc-scenarios — pluggable MPC workloads for the design-space sweep
+//!
+//! The hardware axis of the exploration is the back-end catalog; this
+//! crate is the matching **workload axis**. A [`Scenario`] bundles:
+//!
+//! * a plant — a [`tinympc::TinyMpcProblem`] constructor over
+//!   dimensions and horizon (quadrotor, Clohessy–Wiltshire rendezvous,
+//!   rocket soft-landing with a second-order thrust cone, …);
+//! * a reference-trajectory generator (hover, figure-8, waypoint
+//!   slalom, disturbance rejection, docking approach, powered descent);
+//! * a characteristic initial state; and
+//! * a closed-loop evaluation harness ([`evaluate_closed_loop`]) that
+//!   rolls the plant forward under the solved `u0` and reports RMS/max
+//!   tracking error next to the cycle/area/energy numbers.
+//!
+//! The [`ScenarioCatalog`] mirrors the back-end catalog: ordered
+//! registration, duplicate rejection, case-insensitive lookup. The
+//! `hover` scenario is the compatibility default — its plant, zero
+//! reference and initial state are exactly the legacy hover-only solve
+//! path, so hover sweeps stay bit-identical to pre-scenario reports.
+//!
+//! Because every back-end computes bit-identical math (executors are
+//! timing oracles), closed-loop quality is a property of the scenario ×
+//! horizon pair alone; sweeps compute it once and print it for the
+//! whole back-end grid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod closed_loop;
+pub mod reference;
+mod scenario;
+
+pub use closed_loop::{evaluate_closed_loop, ClosedLoopReport};
+pub use scenario::{Scenario, ScenarioCatalog};

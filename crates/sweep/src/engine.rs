@@ -36,7 +36,8 @@ use crate::cache::{HitLevel, SweepCache};
 use crate::key::{bounds_key, kernel_key, solve_key, Key};
 use crate::pool::{run_sharded_isolated, RetryPolicy, ShardFailure, ShardStats};
 use soc_dse::experiments::{
-    solve_cycles, standalone_kernel, CycleSource, KernelRequest, SolveRequest, SolveSummary,
+    solve_scenario_cycles, standalone_kernel, CycleSource, KernelRequest, SolveRequest,
+    SolveSummary,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -295,7 +296,10 @@ impl SweepEngine {
             bounds_key,
             SweepCache::get_bounds,
             |cache, key, value| cache.put_bounds(key, value),
-            |r| soc_bounds::solve_bounds(&r.platform, r.horizon).map(|i| (i.lo, i.hi)),
+            |r| {
+                soc_bounds::solve_bounds_scenario(&r.platform, &r.scenario, r.horizon)
+                    .map(|i| (i.lo, i.hi))
+            },
             |failure| Err(shard_failed(failure)),
         )
     }
@@ -429,8 +433,9 @@ impl CycleSource for SweepEngine {
             SweepCache::get_solve,
             |cache, key, value| cache.put_solve(key, value),
             |request| {
-                Ok(SolveSummary::from(&solve_cycles(
+                Ok(SolveSummary::from(&solve_scenario_cycles(
                     &request.platform,
+                    &request.scenario,
                     request.horizon,
                 )?))
             },
@@ -520,10 +525,7 @@ mod tests {
 
     #[test]
     fn solve_batch_matches_serial_and_warms() {
-        let requests = vec![SolveRequest {
-            platform: Platform::rocket_eigen(),
-            horizon: 6,
-        }];
+        let requests = vec![SolveRequest::hover(Platform::rocket_eigen(), 6)];
         let reference = SerialSource.solve_batch(&requests);
         let engine = SweepEngine::in_memory(4);
         assert_eq!(engine.solve_batch(&requests), reference);
@@ -606,14 +608,8 @@ mod tests {
     #[test]
     fn exhausted_solve_item_surfaces_shard_failed_and_spares_the_rest() {
         let requests = vec![
-            SolveRequest {
-                platform: Platform::rocket_eigen(),
-                horizon: 6,
-            },
-            SolveRequest {
-                platform: Platform::rocket_eigen(),
-                horizon: 7,
-            },
+            SolveRequest::hover(Platform::rocket_eigen(), 6),
+            SolveRequest::hover(Platform::rocket_eigen(), 7),
         ];
         let hook: ChaosHook = Arc::new(|ctx: &ChaosCtx| {
             (ctx.item == 1).then(|| ChaosAction::Panic("chaos: persistent fault".into()))

@@ -22,7 +22,11 @@ use soc_dse::experiments::{KernelRequest, KernelShape, Residency, SolveRequest};
 /// v3: on-disk entries gained a checksum footer (cache format v2);
 /// keying the format version orphans un-checksummed entries instead of
 /// quarantining them as corrupt.
-pub const CACHE_VERSION: u32 = 3;
+///
+/// v4: solve and solve-bounds requests gained a scenario axis; the
+/// scenario's `cache_id` joined the serialization, so pre-scenario
+/// entries (implicitly hover-only) are orphaned rather than aliased.
+pub const CACHE_VERSION: u32 = 4;
 
 /// A 128-bit content hash identifying one unit of sweep work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,8 +64,9 @@ pub fn key_of(serialized: &str) -> Key {
 /// Stable serialization of a solve request.
 pub fn solve_serialization(request: &SolveRequest) -> String {
     format!(
-        "soc-sweep v{CACHE_VERSION}|solve|{}|horizon={}",
+        "soc-sweep v{CACHE_VERSION}|solve|{}|scenario={}|horizon={}",
         request.platform.cache_id(),
+        request.scenario.cache_id(),
         request.horizon
     )
 }
@@ -89,8 +94,9 @@ pub fn kernel_serialization(request: &KernelRequest) -> String {
 /// ever aliasing, even for the same platform and horizon.
 pub fn bounds_serialization(request: &SolveRequest) -> String {
     format!(
-        "soc-sweep v{CACHE_VERSION}|solve-bounds|{}|horizon={}",
+        "soc-sweep v{CACHE_VERSION}|solve-bounds|{}|scenario={}|horizon={}",
         request.platform.cache_id(),
+        request.scenario.cache_id(),
         request.horizon
     )
 }
@@ -117,10 +123,7 @@ mod tests {
     use soc_dse::platform::Platform;
 
     fn solve_req(horizon: usize) -> SolveRequest {
-        SolveRequest {
-            platform: Platform::rocket_eigen(),
-            horizon,
-        }
+        SolveRequest::hover(Platform::rocket_eigen(), horizon)
     }
 
     #[test]
@@ -135,14 +138,14 @@ mod tests {
     fn platform_config_is_keyed() {
         use soc_cpu::CoreConfig;
         use soc_vector::SaturnConfig;
-        let a = SolveRequest {
-            platform: Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d128()),
-            horizon: 10,
-        };
-        let b = SolveRequest {
-            platform: Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
-            horizon: 10,
-        };
+        let a = SolveRequest::hover(
+            Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d128()),
+            10,
+        );
+        let b = SolveRequest::hover(
+            Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+            10,
+        );
         assert_ne!(solve_key(&a), solve_key(&b));
     }
 
@@ -175,6 +178,36 @@ mod tests {
     }
 
     #[test]
+    fn scenario_is_keyed() {
+        use soc_dse::experiments::{Scenario, ScenarioCatalog};
+        let platform = Platform::rocket_eigen();
+        // Every catalog scenario (and a random-family member) must key
+        // distinctly at the same platform and horizon, for both solve
+        // and bounds kinds.
+        let mut scenarios = ScenarioCatalog::standard().into_scenarios();
+        scenarios.push(Scenario::random_stable_plant(8, 3, 7));
+        scenarios.push(Scenario::random_stable_plant(8, 3, 8));
+        let keys: Vec<Key> = scenarios
+            .iter()
+            .map(|s| solve_key(&SolveRequest::new(platform.clone(), s.clone(), 10)))
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate().skip(i + 1) {
+                assert_ne!(
+                    a,
+                    b,
+                    "{} and {} collide",
+                    scenarios[i].name(),
+                    scenarios[j].name()
+                );
+            }
+        }
+        let hover = SolveRequest::hover(platform.clone(), 10);
+        let fig8 = SolveRequest::new(platform, Scenario::figure8(), 10);
+        assert_ne!(bounds_key(&hover), bounds_key(&fig8));
+    }
+
+    #[test]
     fn bounds_keys_never_alias_solve_keys() {
         let req = solve_req(10);
         assert_ne!(solve_key(&req), bounds_key(&req));
@@ -190,14 +223,8 @@ mod tests {
     fn renaming_a_platform_keeps_its_key() {
         let mut renamed = Platform::rocket_eigen();
         renamed.name = "Rocket (marketing name)".into();
-        let a = SolveRequest {
-            platform: Platform::rocket_eigen(),
-            horizon: 10,
-        };
-        let b = SolveRequest {
-            platform: renamed,
-            horizon: 10,
-        };
+        let a = SolveRequest::hover(Platform::rocket_eigen(), 10);
+        let b = SolveRequest::hover(renamed, 10);
         assert_eq!(
             solve_key(&a),
             solve_key(&b),
@@ -218,14 +245,8 @@ mod tests {
                     a.name,
                     b.name
                 );
-                let ka = solve_key(&SolveRequest {
-                    platform: a.clone(),
-                    horizon: 10,
-                });
-                let kb = solve_key(&SolveRequest {
-                    platform: b.clone(),
-                    horizon: 10,
-                });
+                let ka = solve_key(&SolveRequest::hover(a.clone(), 10));
+                let kb = solve_key(&SolveRequest::hover(b.clone(), 10));
                 assert_ne!(ka, kb, "{} and {} collide", a.name, b.name);
             }
         }

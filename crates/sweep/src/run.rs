@@ -11,9 +11,11 @@ use crate::engine::{EngineStats, FaultStats, SweepEngine};
 use crate::pool::ShardStats;
 use crate::spec::SweepSpec;
 use soc_dse::experiments::{
-    pareto_frontier, speedup_heatmap_with, CycleSource, SolveRequest, SolveSummary,
+    evaluate_closed_loop, pareto_frontier, speedup_heatmap_with, CycleSource, SolveRequest,
+    SolveSummary,
 };
 use soc_dse::report::{heatmap_text, markdown_table};
+use tinympc::SolverSettings;
 
 /// Which pricing tier drives a sweep's end-to-end solve search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,10 +114,9 @@ pub fn run_sweep_tiered(
         .horizons
         .iter()
         .flat_map(|&horizon| {
-            spec.platforms.iter().map(move |p| SolveRequest {
-                platform: p.clone(),
-                horizon,
-            })
+            spec.platforms
+                .iter()
+                .map(move |p| SolveRequest::new(p.clone(), spec.scenario.clone(), horizon))
         })
         .collect();
 
@@ -135,7 +136,12 @@ pub fn run_sweep_tiered(
     };
 
     engine.reset_stats();
-    let mut body = format!("# sweep: {}\n\n", spec.label);
+    let mut body = format!(
+        "# sweep: {}\n\nworkload: {} - {}\n\n",
+        spec.label,
+        spec.scenario.name(),
+        spec.scenario.title()
+    );
     // Every slot is either a summary, an isolated shard failure (which
     // renders as an explicit FAILED row — the partial sweep still
     // completes), or a genuine solver error (which propagates).
@@ -226,6 +232,32 @@ pub fn run_sweep_tiered(
                     ));
                 }
             }
+        }
+        body.push('\n');
+
+        // Closed-loop quality is a property of the scenario × horizon
+        // pair alone (executors are timing oracles: every back-end
+        // computes bit-identical f32 math), so it is evaluated once
+        // here — serially, deterministically — and holds for the whole
+        // back-end grid above.
+        body.push_str(&format!("## Closed-loop tracking @ horizon {horizon}\n\n"));
+        let cl = evaluate_closed_loop::<f32>(&spec.scenario, horizon, SolverSettings::default())?;
+        body.push_str(&format!(
+            "{}: {} rollout steps, tracking error RMS/max {:.4} / {:.4}, \
+             final {:.4}, {}/{} solves converged, {:.1} mean ADMM iters\n",
+            spec.scenario.name(),
+            cl.steps,
+            cl.rms_error,
+            cl.max_error,
+            cl.final_error,
+            cl.converged_steps,
+            cl.steps,
+            cl.mean_iterations
+        ));
+        if let Some(margin) = cl.min_cone_margin {
+            body.push_str(&format!(
+                "min SOC feasibility margin of applied u0: {margin:.4}\n"
+            ));
         }
         body.push('\n');
     }

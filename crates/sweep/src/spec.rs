@@ -1,7 +1,7 @@
 //! Declarative sweep specifications: which design points to price.
 
 use soc_cpu::CoreConfig;
-use soc_dse::experiments::{KernelShape, Residency};
+use soc_dse::experiments::{KernelShape, Residency, Scenario};
 use soc_dse::platform::Platform;
 use soc_dse::workloads;
 use soc_gemmini::{GemminiConfig, GemminiOpts};
@@ -34,11 +34,14 @@ impl HeatmapSpec {
 }
 
 /// A declarative sweep: a platform grid × horizons for end-to-end
-/// solves, plus standalone-kernel speedup grids.
+/// solves of one scenario, plus standalone-kernel speedup grids.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Name shown in the report header.
     pub label: String,
+    /// Workload every platform solves ([`Scenario::hover`] is the
+    /// paper-compatible default).
+    pub scenario: Scenario,
     /// MPC horizons to price every platform at.
     pub horizons: Vec<usize>,
     /// End-to-end solve platforms.
@@ -55,6 +58,7 @@ impl SweepSpec {
         let widths = workloads::heatmap_widths();
         SweepSpec {
             label: "table1".to_string(),
+            scenario: Scenario::hover(),
             horizons: vec![10],
             platforms: Platform::table1_registry(),
             heatmaps: vec![HeatmapSpec {
@@ -78,6 +82,7 @@ impl SweepSpec {
     pub fn smoke() -> Self {
         SweepSpec {
             label: "smoke".to_string(),
+            scenario: Scenario::hover(),
             horizons: vec![8],
             platforms: vec![
                 Platform::rocket_eigen(),
@@ -98,6 +103,14 @@ impl SweepSpec {
                 widths: vec![4, 8],
             }],
         }
+    }
+
+    /// Re-targets the sweep at a different scenario (builder style):
+    /// the same platform grid and heatmaps, solving another workload.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Total work items (solves + kernel pricings) before deduplication.
@@ -127,5 +140,14 @@ mod tests {
         let spec = SweepSpec::smoke();
         assert_eq!(spec.work_items(), 3 + 8);
         assert!(spec.work_items() < 20, "smoke must stay seconds-scale");
+    }
+
+    #[test]
+    fn default_specs_solve_hover() {
+        assert_eq!(SweepSpec::full().scenario, Scenario::hover());
+        assert_eq!(SweepSpec::smoke().scenario, Scenario::hover());
+        let retargeted = SweepSpec::smoke().with_scenario(Scenario::figure8());
+        assert_eq!(retargeted.scenario, Scenario::figure8());
+        assert_eq!(retargeted.work_items(), 3 + 8, "grid shape unchanged");
     }
 }

@@ -1,0 +1,275 @@
+//! Second-order-cone input constraints (Conic-TinyMPC extension).
+//!
+//! A [`SocConstraint`] couples a set of *lateral* input components to an
+//! *axis* component through a shifted second-order cone:
+//!
+//! ```text
+//! ‖u_lateral‖₂ ≤ μ · (u_axis + offset)
+//! ```
+//!
+//! The canonical use is rocket soft-landing: with inputs expressed as
+//! thrust deltas about the hover trim, `offset` is the trim thrust and
+//! `μ` the tangent of the maximum gimbal/glide-slope angle, so the
+//! *physical* thrust vector stays inside the admissible cone.
+//!
+//! The constraint is enforced inside the ADMM slack update by Euclidean
+//! projection onto the cone — the slack step stays a cheap element-wise
+//! pass (strip-mining plus one small reduction), exactly the kernel
+//! class the paper's `UPDATE_SLACK` timing already models, so no new
+//! [`crate::KernelId`] is needed.
+
+use crate::{Error, Result};
+use matlib::{Scalar, Vector};
+
+/// A shifted second-order cone over a subset of the input vector:
+/// `‖u[lateral]‖ ≤ mu · (u[axis] + offset)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConstraint<T> {
+    /// Index of the axis component (the cone's symmetry axis).
+    pub axis: usize,
+    /// Indices of the lateral components (the cone's cross-section).
+    pub lateral: Vec<usize>,
+    /// Cone half-angle tangent; must be positive.
+    pub mu: T,
+    /// Shift added to the axis component before the cone test (e.g. a
+    /// hover-trim thrust when inputs are deltas about trim).
+    pub offset: T,
+}
+
+impl<T: Scalar> SocConstraint<T> {
+    /// Validates the constraint against an input dimension `nu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadProblem`] for an out-of-range or duplicated
+    /// index, an empty lateral set, a lateral set containing the axis,
+    /// or a non-positive `mu`.
+    pub fn validate(&self, nu: usize) -> Result<()> {
+        let bad = |reason: String| Err(Error::BadProblem { reason });
+        if self.axis >= nu {
+            return bad(format!("cone axis {} out of range (nu = {nu})", self.axis));
+        }
+        if self.lateral.is_empty() {
+            return bad("cone has an empty lateral set".to_string());
+        }
+        for (i, &l) in self.lateral.iter().enumerate() {
+            if l >= nu {
+                return bad(format!("cone lateral index {l} out of range (nu = {nu})"));
+            }
+            if l == self.axis {
+                return bad(format!("cone lateral index {l} equals the axis"));
+            }
+            if self.lateral[..i].contains(&l) {
+                return bad(format!("cone lateral index {l} is duplicated"));
+            }
+        }
+        if self.mu <= T::ZERO {
+            return bad("cone mu must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Projects `u` onto the cone in place (Euclidean projection).
+    ///
+    /// With `v = u[lateral]` and `s = u[axis] + offset`, the projection
+    /// of `(v, s)` onto `{(v, s) : ‖v‖ ≤ μs}` is the standard
+    /// three-case formula:
+    ///
+    /// * `‖v‖ ≤ μs` — already inside, unchanged;
+    /// * `μ‖v‖ ≤ −s` — inside the polar cone, project to the apex
+    ///   `(0, 0)`;
+    /// * otherwise — project onto the boundary:
+    ///   `s* = (μ‖v‖ + s) / (μ² + 1)`, `v* = μ s* · v / ‖v‖`.
+    ///
+    /// The computation runs in the scalar type `T` (f32 on the modelled
+    /// hardware), so every back-end produces bit-identical slacks.
+    pub fn project(&self, u: &mut Vector<T>) {
+        let mu = self.mu;
+        let s = u[self.axis] + self.offset;
+        let norm_sq = self
+            .lateral
+            .iter()
+            .fold(T::ZERO, |acc, &l| acc + u[l] * u[l]);
+        let norm = norm_sq.sqrt();
+        if norm <= mu * s {
+            return; // interior (or boundary): already feasible
+        }
+        if mu * norm <= -s {
+            // Polar cone: nearest feasible point is the apex.
+            for &l in &self.lateral {
+                u[l] = T::ZERO;
+            }
+            u[self.axis] = -self.offset;
+            return;
+        }
+        // Boundary projection.
+        let s_star = (mu * norm + s) / (mu * mu + T::ONE);
+        let scale = mu * s_star / norm;
+        for &l in &self.lateral {
+            u[l] *= scale;
+        }
+        u[self.axis] = s_star - self.offset;
+    }
+
+    /// Signed feasibility margin `mu·(u[axis]+offset) − ‖u[lateral]‖`
+    /// (non-negative iff `u` satisfies the cone), in f64 for tests and
+    /// reporting.
+    pub fn margin(&self, u: &Vector<T>) -> f64 {
+        let s = (u[self.axis] + self.offset).to_f64();
+        let norm = self
+            .lateral
+            .iter()
+            .map(|&l| u[l].to_f64().powi(2))
+            .sum::<f64>()
+            .sqrt();
+        self.mu.to_f64() * s - norm
+    }
+
+    /// Stable serialization for cache keys (every behavior-affecting
+    /// field spelled out).
+    pub fn cache_id(&self) -> String {
+        let lateral: Vec<String> = self.lateral.iter().map(|l| l.to_string()).collect();
+        format!(
+            "soc(axis={},lateral=[{}],mu={:?},offset={:?})",
+            self.axis,
+            lateral.join(","),
+            self.mu.to_f64(),
+            self.offset.to_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cone(mu: f64, offset: f64) -> SocConstraint<f64> {
+        SocConstraint {
+            axis: 2,
+            lateral: vec![0, 1],
+            mu,
+            offset,
+        }
+    }
+
+    #[test]
+    fn interior_point_is_unchanged() {
+        // ‖(0.1, 0.1)‖ ≈ 0.141 ≤ 0.5·1.0: strictly inside.
+        let c = cone(0.5, 0.0);
+        let mut u = Vector::from_slice(&[0.1, 0.1, 1.0]);
+        let before = u.clone();
+        c.project(&mut u);
+        assert_eq!(u, before);
+    }
+
+    #[test]
+    fn boundary_point_is_a_fixed_point() {
+        // ‖(0.6, 0.8)‖ = 1.0 = 1.0·1.0: exactly on the boundary.
+        let c = cone(1.0, 0.0);
+        let mut u = Vector::from_slice(&[0.6, 0.8, 1.0]);
+        let before = u.clone();
+        c.project(&mut u);
+        for i in 0..3 {
+            assert!((u[i] - before[i]).abs() < 1e-12, "component {i} moved");
+        }
+    }
+
+    #[test]
+    fn reflected_point_projects_onto_the_boundary() {
+        // Hand-computed: μ=1, v=(3,4) so ‖v‖=5, s=0.
+        // s* = (1·5 + 0)/(1+1) = 2.5; v* = 1·2.5·(3,4)/5 = (1.5, 2.0).
+        let c = cone(1.0, 0.0);
+        let mut u = Vector::from_slice(&[3.0, 4.0, 0.0]);
+        c.project(&mut u);
+        assert!((u[0] - 1.5).abs() < 1e-12, "{:?}", u);
+        assert!((u[1] - 2.0).abs() < 1e-12, "{:?}", u);
+        assert!((u[2] - 2.5).abs() < 1e-12, "{:?}", u);
+        // The result lies exactly on the boundary.
+        assert!(c.margin(&u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_cone_point_projects_to_the_apex() {
+        // μ=1, v=(1,0), s=-2: μ‖v‖=1 ≤ 2=−s, so the nearest feasible
+        // point is the apex (0,0,0).
+        let c = cone(1.0, 0.0);
+        let mut u = Vector::from_slice(&[1.0, 0.0, -2.0]);
+        c.project(&mut u);
+        assert_eq!(u.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn offset_shifts_the_apex() {
+        // With offset=1 the apex in delta coordinates sits at axis=−1.
+        let c = cone(1.0, 1.0);
+        let mut u = Vector::from_slice(&[0.5, 0.0, -3.0]);
+        // s = −3+1 = −2, μ‖v‖ = 0.5 ≤ 2: polar cone.
+        c.project(&mut u);
+        assert_eq!(u.as_slice(), &[0.0, 0.0, -1.0]);
+
+        // And an interior point in shifted coordinates stays put:
+        // s = 0+1 = 1 ≥ ‖(0.3,0.4)‖ = 0.5.
+        let mut v = Vector::from_slice(&[0.3, 0.4, 0.0]);
+        let before = v.clone();
+        c.project(&mut v);
+        assert_eq!(v, before);
+    }
+
+    #[test]
+    fn narrow_cone_hand_computed_projection() {
+        // μ=0.5, v=(4,0) so ‖v‖=4, s=1: outside (4 > 0.5), not polar
+        // (0.5·4=2 > −1). s* = (0.5·4+1)/(0.25+1) = 3/1.25 = 2.4;
+        // v* = 0.5·2.4·(4,0)/4 = (1.2, 0).
+        let c = cone(0.5, 0.0);
+        let mut u = Vector::from_slice(&[4.0, 0.0, 1.0]);
+        c.project(&mut u);
+        assert!((u[0] - 1.2).abs() < 1e-12, "{:?}", u);
+        assert!(u[1].abs() < 1e-12);
+        assert!((u[2] - 2.4).abs() < 1e-12, "{:?}", u);
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_feasible() {
+        let c = cone(0.7, 0.3);
+        for (a, b, s) in [
+            (3.0, -4.0, 0.2),
+            (0.0, 0.0, -5.0),
+            (1e-3, 0.0, 1.0),
+            (-2.0, 2.0, -0.5),
+        ] {
+            let mut u = Vector::from_slice(&[a, b, s]);
+            c.project(&mut u);
+            assert!(c.margin(&u) >= -1e-9, "infeasible after projection: {u:?}");
+            let once = u.clone();
+            c.project(&mut u);
+            for i in 0..3 {
+                assert!((u[i] - once[i]).abs() < 1e-12, "not idempotent at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_cones() {
+        let ok = cone(1.0, 0.0);
+        assert!(ok.validate(3).is_ok());
+        assert!(ok.validate(2).is_err(), "axis out of range");
+        let mut empty = ok.clone();
+        empty.lateral.clear();
+        assert!(empty.validate(3).is_err());
+        let mut dup = ok.clone();
+        dup.lateral = vec![0, 0];
+        assert!(dup.validate(3).is_err());
+        let mut self_ref = ok.clone();
+        self_ref.lateral = vec![2];
+        assert!(self_ref.validate(3).is_err(), "lateral equals axis");
+        let mut flat = ok.clone();
+        flat.mu = 0.0;
+        assert!(flat.validate(3).is_err());
+    }
+
+    #[test]
+    fn cache_id_spells_out_every_field() {
+        let id = cone(0.5, 0.25).cache_id();
+        assert_eq!(id, "soc(axis=2,lateral=[0,1],mu=0.5,offset=0.25)");
+    }
+}

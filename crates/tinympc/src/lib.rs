@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod cone;
 mod error;
 mod executor;
 mod kernel;
@@ -49,6 +50,7 @@ mod solver;
 mod workspace;
 
 pub use cache::TinyMpcCache;
+pub use cone::SocConstraint;
 pub use error::Error;
 pub use executor::{KernelExecutor, NullExecutor};
 pub use kernel::{KernelClass, KernelId, KernelProfile, ProblemDims};

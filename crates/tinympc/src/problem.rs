@@ -1,12 +1,14 @@
 //! MPC problem definition.
 
-use crate::{Error, ProblemDims, Result};
+use crate::{Error, ProblemDims, Result, SocConstraint};
 use matlib::{Matrix, Scalar, Vector};
 
 /// A box-constrained linear MPC problem:
 ///
 /// minimize   Σ (xᵢ−xrefᵢ)ᵀQ(xᵢ−xrefᵢ) + uᵢᵀRuᵢ
-/// subject to xᵢ₊₁ = A xᵢ + B uᵢ,  u_min ≤ uᵢ ≤ u_max,  x_min ≤ xᵢ ≤ x_max.
+/// subject to xᵢ₊₁ = A xᵢ + B uᵢ,  u_min ≤ uᵢ ≤ u_max,  x_min ≤ xᵢ ≤ x_max,
+/// optionally with second-order-cone input constraints
+/// ([`SocConstraint`], the Conic-TinyMPC extension).
 ///
 /// `Q` and `R` are diagonal (stored as vectors), matching TinyMPC.
 #[derive(Debug, Clone)]
@@ -31,6 +33,10 @@ pub struct TinyMpcProblem<T> {
     pub x_min: T,
     /// Upper state bound.
     pub x_max: T,
+    /// Second-order-cone input constraints, enforced in the slack
+    /// projection after the box clip. Empty for the classic
+    /// box-constrained problems.
+    pub input_cones: Vec<SocConstraint<T>>,
 }
 
 impl<T: Scalar> TinyMpcProblem<T> {
@@ -70,6 +76,9 @@ impl<T: Scalar> TinyMpcProblem<T> {
         }
         if self.rho <= T::ZERO {
             return bad("rho must be positive".to_string());
+        }
+        for cone in &self.input_cones {
+            cone.validate(nu)?;
         }
         Ok(())
     }

@@ -119,6 +119,7 @@ pub fn quadrotor_hover<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
         u_max: T::from_f64(u_lim),
         x_min: T::from_f64(-1.0e3),
         x_max: T::from_f64(1.0e3),
+        input_cones: Vec::new(),
     };
     problem.validate()?;
     Ok(problem)
@@ -147,6 +148,7 @@ pub fn double_integrator<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>>
         u_max: T::from_f64(2.0),
         x_min: T::from_f64(-100.0),
         x_max: T::from_f64(100.0),
+        input_cones: Vec::new(),
     };
     problem.validate()?;
     Ok(problem)
@@ -191,6 +193,7 @@ pub fn cartpole<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
         u_max: T::from_f64(10.0),
         x_min: T::from_f64(-50.0),
         x_max: T::from_f64(50.0),
+        input_cones: Vec::new(),
     };
     problem.validate()?;
     Ok(problem)
@@ -242,6 +245,118 @@ pub fn rocket_landing<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
         u_max: T::from_f64(50.0),
         x_min: T::from_f64(-1.0e3),
         x_max: T::from_f64(1.0e3),
+        input_cones: Vec::new(),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// Satellite rendezvous under Clohessy–Wiltshire relative dynamics
+/// (6 states, 3 inputs): chaser position/velocity relative to a target
+/// in the local-vertical local-horizontal frame, controlled by thruster
+/// accelerations.
+///
+/// States: `[x, y, z, vx, vy, vz]` (radial, along-track, cross-track,
+/// metres and m/s); inputs: thrust accelerations (m/s²). The state box
+/// doubles as the docking safety corridor: the chaser must stay within
+/// ±10 m / ±10 m/s of the target throughout the approach.
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2`.
+pub fn satellite_rendezvous<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
+    let dt = 1.0; // docking unfolds over seconds, not milliseconds
+    let n = 0.00113; // mean motion of a ~400 km LEO target (rad/s)
+
+    // Clohessy–Wiltshire linearized relative dynamics:
+    //   x¨ =  3n²x + 2n·vy + ux
+    //   y¨ = −2n·vx        + uy
+    //   z¨ = −n²z          + uz
+    let mut ac = Matrix::<T>::zeros(6, 6);
+    ac[(0, 3)] = T::ONE;
+    ac[(1, 4)] = T::ONE;
+    ac[(2, 5)] = T::ONE;
+    ac[(3, 0)] = T::from_f64(3.0 * n * n);
+    ac[(3, 4)] = T::from_f64(2.0 * n);
+    ac[(4, 3)] = T::from_f64(-2.0 * n);
+    ac[(5, 2)] = T::from_f64(-n * n);
+    let mut bc = Matrix::<T>::zeros(6, 3);
+    for j in 0..3 {
+        bc[(3 + j, j)] = T::ONE;
+    }
+
+    let (a, b) = discretize(&ac, &bc, dt);
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag: Vector::from_fn(6, |i| T::from_f64(if i < 3 { 50.0 } else { 5.0 })),
+        r_diag: Vector::splat(3, T::from_f64(2.0)),
+        horizon,
+        rho: T::ONE,
+        u_min: T::from_f64(-0.2),
+        u_max: T::from_f64(0.2),
+        x_min: T::from_f64(-10.0),
+        x_max: T::from_f64(10.0),
+        input_cones: Vec::new(),
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// Rocket soft-landing with a thrust cone (6 states, 3 inputs), per the
+/// Conic-TinyMPC extension: translational dynamics about the hover trim
+/// with the *physical* thrust vector constrained to a second-order cone
+/// around vertical.
+///
+/// States: `[x, y, z, vx, vy, vz]`; inputs: thrust-acceleration deltas
+/// about the gravity-cancelling trim (m/s²). With deltas `u` the real
+/// thrust acceleration is `(ux, uy, uz + g)`, and the gimbal limit
+/// `‖(ux, uy)‖ ≤ tan(θ_max)·(uz + g)` becomes a shifted
+/// [`crate::SocConstraint`] with `offset = g`.
+///
+/// # Errors
+///
+/// Returns an error if `horizon < 2`.
+pub fn rocket_soft_landing<T: Scalar>(horizon: usize) -> Result<TinyMpcProblem<T>> {
+    let dt = 0.1;
+    let g = 9.81;
+    let theta_max_deg = 25.0_f64;
+
+    // Double-integrator translation; gravity is cancelled by the trim.
+    let mut ac = Matrix::<T>::zeros(6, 6);
+    ac[(0, 3)] = T::ONE;
+    ac[(1, 4)] = T::ONE;
+    ac[(2, 5)] = T::ONE;
+    let mut bc = Matrix::<T>::zeros(6, 3);
+    for j in 0..3 {
+        bc[(3 + j, j)] = T::ONE;
+    }
+
+    let (a, b) = discretize(&ac, &bc, dt);
+    let problem = TinyMpcProblem {
+        a,
+        b,
+        q_diag: Vector::from_slice(&[
+            T::from_f64(10.0),
+            T::from_f64(10.0),
+            T::from_f64(50.0),
+            T::from_f64(2.0),
+            T::from_f64(2.0),
+            T::from_f64(10.0),
+        ]),
+        r_diag: Vector::splat(3, T::ONE),
+        horizon,
+        rho: T::ONE,
+        u_min: T::from_f64(-8.0),
+        u_max: T::from_f64(8.0),
+        x_min: T::from_f64(-1.0e3),
+        x_max: T::from_f64(1.0e3),
+        input_cones: vec![crate::SocConstraint {
+            axis: 2,
+            lateral: vec![0, 1],
+            mu: T::from_f64(theta_max_deg.to_radians().tan()),
+            offset: T::from_f64(g),
+        }],
     };
     problem.validate()?;
     Ok(problem)
@@ -290,6 +405,7 @@ pub fn random_stable<T: Scalar>(
         u_max: T::from_f64(5.0),
         x_min: T::from_f64(-100.0),
         x_max: T::from_f64(100.0),
+        input_cones: Vec::new(),
     };
     problem.validate()?;
     Ok(problem)
@@ -322,6 +438,36 @@ mod tests {
         assert_eq!(p.dims().nx, 6);
         assert_eq!(p.dims().nu, 2);
         assert!(crate::TinyMpcCache::compute(&p).is_ok());
+    }
+
+    #[test]
+    fn satellite_rendezvous_dimensions_and_stabilizable() {
+        let p = satellite_rendezvous::<f64>(12).unwrap();
+        assert_eq!(p.dims().nx, 6);
+        assert_eq!(p.dims().nu, 3);
+        assert!(p.input_cones.is_empty());
+        assert!(crate::TinyMpcCache::compute(&p).is_ok());
+        // CW coupling: radial acceleration feeds back from along-track
+        // velocity (the 2n·vy term survives discretization).
+        assert!(p.a[(3, 4)].abs() > 0.0);
+    }
+
+    #[test]
+    fn rocket_soft_landing_has_a_thrust_cone() {
+        let p = rocket_soft_landing::<f64>(12).unwrap();
+        assert_eq!(p.dims().nx, 6);
+        assert_eq!(p.dims().nu, 3);
+        assert_eq!(p.input_cones.len(), 1);
+        let cone = &p.input_cones[0];
+        assert_eq!(cone.axis, 2);
+        assert_eq!(cone.lateral, vec![0, 1]);
+        // tan(25°) ≈ 0.4663; trim offset is standard gravity.
+        assert!((cone.mu - 0.466_307_658).abs() < 1e-6);
+        assert!((cone.offset - 9.81).abs() < 1e-12);
+        assert!(crate::TinyMpcCache::compute(&p).is_ok());
+        // The trim point (zero deltas) is strictly inside the cone.
+        let trim = Vector::zeros(3);
+        assert!(cone.margin(&trim) > 0.0);
     }
 
     #[test]

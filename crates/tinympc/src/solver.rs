@@ -535,12 +535,24 @@ impl<T: Scalar> AdmmSolver<T> {
         Ok(())
     }
 
-    /// Box projections (`UPDATE_SLACK_1` and `UPDATE_SLACK_2`).
+    /// Box (and second-order-cone) projections (`UPDATE_SLACK_1` and
+    /// `UPDATE_SLACK_2`).
+    ///
+    /// Cone constraints are applied after the box clip: the composite
+    /// projection onto box ∩ cone is approximated by the sequential
+    /// projections, whose fixed points satisfy both sets — the standard
+    /// Conic-TinyMPC treatment. The cone pass is an element-wise
+    /// strip-mining step plus one small reduction per cone, the same
+    /// kernel class `UPDATE_SLACK_1` already prices, so timing needs no
+    /// new kernel.
     fn update_slack(&mut self) -> Result<()> {
         let ws = &mut self.workspace;
         let p = &self.problem;
         for i in 0..ws.u.len() {
             ws.znew[i] = ws.u[i].add(&ws.y[i])?.clip(p.u_min, p.u_max);
+            for cone in &p.input_cones {
+                cone.project(&mut ws.znew[i]);
+            }
         }
         for i in 0..ws.x.len() {
             ws.vnew[i] = ws.x[i].add(&ws.g[i])?.clip(p.x_min, p.x_max);

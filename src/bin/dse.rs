@@ -17,12 +17,15 @@ use soc_dse_repro::soc_codegen::{tune, TuningSpace};
 use soc_dse_repro::soc_cpu::CoreConfig;
 use soc_dse_repro::soc_dse::energy::{solve_energy, EnergyParams};
 use soc_dse_repro::soc_dse::experiments::{
-    kernel_breakdown, pareto_frontier, solve_cycles, table1_with, Table1Row,
+    kernel_breakdown, pareto_frontier, solve_cycles, table1_scenario_with, table1_with, Scenario,
+    ScenarioCatalog, Table1Row,
 };
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::report::markdown_table;
 use soc_dse_repro::soc_dse::verify::{shipped_configurations, verify_platform};
-use soc_dse_repro::soc_faults::{recoverable_strikes, run_campaign, run_chaos, CampaignKind};
+use soc_dse_repro::soc_faults::{
+    recoverable_strikes, run_campaign_scenario, run_chaos, CampaignKind,
+};
 use soc_dse_repro::soc_gemmini::GemminiConfig;
 use soc_dse_repro::soc_sweep::{run_sweep_tiered, SweepEngine, SweepSpec, SweepTier};
 use soc_dse_repro::soc_vector::SaturnConfig;
@@ -39,7 +42,10 @@ COMMANDS:
     list                       List every registered platform
     backends                   List registered back-end pipelines (family,
                                area, configuration summary)
+    scenarios                  List registered control workloads (plant
+                               dims, default horizon, rollout length)
     table1                     Regenerate Table I (area + cycles/solve)
+            [--scenario NAME]  Price a different workload than hover
     pareto                     Area-vs-performance Pareto analysis (Fig. 20)
     sweep   [--jobs N]         Run a declarative sweep (Table I grid +
             [--smoke]          kernel heatmaps) on the parallel memoized
@@ -48,14 +54,18 @@ COMMANDS:
             [--cache-dir DIR]  tier, --warm runs the spec twice and
             [--tier KIND]      reports the warm pass (100% hit rate).
             [--chaos-seed N]   --tier analytical prices the solve grid
-                               with static cycle bounds first, prunes
+            [--scenario NAME]  with static cycle bounds first, prunes
                                dominated points, then confirms by trace
                                (KIND: trace|analytical, default trace).
                                --chaos-seed injects seeded recoverable
                                worker panics (the report must not change).
-                               Report on stdout is byte-identical for
-                               every --jobs and tier; shard timing, tier
-                               and fault accounting go to stderr
+                               --scenario sweeps a different workload
+                               than hover (see `dse scenarios`); the
+                               report adds a closed-loop tracking-error
+                               section per horizon. Report on stdout is
+                               byte-identical for every --jobs and tier;
+                               shard timing, tier and fault accounting
+                               go to stderr
     bounds  [--horizon N]      Static cycle-bound analysis: abstract-
             [--json]           interpret every back-end's kernel programs
                                into [lower, upper] steady-state intervals
@@ -78,8 +88,10 @@ COMMANDS:
     faults  [--seed N]         Seeded fault-injection campaign across the
             [--campaign KIND]  back-end families (KIND: smoke|full,
             [--smoke]          default smoke); --smoke additionally gates
-                               on zero silent corruptions on the scalar
-                               back-end (CI mode), exiting non-zero
+            [--scenario NAME]  on zero silent corruptions on the scalar
+                               back-end (CI mode), exiting non-zero.
+                               --scenario flies a different workload
+                               than hover through the injector
     chaos   [--seed N]         Seeded chaos campaign against the platform
             [--smoke]          itself: worker panics, cache corruption,
                                lock poisoning and slow items injected into
@@ -128,6 +140,16 @@ fn table1_rows() -> Result<Vec<Table1Row>, String> {
     // across cores. Results are bit-identical to the serial path.
     let engine = SweepEngine::in_memory(default_jobs());
     table1_with(&engine, 10).map_err(|e| e.to_string())
+}
+
+fn find_scenario(args: &[String]) -> Result<Scenario, String> {
+    match flag(args, "--scenario") {
+        None => Ok(Scenario::hover()),
+        Some(name) => ScenarioCatalog::standard()
+            .find(&name)
+            .cloned()
+            .ok_or_else(|| format!("unknown scenario `{name}`; run `dse scenarios`")),
+    }
 }
 
 fn find_platform(name: &str) -> Result<Platform, String> {
@@ -183,8 +205,40 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "scenarios" => {
+            let rows: Vec<Vec<String>> = ScenarioCatalog::standard()
+                .scenarios()
+                .iter()
+                .map(|s| {
+                    let (nx, nu) = s.dims();
+                    vec![
+                        s.name().to_string(),
+                        s.title().to_string(),
+                        format!("{nx}x{nu}"),
+                        s.default_horizon().to_string(),
+                        s.rollout_steps().to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                markdown_table(
+                    &[
+                        "scenario",
+                        "workload",
+                        "nx x nu",
+                        "default horizon",
+                        "rollout steps"
+                    ],
+                    &rows
+                )
+            );
+            Ok(())
+        }
         "table1" => {
-            let rows = table1_rows()?;
+            let scenario = find_scenario(args)?;
+            let engine = SweepEngine::in_memory(default_jobs());
+            let rows = table1_scenario_with(&engine, &scenario, 10).map_err(|e| e.to_string())?;
             let table: Vec<Vec<String>> = rows
                 .iter()
                 .map(|r| {
@@ -241,7 +295,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 SweepSpec::smoke()
             } else {
                 SweepSpec::full()
-            };
+            }
+            .with_scenario(find_scenario(args)?);
             let tier = match flag(args, "--tier").as_deref() {
                 None | Some("trace") => SweepTier::Trace,
                 Some("analytical") => SweepTier::Analytical,
@@ -642,7 +697,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some("full") => CampaignKind::Full,
                 Some(other) => return Err(format!("unknown campaign `{other}`")),
             };
-            let report = run_campaign(seed, kind).map_err(|e| e.to_string())?;
+            let scenario = find_scenario(args)?;
+            let report = run_campaign_scenario(seed, kind, &scenario).map_err(|e| e.to_string())?;
             println!("{}", report.render());
             if gate {
                 let sdc = report.scalar_sdc();

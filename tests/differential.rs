@@ -19,7 +19,9 @@
 
 use soc_dse_repro::matlib::{gemv, Matrix, Vector};
 use soc_dse_repro::soc_cpu::CoreConfig;
-use soc_dse_repro::soc_dse::experiments::solve_problem_cycles;
+use soc_dse_repro::soc_dse::experiments::{
+    solve_problem_cycles, solve_scenario_cycles, ScenarioCatalog,
+};
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::rng::SplitMix64;
 use soc_dse_repro::soc_gemmini::{GemminiConfig, GemminiOpts};
@@ -226,6 +228,56 @@ fn problem_set() -> Vec<(&'static str, TinyMpcProblem<f32>)> {
             problems::random_stable(6, 2, 8, 3).unwrap(),
         ),
     ]
+}
+
+/// Layer 2 at full width: every registered scenario, solved on every
+/// registered Table-I back-end, must reproduce the scalar reference's
+/// control **bit-for-bit** (same [`U0_TOLERANCE`] = 0.0 contract as
+/// above) with the same iteration count and convergence flag. This is
+/// the scenario × backend grid: a back-end whose timing model grew a
+/// functional side effect, or a scenario whose reference threading
+/// differs between platforms, fails here first.
+#[test]
+fn every_scenario_agrees_with_scalar_solve_on_every_backend() {
+    let scalar = Platform::rocket_eigen();
+    let registry = Platform::table1_registry();
+    for scenario in ScenarioCatalog::standard().scenarios() {
+        let horizon = scenario.default_horizon();
+        let reference = solve_scenario_cycles(&scalar, scenario, horizon)
+            .unwrap_or_else(|e| panic!("{}: scalar solve failed: {e:?}", scenario.name()));
+        for platform in &registry {
+            let outcome = solve_scenario_cycles(platform, scenario, horizon).unwrap_or_else(|e| {
+                panic!(
+                    "{} on {}: solve failed: {e:?}",
+                    scenario.name(),
+                    platform.name
+                )
+            });
+            assert_eq!(
+                outcome.result.converged,
+                reference.result.converged,
+                "{} on {}: convergence disagrees",
+                scenario.name(),
+                platform.name
+            );
+            assert_eq!(
+                outcome.result.iterations,
+                reference.result.iterations,
+                "{} on {}: iteration count disagrees",
+                scenario.name(),
+                platform.name
+            );
+            for i in 0..reference.result.u0.len() {
+                let diff = (outcome.result.u0[i] - reference.result.u0[i]).abs();
+                assert!(
+                    diff <= U0_TOLERANCE,
+                    "{} on {}: u0[{i}] off by {diff} (tolerance {U0_TOLERANCE})",
+                    scenario.name(),
+                    platform.name
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -60,6 +60,13 @@ fn table1_report_matches_golden() {
 }
 
 #[test]
+fn scenarios_report_matches_golden() {
+    let out = dse(&["scenarios"]);
+    assert!(out.status.success());
+    assert_golden("scenarios.txt", &String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
 fn sweep_smoke_report_matches_golden() {
     // --no-cache keeps the cache-stats footer deterministic (a cold,
     // disk-less run is all misses regardless of prior invocations);
@@ -67,4 +74,25 @@ fn sweep_smoke_report_matches_golden() {
     let out = dse(&["sweep", "--smoke", "--no-cache", "--jobs", "2"]);
     assert!(out.status.success());
     assert_golden("sweep_smoke.txt", &String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn sweep_scenario_smoke_report_matches_golden() {
+    // The scenario axis changes the priced workload AND adds the
+    // closed-loop tracking section — snapshot one non-default scenario
+    // end to end so both stay stable.
+    let out = dse(&[
+        "sweep",
+        "--scenario",
+        "figure8",
+        "--smoke",
+        "--no-cache",
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success());
+    assert_golden(
+        "sweep_figure8_smoke.txt",
+        &String::from_utf8_lossy(&out.stdout),
+    );
 }

@@ -1,0 +1,157 @@
+//! Property tests over the scenario registry: the solver must behave
+//! well on *families* of plants, not just the handful of hand-picked
+//! literals in `tinympc::problems`.
+//!
+//! * 100 seeds of `Scenario::random_stable_plant` — every solve
+//!   terminates, returns finite controls inside the box, and the
+//!   closed-loop rollout stays bounded;
+//! * every registered catalog scenario passes the same closed-loop
+//!   boundedness bar at its default horizon;
+//! * the second-order-cone projection used by the SOC-constrained
+//!   scenarios is checked against hand-computed projections through the
+//!   public `SocConstraint` API, and the soft-landing rollout is
+//!   re-asserted to keep every applied thrust inside the cone.
+
+use soc_dse_repro::matlib::Vector;
+use soc_dse_repro::soc_dse::experiments::{evaluate_closed_loop, Scenario, ScenarioCatalog};
+use soc_dse_repro::tinympc::{AdmmSolver, NullExecutor, SocConstraint, SolverSettings};
+
+#[test]
+fn random_stable_plants_solve_cleanly_for_100_seeds() {
+    let horizon = 8;
+    for seed in 0..100u64 {
+        let scenario = Scenario::random_stable_plant(6, 2, seed);
+        let problem = scenario
+            .problem::<f32>(horizon)
+            .unwrap_or_else(|e| panic!("seed {seed}: problem construction failed: {e}"));
+        let (u_min, u_max) = (problem.u_min, problem.u_max);
+        let mut solver = AdmmSolver::new(problem, SolverSettings::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: solver construction failed: {e}"));
+        let x0 = scenario.initial_state::<f32>();
+        let result = solver
+            .solve(&x0, &mut NullExecutor)
+            .unwrap_or_else(|e| panic!("seed {seed}: solve failed: {e}"));
+        assert!(result.iterations >= 1, "seed {seed}: solver did no work");
+        for i in 0..result.u0.len() {
+            let u = result.u0[i];
+            assert!(u.is_finite(), "seed {seed}: u0[{i}] = {u} is not finite");
+            assert!(
+                (u_min..=u_max).contains(&u),
+                "seed {seed}: u0[{i}] = {u} outside [{u_min}, {u_max}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_stable_plants_stay_bounded_in_closed_loop() {
+    // A thinner seed sweep for the full rollout (each one is ~40 MPC
+    // solves); boundedness here means the controller actually
+    // stabilizes the sampled plant, not merely that one solve returned.
+    for seed in 0..25u64 {
+        let scenario = Scenario::random_stable_plant(6, 2, seed);
+        let report = evaluate_closed_loop::<f32>(&scenario, 8, SolverSettings::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: rollout failed: {e}"));
+        assert!(
+            report.rms_error.is_finite() && report.max_error < 10.0,
+            "seed {seed}: closed loop diverged: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn every_registered_scenario_is_bounded_at_its_default_horizon() {
+    for scenario in ScenarioCatalog::standard().scenarios() {
+        let report = evaluate_closed_loop::<f32>(
+            scenario,
+            scenario.default_horizon(),
+            SolverSettings::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: rollout failed: {e}", scenario.name()));
+        assert_eq!(report.steps, scenario.rollout_steps());
+        assert!(
+            report.rms_error.is_finite() && report.max_error < 100.0,
+            "{}: closed loop diverged: {report:?}",
+            scenario.name()
+        );
+        assert!(
+            report.converged_steps > 0,
+            "{}: no solve ever converged",
+            scenario.name()
+        );
+    }
+}
+
+/// Hand-computed projections onto `‖(u_x, u_y)‖ ≤ μ·(u_z + offset)`,
+/// exercised through the same `SocConstraint` the soft-landing scenario
+/// installs. Cases follow the standard three-way split for the
+/// second-order cone (interior / polar cone / projection onto the
+/// boundary).
+#[test]
+fn soc_projection_matches_hand_computed_cases() {
+    let cone = SocConstraint {
+        axis: 2,
+        lateral: vec![0, 1],
+        mu: 1.0f64,
+        offset: 0.0,
+    };
+
+    // Interior point: untouched.
+    let mut u = Vector::from_fn(3, |i| [0.3, 0.4, 2.0][i]);
+    cone.project(&mut u);
+    assert_eq!((u[0], u[1], u[2]), (0.3, 0.4, 2.0));
+
+    // Polar cone (μ‖v‖ ≤ −s): projects to the apex.
+    let mut u = Vector::from_fn(3, |i| [0.5, 0.0, -3.0][i]);
+    cone.project(&mut u);
+    assert_eq!((u[0], u[1], u[2]), (0.0, 0.0, 0.0));
+
+    // Boundary projection: v = (3, 4), s = 0, μ = 1 →
+    // s* = (μ‖v‖ + s)/(μ² + 1) = 2.5, v* = μ·s*·v/‖v‖ = (1.5, 2.0).
+    let mut u = Vector::from_fn(3, |i| [3.0, 4.0, 0.0][i]);
+    cone.project(&mut u);
+    assert!((u[0] - 1.5).abs() < 1e-12, "u_x = {}", u[0]);
+    assert!((u[1] - 2.0).abs() < 1e-12, "u_y = {}", u[1]);
+    assert!((u[2] - 2.5).abs() < 1e-12, "u_z = {}", u[2]);
+
+    // Offset cone with μ = 0.5: v = (4, 0), s = 1 →
+    // s* = (0.5·4 + 1)/1.25 = 2.4, v* = 0.5·2.4·(1, 0) = (1.2, 0).
+    let shifted = SocConstraint {
+        axis: 2,
+        lateral: vec![0, 1],
+        mu: 0.5f64,
+        offset: 0.0,
+    };
+    let mut u = Vector::from_fn(3, |i| [4.0, 0.0, 1.0][i]);
+    shifted.project(&mut u);
+    assert!((u[0] - 1.2).abs() < 1e-12, "u_x = {}", u[0]);
+    assert!(u[1].abs() < 1e-12, "u_y = {}", u[1]);
+    assert!((u[2] - 2.4).abs() < 1e-12, "u_z = {}", u[2]);
+
+    // Projection is idempotent and the result has non-negative margin.
+    let margin = cone.margin(&u);
+    let mut again = u.clone();
+    cone.project(&mut again);
+    assert!(margin >= -1e-12);
+    for i in 0..3 {
+        assert_eq!(u[i].to_bits(), again[i].to_bits(), "not idempotent at {i}");
+    }
+}
+
+#[test]
+fn soft_landing_rollout_respects_the_thrust_cone() {
+    let scenario = Scenario::soft_landing();
+    let report = evaluate_closed_loop::<f32>(
+        &scenario,
+        scenario.default_horizon(),
+        SolverSettings::default(),
+    )
+    .unwrap();
+    let margin = report
+        .min_cone_margin
+        .expect("soft landing is SOC-constrained");
+    assert!(
+        margin >= -1e-5,
+        "an applied thrust left the glideslope cone: margin {margin}"
+    );
+}

@@ -44,6 +44,45 @@ fn smoke_report_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn scenario_sweep_is_byte_identical_across_job_counts() {
+    // The scenario axis must not perturb determinism: the closed-loop
+    // tracking section is computed serially from the spec alone, and
+    // the priced grid goes through the same order-preserving shard
+    // merge as the hover default.
+    let reference = dse(&[
+        "sweep",
+        "--scenario",
+        "figure8",
+        "--smoke",
+        "--no-cache",
+        "--jobs",
+        "1",
+    ]);
+    assert!(reference.status.success());
+    let stdout = String::from_utf8_lossy(&reference.stdout);
+    assert!(
+        stdout.contains("workload: figure8") && stdout.contains("Closed-loop tracking"),
+        "scenario sweep must report its workload and tracking error: {stdout}"
+    );
+    for jobs in ["4", "16"] {
+        let got = dse(&[
+            "sweep",
+            "--scenario",
+            "figure8",
+            "--smoke",
+            "--no-cache",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(got.status.success());
+        assert_eq!(
+            got.stdout, reference.stdout,
+            "--jobs {jobs} perturbed the scenario sweep report"
+        );
+    }
+}
+
+#[test]
 fn cache_warm_rerun_regenerates_nothing() {
     let dir = fresh_dir("warm");
     let dir_arg = dir.to_str().unwrap();
