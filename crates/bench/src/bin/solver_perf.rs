@@ -1,0 +1,445 @@
+//! Host-performance census of the flattened solver hot path: ns/solve
+//! and allocations/solve for warm [`AdmmSolver::solve_in_place`], per
+//! scenario × dims, against two references:
+//!
+//! - **dynamic** — the same arena solver with [`SolverDims::Dynamic`]
+//!   forced (what the specialization seam buys);
+//! - **legacy** — a faithful re-creation of the pre-arena solver
+//!   (thirteen `Vec<Vector>` fields, allocating matlib composites,
+//!   per-iteration temporaries), the honest baseline for the speedup
+//!   claim. Every timed legacy solve is checked bit-identical to the
+//!   arena solve it is compared against.
+//!
+//! Writes `results/solver_perf.txt` (markdown table) and
+//! `BENCH_solver.json` (machine-readable). `--smoke` runs a reduced
+//! solve count and exits non-zero if a warm arena solve allocates or
+//! the quadrotor speedup over legacy drops below 2×.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use matlib::Vector;
+use tinympc::{
+    problems, AdmmSolver, NullExecutor, SolverDims, SolverSettings, TinyMpcCache, TinyMpcProblem,
+};
+
+// ---------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+// ---------------------------------------------------------------------
+// Legacy baseline: the pre-arena solver, preserved verbatim
+// ---------------------------------------------------------------------
+
+/// The pre-arena workspace and ADMM loop: one heap vector per knot
+/// point, allocating matlib composites in every pass. Functionally
+/// bit-identical to the arena solver (asserted per timed solve); only
+/// the memory behaviour differs.
+struct LegacySolver {
+    problem: TinyMpcProblem<f32>,
+    cache: TinyMpcCache<f32>,
+    settings: SolverSettings,
+    x: Vec<Vector<f32>>,
+    u: Vec<Vector<f32>>,
+    q: Vec<Vector<f32>>,
+    r: Vec<Vector<f32>>,
+    p: Vec<Vector<f32>>,
+    d: Vec<Vector<f32>>,
+    v: Vec<Vector<f32>>,
+    vnew: Vec<Vector<f32>>,
+    z: Vec<Vector<f32>>,
+    znew: Vec<Vector<f32>>,
+    g: Vec<Vector<f32>>,
+    y: Vec<Vector<f32>>,
+    xref: Vec<Vector<f32>>,
+}
+
+impl LegacySolver {
+    fn new(problem: TinyMpcProblem<f32>, settings: SolverSettings) -> Self {
+        let cache = TinyMpcCache::compute(&problem).unwrap();
+        let (nx, nu, n) = (problem.dims().nx, problem.dims().nu, problem.horizon);
+        let states = |_| vec![Vector::zeros(nx); n];
+        let inputs = |_| vec![Vector::zeros(nu); n - 1];
+        LegacySolver {
+            x: states(()),
+            q: states(()),
+            p: states(()),
+            v: states(()),
+            vnew: states(()),
+            g: states(()),
+            xref: states(()),
+            u: inputs(()),
+            r: inputs(()),
+            d: inputs(()),
+            z: inputs(()),
+            znew: inputs(()),
+            y: inputs(()),
+            problem,
+            cache,
+            settings,
+        }
+    }
+
+    fn backward_pass(&mut self) {
+        let c = &self.cache;
+        for i in (0..self.u.len()).rev() {
+            let btp = c.b_t.matvec(&self.p[i + 1]).unwrap();
+            let rhs = btp.add(&self.r[i]).unwrap();
+            self.d[i] = c.quu_inv.matvec(&rhs).unwrap();
+            let prop = c.am_bk_t.matvec(&self.p[i + 1]).unwrap();
+            let ktr = c.kinf_t.matvec(&self.r[i]).unwrap();
+            self.p[i] = self.q[i].add(&prop).unwrap().sub(&ktr).unwrap();
+        }
+    }
+
+    fn forward_pass(&mut self) {
+        let c = &self.cache;
+        for i in 0..self.u.len() {
+            let kx = c.kinf.matvec(&self.x[i]).unwrap();
+            self.u[i] = kx.neg().sub(&self.d[i]).unwrap();
+            let ax = self.problem.a.matvec(&self.x[i]).unwrap();
+            let bu = self.problem.b.matvec(&self.u[i]).unwrap();
+            self.x[i + 1] = ax.add(&bu).unwrap();
+        }
+    }
+
+    fn update_slack(&mut self) {
+        let p = &self.problem;
+        for i in 0..self.u.len() {
+            self.znew[i] = self.u[i].add(&self.y[i]).unwrap().clip(p.u_min, p.u_max);
+            for cone in &p.input_cones {
+                cone.project(&mut self.znew[i]);
+            }
+        }
+        for i in 0..self.x.len() {
+            self.vnew[i] = self.x[i].add(&self.g[i]).unwrap().clip(p.x_min, p.x_max);
+        }
+    }
+
+    fn update_dual(&mut self) {
+        for i in 0..self.u.len() {
+            self.y[i] = self.y[i]
+                .add(&self.u[i])
+                .unwrap()
+                .sub(&self.znew[i])
+                .unwrap();
+        }
+        for i in 0..self.x.len() {
+            self.g[i] = self.g[i]
+                .add(&self.x[i])
+                .unwrap()
+                .sub(&self.vnew[i])
+                .unwrap();
+        }
+    }
+
+    fn update_linear_cost(&mut self) {
+        let rho = self.problem.rho;
+        for i in 0..self.r.len() {
+            self.r[i] = self.znew[i].sub(&self.y[i]).unwrap().scale(-rho);
+        }
+        for i in 0..self.q.len() {
+            let p = &self.problem;
+            let ref_cost = Vector::from_fn(p.q_diag.len(), |j| -(self.xref[i][j] * p.q_diag[j]));
+            let penalty = self.vnew[i].sub(&self.g[i]).unwrap().scale(rho);
+            self.q[i] = ref_cost.sub(&penalty).unwrap();
+        }
+        let last = self.x.len() - 1;
+        let terminal = self.cache.pinf.matvec(&self.xref[last]).unwrap().neg();
+        let penalty = self.vnew[last].sub(&self.g[last]).unwrap().scale(rho);
+        self.p[last] = terminal.sub(&penalty).unwrap();
+    }
+
+    fn residuals(&self) -> (f64, f64, f64, f64) {
+        let rho = self.problem.rho as f64;
+        let mut prs: f64 = 0.0;
+        let mut drs: f64 = 0.0;
+        for i in 0..self.x.len() {
+            prs = prs.max(self.x[i].max_abs_diff(&self.vnew[i]).unwrap() as f64);
+            drs = drs.max(self.v[i].max_abs_diff(&self.vnew[i]).unwrap() as f64);
+        }
+        let mut pri: f64 = 0.0;
+        let mut dri: f64 = 0.0;
+        for i in 0..self.u.len() {
+            pri = pri.max(self.u[i].max_abs_diff(&self.znew[i]).unwrap() as f64);
+            dri = dri.max(self.z[i].max_abs_diff(&self.znew[i]).unwrap() as f64);
+        }
+        (prs, drs * rho, pri, dri * rho)
+    }
+
+    /// One warm solve; returns (converged, iterations, u0).
+    fn solve(&mut self, x0: &[f32]) -> (bool, usize, Vector<f32>) {
+        self.x[0] = Vector::from_slice(x0);
+        let rho = self.problem.rho as f64;
+        self.update_linear_cost();
+        let mut converged = false;
+        let mut iterations = 0;
+        for iter in 0..self.settings.max_iterations {
+            iterations = iter + 1;
+            self.backward_pass();
+            self.forward_pass();
+            self.update_slack();
+            self.update_dual();
+            self.update_linear_cost();
+            if iter % self.settings.check_interval == 0 {
+                let (prs, drs, pri, dri) = self.residuals();
+                let tol = self.settings.tolerance;
+                if prs < tol && drs < tol * rho && pri < tol && dri < tol * rho {
+                    converged = true;
+                }
+            }
+            std::mem::swap(&mut self.v, &mut self.vnew);
+            std::mem::swap(&mut self.z, &mut self.znew);
+            if converged {
+                break;
+            }
+        }
+        (converged, iterations, self.z[0].clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement harness
+// ---------------------------------------------------------------------
+
+struct Measurement {
+    ns_per_solve: f64,
+    allocs_per_solve: f64,
+    iterations: usize,
+}
+
+fn measure(solves: usize, mut f: impl FnMut() -> usize) -> Measurement {
+    // Warm-up: settle iterates and touch every buffer.
+    let mut iterations = 0;
+    for _ in 0..3 {
+        iterations = f();
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..solves {
+        iterations = f();
+    }
+    let elapsed = start.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    Measurement {
+        ns_per_solve: elapsed.as_nanos() as f64 / solves as f64,
+        allocs_per_solve: allocs as f64 / solves as f64,
+        iterations,
+    }
+}
+
+struct Row {
+    workload: &'static str,
+    dims: String,
+    spec: SolverDims,
+    iterations: usize,
+    arena: Measurement,
+    dynamic: Measurement,
+    legacy: Measurement,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy.ns_per_solve / self.arena.ns_per_solve
+    }
+}
+
+fn workload(name: &'static str, problem: TinyMpcProblem<f32>, x0: Vec<f32>, solves: usize) -> Row {
+    let dims = problem.dims();
+    let settings = SolverSettings::default();
+
+    let mut arena = AdmmSolver::new(problem.clone(), settings).unwrap();
+    let spec = arena.specialization();
+    let arena_m = measure(solves, || {
+        arena
+            .solve_in_place(&x0, &mut NullExecutor)
+            .unwrap()
+            .iterations
+    });
+
+    let mut dynamic = AdmmSolver::new(problem.clone(), settings).unwrap();
+    dynamic.set_specialization(SolverDims::Dynamic).unwrap();
+    let dynamic_m = measure(solves, || {
+        dynamic
+            .solve_in_place(&x0, &mut NullExecutor)
+            .unwrap()
+            .iterations
+    });
+
+    let mut legacy = LegacySolver::new(problem, settings);
+    let legacy_m = measure(solves, || legacy.solve(&x0).1);
+
+    // The baseline must be solving the same problem: after identical
+    // warm histories, legacy and arena u0 agree bit-for-bit.
+    let (_, _, legacy_u0) = legacy.solve(&x0);
+    arena.solve_in_place(&x0, &mut NullExecutor).unwrap();
+    assert_eq!(
+        legacy_u0.as_slice(),
+        arena.u0(),
+        "{name}: legacy baseline diverged from the arena solver"
+    );
+
+    Row {
+        workload: name,
+        dims: format!("{}x{}xN{}", dims.nx, dims.nu, dims.horizon),
+        spec,
+        iterations: arena_m.iterations,
+        arena: arena_m,
+        dynamic: dynamic_m,
+        legacy: legacy_m,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let solves = if smoke { 25 } else { 400 };
+
+    let quad = problems::quadrotor_hover::<f32>(10)?;
+    let quad_x0 = quad.hover_offset_state(0.2).as_slice().to_vec();
+    let rdv = problems::satellite_rendezvous::<f32>(10)?;
+    let mut rdv_x0 = vec![0.0f32; rdv.dims().nx];
+    rdv_x0[0] = 0.1;
+    rdv_x0[1] = -0.1;
+    let di = problems::double_integrator::<f32>(12)?;
+    let di_x0 = vec![0.4f32, 0.0];
+    let rand5x2 = problems::random_stable::<f32>(5, 2, 8, 7)?;
+    let rand_x0 = vec![0.05f32; 5];
+
+    let rows = vec![
+        workload("quadrotor_hover", quad, quad_x0, solves),
+        workload("satellite_rendezvous", rdv, rdv_x0, solves),
+        workload("double_integrator", di, di_x0, solves),
+        workload("random_stable_5x2", rand5x2, rand_x0, solves),
+    ];
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                r.dims.clone(),
+                format!("{:?}", r.spec),
+                format!("{}", r.iterations),
+                format!("{:.0}", r.arena.ns_per_solve),
+                format!("{:.0}", r.dynamic.ns_per_solve),
+                format!("{:.0}", r.legacy.ns_per_solve),
+                format!("{:.1}", r.arena.allocs_per_solve),
+                format!("{:.1}", r.legacy.allocs_per_solve),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    let rendered = soc_dse::report::markdown_table(
+        &[
+            "Workload",
+            "Dims",
+            "Specialization",
+            "Iters",
+            "ns/solve (arena)",
+            "ns/solve (dynamic)",
+            "ns/solve (legacy)",
+            "allocs/solve (arena)",
+            "allocs/solve (legacy)",
+            "Speedup vs legacy",
+        ],
+        &table,
+    );
+    let header = format!(
+        "solver_perf — warm solve timing and allocation census ({solves} solves/row)\n\
+         arena = in-place dims-specialized hot path; dynamic = arena with the\n\
+         generic fallback forced; legacy = pre-arena Vec<Vector> solver.\n"
+    );
+    println!("{header}\n{rendered}");
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/solver_perf.txt", format!("{header}\n{rendered}"))?;
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"dims\": \"{}\", \"specialization\": \"{:?}\", \
+                 \"iterations\": {}, \"ns_per_solve_arena\": {:.1}, \
+                 \"ns_per_solve_dynamic\": {:.1}, \"ns_per_solve_legacy\": {:.1}, \
+                 \"allocs_per_solve_arena\": {:.2}, \"allocs_per_solve_legacy\": {:.2}, \
+                 \"speedup_vs_legacy\": {:.3}}}",
+                r.workload,
+                r.dims,
+                r.spec,
+                r.iterations,
+                r.arena.ns_per_solve,
+                r.dynamic.ns_per_solve,
+                r.legacy.ns_per_solve,
+                r.arena.allocs_per_solve,
+                r.legacy.allocs_per_solve,
+                r.speedup()
+            )
+        })
+        .collect();
+    std::fs::write(
+        "BENCH_solver.json",
+        format!(
+            "{{\"bench\": \"solver_perf\", \"solves_per_row\": {solves}, \"rows\": [\n{}\n]}}\n",
+            json_rows.join(",\n")
+        ),
+    )?;
+
+    // Gates: the flattened hot path must not allocate in a warm solve,
+    // and the quadrotor workload (the paper's primary scenario) must
+    // clear 2x over the allocating legacy solver.
+    let mut failed = false;
+    for r in &rows {
+        if r.arena.allocs_per_solve > 0.0 {
+            eprintln!(
+                "FAIL {}: warm arena solve allocated ({:.1}/solve)",
+                r.workload, r.arena.allocs_per_solve
+            );
+            failed = true;
+        }
+    }
+    let quad_row = &rows[0];
+    if quad_row.speedup() < 2.0 {
+        eprintln!(
+            "FAIL quadrotor_hover: speedup vs legacy {:.2}x < 2.0x",
+            quad_row.speedup()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nGATES OK: zero warm-solve allocations; quadrotor speedup {:.2}x >= 2x",
+        quad_row.speedup()
+    );
+    Ok(())
+}

@@ -101,6 +101,34 @@ pub fn solve_scenario_cycles_with(
     })
 }
 
+/// Prices one scenario solve and returns just the cycle summary — the
+/// batch-oracle hot path. Runs the solver's in-place entry point, so no
+/// trajectory, `u0` vector or per-solve result struct is materialized;
+/// bit-identical in cycles and iterations to
+/// [`solve_scenario_cycles`] (same math, same charge schedule).
+///
+/// # Errors
+///
+/// Propagates solver construction/solve failures.
+pub fn solve_scenario_summary(
+    platform: &Platform,
+    scenario: &Scenario,
+    horizon: usize,
+) -> tinympc::Result<SolveSummary> {
+    let problem = scenario.problem::<f32>(horizon)?;
+    let mut solver = AdmmSolver::new(problem, SolverSettings::default())?;
+    solver.set_reference(&scenario.reference::<f32>(horizon, 0))?;
+    let x0 = scenario.initial_state::<f32>();
+    let mut executor = platform.executor();
+    let status = solver.solve_in_place(x0.as_slice(), executor.as_mut())?;
+    Ok(SolveSummary {
+        total_cycles: status.total_cycles,
+        iterations: status.iterations,
+        converged: status.converged,
+        kernel_cycles: solver.last_kernel_cycles().to_map(),
+    })
+}
+
 /// Prices an arbitrary MPC problem (any state/input dimensions) on a
 /// platform — the workload-sensitivity entry point.
 ///
@@ -217,13 +245,7 @@ impl CycleSource for SerialSource {
     fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<tinympc::Result<SolveSummary>> {
         requests
             .iter()
-            .map(|r| {
-                Ok(SolveSummary::from(&solve_scenario_cycles(
-                    &r.platform,
-                    &r.scenario,
-                    r.horizon,
-                )?))
-            })
+            .map(|r| solve_scenario_summary(&r.platform, &r.scenario, r.horizon))
             .collect()
     }
 

@@ -294,7 +294,10 @@ impl<T: Scalar> DeadlineSolver<T> {
             return self.lqr_outcome(x0, false, None);
         }
         self.solver.set_settings(self.settings_for(rung));
-        match self.solver.solve_observed(x0, executor, observer) {
+        match self
+            .solver
+            .solve_in_place_observed(x0.as_slice(), executor, observer)
+        {
             Ok(r) if r.termination != TerminationCause::Diverged => {
                 self.finish(x0, r, rung, false, None)
             }
@@ -320,7 +323,7 @@ impl<T: Scalar> DeadlineSolver<T> {
             return self.lqr_outcome(x0, true, Some(fault));
         }
         self.solver.set_settings(self.settings_for(rung));
-        match self.solver.solve(x0, &mut fallback) {
+        match self.solver.solve_in_place(x0.as_slice(), &mut fallback) {
             Ok(r) if r.termination != TerminationCause::Diverged => {
                 self.finish(x0, r, rung, true, Some(fault))
             }
@@ -329,11 +332,13 @@ impl<T: Scalar> DeadlineSolver<T> {
     }
 
     /// Packages a successful solve, downgrading the rung label when the
-    /// budget tripped mid-solve and clamping `u0` defensively.
+    /// budget tripped mid-solve and clamping `u0` defensively. The
+    /// applied control is read straight from the solver's arena — the
+    /// one allocation here is the outgoing `u0` vector itself.
     fn finish(
         &mut self,
         x0: &Vector<T>,
-        r: tinympc::SolveResult<T>,
+        r: tinympc::SolveStatus,
         rung: DegradeRung,
         retried: bool,
         fault: Option<String>,
@@ -344,7 +349,8 @@ impl<T: Scalar> DeadlineSolver<T> {
             rung
         };
         let p = self.solver.problem();
-        let mut u0 = r.u0.clip(p.u_min, p.u_max);
+        let mut u0 = Vector::from_slice(self.solver.u0());
+        matlib::clamp_in_place(u0.as_mut_slice(), p.u_min, p.u_max);
         if !u0.is_finite() {
             u0 = self.lqr_u0(x0);
         }

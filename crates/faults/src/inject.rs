@@ -5,7 +5,7 @@ use crate::plan::{Fault, FaultKind, FaultSite};
 use soc_backend::PipelineExecutor;
 use soc_isa::{MicroOp, Payload, RoccCmd, Trace};
 use tinympc::{
-    KernelExecutor, KernelId, ProblemDims, SolveObserver, TinyMpcCache, TinyMpcWorkspace,
+    KernelExecutor, KernelId, ProblemDims, SolveObserver, TinyMpcCache, TinyMpcWorkspace, WsField,
 };
 
 /// Flips one bit of an `f32` word.
@@ -78,23 +78,34 @@ impl DataInjector {
             FaultKind::BitFlip { bit } => bit,
             _ => 0,
         };
-        let names = ["x", "y", "g", "p", "q", "r", "d"];
-        let lens = [&ws.x, &ws.y, &ws.g, &ws.p, &ws.q, &ws.r, &ws.d]
-            .map(|f: &Vec<matlib::Vector<f32>>| f.iter().map(|v| v.len()).sum::<usize>());
-        let total: usize = lens.iter().sum();
-        let mut idx = (self.fault.word as usize) % total.max(1);
-        let fields: [&mut Vec<matlib::Vector<f32>>; 7] = [
-            &mut ws.x, &mut ws.y, &mut ws.g, &mut ws.p, &mut ws.q, &mut ws.r, &mut ws.d,
+        // Same field order (and therefore the same word → landing-site
+        // mapping) as the pre-arena workspace, so seeded campaigns stay
+        // deterministic across the refactor.
+        let fields = [
+            ("x", WsField::X),
+            ("y", WsField::Y),
+            ("g", WsField::G),
+            ("p", WsField::P),
+            ("q", WsField::Q),
+            ("r", WsField::R),
+            ("d", WsField::D),
         ];
-        for (name, field) in names.iter().zip(fields) {
-            for (k, v) in field.iter_mut().enumerate() {
-                if idx < v.len() {
-                    v[idx] = flip_f32(v[idx], bit);
-                    self.injected = Some(format!("{name}[{k}][{idx}] bit {bit}"));
-                    return;
-                }
-                idx -= v.len();
+        let total: usize = fields
+            .iter()
+            .map(|&(_, f)| ws.knots(f) * ws.knot_dim(f))
+            .sum();
+        let mut idx = (self.fault.word as usize) % total.max(1);
+        for (name, field) in fields {
+            let dim = ws.knot_dim(field);
+            let len = ws.knots(field) * dim;
+            if idx < len {
+                let (k, e) = (idx / dim, idx % dim);
+                let v = &mut ws.knot_mut(field, k)[e];
+                *v = flip_f32(*v, bit);
+                self.injected = Some(format!("{name}[{k}][{e}] bit {bit}"));
+                return;
             }
+            idx -= len;
         }
     }
 }

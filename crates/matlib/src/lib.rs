@@ -47,7 +47,11 @@ mod vector;
 
 pub use error::Error;
 pub use matrix::Matrix;
-pub use ops::{gemm, gemm_accumulate, gemv, gemv_accumulate};
+pub use ops::{
+    add_assign, add_into, axpy_into, clamp_in_place, clamp_into, gemm, gemm_accumulate, gemv,
+    gemv_accumulate, gemv_into, max_abs_diff_slices, neg_into, scale_in_place, scale_into,
+    sub_assign, sub_into,
+};
 pub use qr::Qr;
 pub use riccati::{closed_loop_step, dare, dare_residual, lqr_gains, DareOptions, DareSolution};
 pub use scalar::Scalar;

@@ -100,12 +100,15 @@ pub fn gemm_accumulate<T: Scalar>(
 
 /// General matrix-vector product `A * x`.
 ///
+/// Delegates to the in-place [`gemv_into`]; kept as the allocating
+/// convenience wrapper.
+///
 /// # Errors
 ///
 /// Returns [`Error::DimensionMismatch`] if `a.cols() != x.len()`.
 pub fn gemv<T: Scalar>(a: &Matrix<T>, x: &Vector<T>) -> Result<Vector<T>> {
     let mut out = Vector::zeros(a.rows());
-    gemv_accumulate(T::ONE, a, x, T::ZERO, &mut out)?;
+    gemv_into(a, x.as_slice(), out.as_mut_slice())?;
     Ok(out)
 }
 
@@ -147,6 +150,200 @@ pub fn gemv_accumulate<T: Scalar>(
         y[i] = alpha * acc + beta * y[i];
     }
     guard_finite("gemv", y.as_slice())
+}
+
+#[inline]
+fn check_len<T>(op: &'static str, a: &[T], b: &[T]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(Error::DimensionMismatch {
+            op,
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+/// In-place GEMV: `y = A · x` into the caller-provided slice, with zero
+/// hidden allocation.
+///
+/// Performs exactly the operation sequence of [`gemv`] (row-wise
+/// `mul_add` accumulation from zero), so results are bit-identical to
+/// the allocating wrapper, which delegates here.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if `a.cols() != x.len()` or
+/// `y.len() != a.rows()`, and [`Error::NonFinite`] if the output
+/// contains NaN/Inf.
+pub fn gemv_into<T: Scalar>(a: &Matrix<T>, x: &[T], y: &mut [T]) -> Result<()> {
+    if a.cols() != x.len() {
+        return Err(Error::DimensionMismatch {
+            op: "gemv",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    if y.len() != a.rows() {
+        return Err(Error::DimensionMismatch {
+            op: "gemv(out)",
+            lhs: (a.rows(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    // Hardware-FMA fast path (bit-identical by the `gemv_accel`
+    // contract); the generic loop is the portable fallback.
+    if !T::gemv_accel(a.as_slice(), x, y) {
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for (&aip, &xp) in a.row(i).iter().zip(x.iter()) {
+                acc = aip.mul_add(xp, acc);
+            }
+            // `alpha·acc + beta·0` of the legacy accumulate path with
+            // alpha = 1, beta = 0: the trailing `+ 0` canonicalizes −0.
+            *yi = acc + T::ZERO;
+        }
+    }
+    guard_finite("gemv", y.iter())
+}
+
+/// In-place AXPY: `y = alpha·x + y` (fused per element, matching
+/// [`Vector::axpy`], which delegates here).
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn axpy_into<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) -> Result<()> {
+    check_len("axpy", y, x)?;
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+    Ok(())
+}
+
+/// Element-wise sum into a caller-provided slice: `out = a + b`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn add_into<T: Scalar>(a: &[T], b: &[T], out: &mut [T]) -> Result<()> {
+    check_len("vadd", a, b)?;
+    check_len("vadd(out)", a, out)?;
+    for (o, (&ai, &bi)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = ai + bi;
+    }
+    Ok(())
+}
+
+/// Element-wise difference into a caller-provided slice: `out = a − b`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn sub_into<T: Scalar>(a: &[T], b: &[T], out: &mut [T]) -> Result<()> {
+    check_len("vsub", a, b)?;
+    check_len("vsub(out)", a, out)?;
+    for (o, (&ai, &bi)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = ai - bi;
+    }
+    Ok(())
+}
+
+/// In-place accumulate: `y = y + x` (each element evaluated as
+/// `y[i] + x[i]`, the order of `Vector::add(self, other)`).
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn add_assign<T: Scalar>(y: &mut [T], x: &[T]) -> Result<()> {
+    check_len("vadd", y, x)?;
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+    Ok(())
+}
+
+/// In-place subtract: `y = y − x` (each element evaluated as
+/// `y[i] − x[i]`, the order of `Vector::sub(self, other)`).
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn sub_assign<T: Scalar>(y: &mut [T], x: &[T]) -> Result<()> {
+    check_len("vsub", y, x)?;
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi -= xi;
+    }
+    Ok(())
+}
+
+/// Scaled copy into a caller-provided slice: `out = x · s`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn scale_into<T: Scalar>(x: &[T], s: T, out: &mut [T]) -> Result<()> {
+    check_len("vscale(out)", x, out)?;
+    for (o, &xi) in out.iter_mut().zip(x) {
+        *o = xi * s;
+    }
+    Ok(())
+}
+
+/// In-place scale: `y = y · s` (each element evaluated as `y[i] * s`,
+/// the order of [`Vector::scale`]).
+pub fn scale_in_place<T: Scalar>(y: &mut [T], s: T) {
+    for yi in y.iter_mut() {
+        *yi *= s;
+    }
+}
+
+/// Negated copy into a caller-provided slice: `out = −x`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn neg_into<T: Scalar>(x: &[T], out: &mut [T]) -> Result<()> {
+    check_len("vneg(out)", x, out)?;
+    for (o, &xi) in out.iter_mut().zip(x) {
+        *o = -xi;
+    }
+    Ok(())
+}
+
+/// Clamped copy into a caller-provided slice:
+/// `out[i] = min(hi, max(lo, x[i]))` — the TinyMPC slack projection.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn clamp_into<T: Scalar>(x: &[T], lo: T, hi: T, out: &mut [T]) -> Result<()> {
+    check_len("vclip(out)", x, out)?;
+    for (o, &xi) in out.iter_mut().zip(x) {
+        *o = xi.max(lo).min(hi);
+    }
+    Ok(())
+}
+
+/// In-place clamp: `y[i] = min(hi, max(lo, y[i]))`, the operation order
+/// of [`Vector::clip`].
+pub fn clamp_in_place<T: Scalar>(y: &mut [T], lo: T, hi: T) {
+    for yi in y.iter_mut() {
+        *yi = (*yi).max(lo).min(hi);
+    }
+}
+
+/// `max(|a − b|)` over two slices — the residual reduction of TinyMPC,
+/// folding from `+0` exactly like [`Vector::max_abs_diff`].
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the lengths differ.
+pub fn max_abs_diff_slices<T: Scalar>(a: &[T], b: &[T]) -> Result<T> {
+    check_len("max_abs_diff", a, b)?;
+    Ok(a.iter()
+        .zip(b)
+        .fold(T::ZERO, |m, (&x, &y)| m.max((x - y).abs())))
 }
 
 #[cfg(test)]

@@ -49,10 +49,26 @@ pub trait Scalar:
     fn from_f64(v: f64) -> Self;
     /// Whether the value is finite (not NaN or infinite).
     fn is_finite(self) -> bool;
+    /// Hands one row-major gemv (`y = A·x`, `y.len()` rows of
+    /// `x.len()` columns) to a platform-accelerated kernel, returning
+    /// `false` — with `y` untouched — when none is available for this
+    /// scalar type on the running CPU.
+    ///
+    /// Implementations must be **bit-identical** to the generic
+    /// `mul_add` loop in [`gemv_into`](crate::gemv_into): one fused
+    /// multiply-add per element, strictly sequential accumulation
+    /// within each row, trailing `+ 0` canonicalization. Hardware FMA
+    /// satisfies this by construction (fused rounding is exact and
+    /// unique); anything weaker (split multiply-add, reassociated
+    /// sums, double-rounded emulation) must not be wired in here.
+    #[inline]
+    fn gemv_accel(_a: &[Self], _x: &[Self], _y: &mut [Self]) -> bool {
+        false
+    }
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, $gemv_accel:path) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -90,9 +106,13 @@ macro_rules! impl_scalar {
             fn is_finite(self) -> bool {
                 <$t>::is_finite(self)
             }
+            #[inline]
+            fn gemv_accel(a: &[Self], x: &[Self], y: &mut [Self]) -> bool {
+                $gemv_accel(a, x, y)
+            }
         }
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+impl_scalar!(f32, matlib_accel::gemv_f32);
+impl_scalar!(f64, matlib_accel::gemv_f64);

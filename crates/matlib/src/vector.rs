@@ -73,39 +73,58 @@ impl<T: Scalar> Vector<T> {
 
     /// Element-wise sum.
     ///
+    /// Allocating wrapper over [`crate::add_into`].
+    ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if the lengths differ.
     pub fn add(&self, other: &Vector<T>) -> Result<Vector<T>> {
-        self.zip_with(other, "vadd", |a, b| a + b)
+        let mut out = Vector::zeros(self.len());
+        crate::ops::add_into(self.as_slice(), other.as_slice(), out.as_mut_slice())?;
+        Ok(out)
     }
 
     /// Element-wise difference.
+    ///
+    /// Allocating wrapper over [`crate::sub_into`].
     ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if the lengths differ.
     pub fn sub(&self, other: &Vector<T>) -> Result<Vector<T>> {
-        self.zip_with(other, "vsub", |a, b| a - b)
+        let mut out = Vector::zeros(self.len());
+        crate::ops::sub_into(self.as_slice(), other.as_slice(), out.as_mut_slice())?;
+        Ok(out)
     }
 
-    /// Scales every element by `s`.
+    /// Scales every element by `s` (allocating wrapper over
+    /// [`crate::scale_into`]).
     pub fn scale(&self, s: T) -> Vector<T> {
-        self.map(|x| x * s)
+        let mut out = Vector::zeros(self.len());
+        crate::ops::scale_into(self.as_slice(), s, out.as_mut_slice())
+            .expect("output allocated at matching length");
+        out
     }
 
-    /// Negates every element.
+    /// Negates every element (allocating wrapper over
+    /// [`crate::neg_into`]).
     pub fn neg(&self) -> Vector<T> {
-        self.map(|x| -x)
+        let mut out = Vector::zeros(self.len());
+        crate::ops::neg_into(self.as_slice(), out.as_mut_slice())
+            .expect("output allocated at matching length");
+        out
     }
 
-    /// `self + alpha * other` (BLAS `axpy`).
+    /// `self + alpha * other` (BLAS `axpy`; allocating wrapper over
+    /// [`crate::axpy_into`]).
     ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if the lengths differ.
     pub fn axpy(&self, alpha: T, other: &Vector<T>) -> Result<Vector<T>> {
-        self.zip_with(other, "axpy", |a, b| b.mul_add(alpha, a))
+        let mut out = Vector::from_slice(self.as_slice());
+        crate::ops::axpy_into(alpha, other.as_slice(), out.as_mut_slice())?;
+        Ok(out)
     }
 
     /// Dot product.
@@ -154,9 +173,13 @@ impl<T: Scalar> Vector<T> {
     /// Saturates every element into `[lo, hi]`.
     ///
     /// This is the slack-variable projection of TinyMPC:
-    /// `min(hi, max(lo, x))` applied element-wise.
+    /// `min(hi, max(lo, x))` applied element-wise (allocating wrapper
+    /// over [`crate::clamp_into`]).
     pub fn clip(&self, lo: T, hi: T) -> Vector<T> {
-        self.map(|x| x.max(lo).min(hi))
+        let mut out = Vector::zeros(self.len());
+        crate::ops::clamp_into(self.as_slice(), lo, hi, out.as_mut_slice())
+            .expect("output allocated at matching length");
+        out
     }
 
     /// Saturates element-wise into `[lo[i], hi[i]]`.
@@ -200,18 +223,7 @@ impl<T: Scalar> Vector<T> {
     ///
     /// Returns [`Error::DimensionMismatch`] if the lengths differ.
     pub fn max_abs_diff(&self, other: &Vector<T>) -> Result<T> {
-        if self.len() != other.len() {
-            return Err(Error::DimensionMismatch {
-                op: "max_abs_diff",
-                lhs: (self.len(), 1),
-                rhs: (other.len(), 1),
-            });
-        }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .fold(T::ZERO, |m, (&a, &b)| m.max((a - b).abs())))
+        crate::ops::max_abs_diff_slices(self.as_slice(), other.as_slice())
     }
 
     /// Applies `f` element-wise, producing a new vector.

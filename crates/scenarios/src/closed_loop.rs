@@ -69,6 +69,10 @@ pub fn evaluate_closed_loop<T: Scalar>(
     let cones = problem.input_cones.clone();
     let mut solver = AdmmSolver::new(problem, settings)?;
     let mut x = scenario.initial_state::<T>();
+    // Plant-update scratch, allocated once: the per-step loop below runs
+    // solve_in_place + gemv_into and stays allocation-free.
+    let mut ax = vec![T::ZERO; x.len()];
+    let mut bu = vec![T::ZERO; x.len()];
 
     let steps = scenario.rollout_steps();
     let tracked = scenario.tracked_states();
@@ -81,18 +85,20 @@ pub fn evaluate_closed_loop<T: Scalar>(
 
     for step in 0..steps {
         solver.set_reference(&scenario.reference::<T>(horizon, step))?;
-        let result = solver.solve(&x, &mut NullExecutor)?;
-        if result.converged {
+        let status = solver.solve_in_place(x.as_slice(), &mut NullExecutor)?;
+        if status.converged {
             converged_steps += 1;
         }
-        total_iterations += result.iterations;
+        total_iterations += status.iterations;
         for cone in &cones {
-            let margin = cone.margin(&result.u0);
+            let margin = cone.margin(solver.u0());
             min_cone_margin = Some(min_cone_margin.map_or(margin, |m: f64| m.min(margin)));
         }
 
         // Plant update: x⁺ = A x + B u₀.
-        x = a.matvec(&x)?.add(&b.matvec(&result.u0)?)?;
+        matlib::gemv_into(&a, x.as_slice(), &mut ax)?;
+        matlib::gemv_into(&b, solver.u0(), &mut bu)?;
+        matlib::add_into(&ax, &bu, x.as_mut_slice())?;
 
         // Achieved state corresponds to time step+1; compare against
         // the reference for that instant, over the tracked coordinates.

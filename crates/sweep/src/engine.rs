@@ -36,7 +36,7 @@ use crate::cache::{HitLevel, SweepCache};
 use crate::key::{bounds_key, kernel_key, solve_key, Key};
 use crate::pool::{run_sharded_isolated, RetryPolicy, ShardFailure, ShardStats};
 use soc_dse::experiments::{
-    solve_scenario_cycles, standalone_kernel, CycleSource, KernelRequest, SolveRequest,
+    solve_scenario_summary, standalone_kernel, CycleSource, KernelRequest, SolveRequest,
     SolveSummary,
 };
 use std::collections::{HashMap, HashSet};
@@ -432,13 +432,7 @@ impl CycleSource for SweepEngine {
             solve_key,
             SweepCache::get_solve,
             |cache, key, value| cache.put_solve(key, value),
-            |request| {
-                Ok(SolveSummary::from(&solve_scenario_cycles(
-                    &request.platform,
-                    &request.scenario,
-                    request.horizon,
-                )?))
-            },
+            |request| solve_scenario_summary(&request.platform, &request.scenario, request.horizon),
             |failure| Err(shard_failed(failure)),
         )
     }

@@ -84,6 +84,12 @@ impl<T: Scalar> SocConstraint<T> {
     /// The computation runs in the scalar type `T` (f32 on the modelled
     /// hardware), so every back-end produces bit-identical slacks.
     pub fn project(&self, u: &mut Vector<T>) {
+        self.project_slice(u.as_mut_slice());
+    }
+
+    /// [`project`](Self::project) on a raw slice — the arena hot path
+    /// (no `Vector` wrapper, no allocation).
+    pub fn project_slice(&self, u: &mut [T]) {
         let mu = self.mu;
         let s = u[self.axis] + self.offset;
         let norm_sq = self
@@ -114,7 +120,7 @@ impl<T: Scalar> SocConstraint<T> {
     /// Signed feasibility margin `mu·(u[axis]+offset) − ‖u[lateral]‖`
     /// (non-negative iff `u` satisfies the cone), in f64 for tests and
     /// reporting.
-    pub fn margin(&self, u: &Vector<T>) -> f64 {
+    pub fn margin(&self, u: &[T]) -> f64 {
         let s = (u[self.axis] + self.offset).to_f64();
         let norm = self
             .lateral
@@ -185,7 +191,7 @@ mod tests {
         assert!((u[1] - 2.0).abs() < 1e-12, "{:?}", u);
         assert!((u[2] - 2.5).abs() < 1e-12, "{:?}", u);
         // The result lies exactly on the boundary.
-        assert!(c.margin(&u).abs() < 1e-12);
+        assert!(c.margin(u.as_slice()).abs() < 1e-12);
     }
 
     #[test]
@@ -239,7 +245,10 @@ mod tests {
         ] {
             let mut u = Vector::from_slice(&[a, b, s]);
             c.project(&mut u);
-            assert!(c.margin(&u) >= -1e-9, "infeasible after projection: {u:?}");
+            assert!(
+                c.margin(u.as_slice()) >= -1e-9,
+                "infeasible after projection: {u:?}"
+            );
             let once = u.clone();
             c.project(&mut u);
             for i in 0..3 {

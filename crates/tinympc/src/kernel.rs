@@ -144,6 +144,74 @@ impl KernelId {
     }
 }
 
+impl KernelId {
+    /// Stable dense index of this kernel: its position in
+    /// [`KernelId::ALL`] (the discriminant, since `ALL` lists the
+    /// variants in declaration order).
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Fixed-size per-kernel cycle table: the allocation-free counterpart of
+/// the `BTreeMap<KernelId, u64>` in [`crate::SolveResult`].
+///
+/// Tracks which kernels were *charged* separately from their cycle
+/// counts so that a kernel charged at zero cycles (an ideal accelerator)
+/// still appears in [`KernelCycles::to_map`], matching the legacy
+/// accounting exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCycles {
+    counts: [u64; 15],
+    charged: u16,
+}
+
+impl KernelCycles {
+    /// Empty table: no kernel charged.
+    pub fn new() -> Self {
+        KernelCycles {
+            counts: [0; 15],
+            charged: 0,
+        }
+    }
+
+    /// Clears every count and charge mark.
+    pub fn reset(&mut self) {
+        *self = KernelCycles::new();
+    }
+
+    /// Records `cycles` against `kernel` (marking it charged even when
+    /// `cycles` is zero).
+    #[inline]
+    pub fn add(&mut self, kernel: KernelId, cycles: u64) {
+        let i = kernel.index();
+        self.counts[i] += cycles;
+        self.charged |= 1 << i;
+    }
+
+    /// Cycles accumulated against `kernel`.
+    #[inline]
+    pub fn get(&self, kernel: KernelId) -> u64 {
+        self.counts[kernel.index()]
+    }
+
+    /// Sum over all kernels.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Expands into the map form used by [`crate::SolveResult`]: one
+    /// entry per *charged* kernel.
+    pub fn to_map(&self) -> std::collections::BTreeMap<KernelId, u64> {
+        KernelId::ALL
+            .iter()
+            .filter(|k| self.charged & (1 << k.index()) != 0)
+            .map(|&k| (k, self.get(k)))
+            .collect()
+    }
+}
+
 impl fmt::Display for KernelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -262,6 +330,30 @@ mod tests {
         // timestep vs ~100-element strip mines).
         let [it, st, rd] = p.flops_by_class();
         assert!(it.1 > st.1 && st.1 > rd.1, "{it:?} {st:?} {rd:?}");
+    }
+
+    #[test]
+    fn kernel_index_matches_all_order() {
+        for (i, k) in KernelId::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "{k} out of order");
+        }
+    }
+
+    #[test]
+    fn kernel_cycles_tracks_zero_cycle_charges() {
+        let mut t = KernelCycles::new();
+        assert!(t.to_map().is_empty());
+        t.add(KernelId::ForwardPass1, 10);
+        t.add(KernelId::ForwardPass1, 5);
+        t.add(KernelId::UpdateSlack1, 0);
+        assert_eq!(t.get(KernelId::ForwardPass1), 15);
+        assert_eq!(t.total(), 15);
+        let map = t.to_map();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&KernelId::ForwardPass1], 15);
+        assert_eq!(map[&KernelId::UpdateSlack1], 0);
+        t.reset();
+        assert!(t.to_map().is_empty());
     }
 
     #[test]

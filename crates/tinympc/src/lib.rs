@@ -43,6 +43,7 @@ mod cache;
 mod cone;
 mod error;
 mod executor;
+mod hot;
 mod kernel;
 mod problem;
 pub mod problems;
@@ -53,12 +54,14 @@ pub use cache::TinyMpcCache;
 pub use cone::SocConstraint;
 pub use error::Error;
 pub use executor::{KernelExecutor, NullExecutor};
-pub use kernel::{KernelClass, KernelId, KernelProfile, ProblemDims};
+pub use hot::SolverDims;
+pub use kernel::{KernelClass, KernelCycles, KernelId, KernelProfile, ProblemDims};
 pub use problem::TinyMpcProblem;
 pub use solver::{
-    AdmmSolver, NullObserver, SolveObserver, SolveResult, SolverSettings, TerminationCause,
+    AdmmSolver, NullObserver, SolveObserver, SolveResult, SolveStatus, SolverSettings,
+    TerminationCause,
 };
-pub use workspace::TinyMpcWorkspace;
+pub use workspace::{TinyMpcWorkspace, WsField};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -467,7 +467,7 @@ mod tests {
         assert!(crate::TinyMpcCache::compute(&p).is_ok());
         // The trim point (zero deltas) is strictly inside the cone.
         let trim = Vector::zeros(3);
-        assert!(cone.margin(&trim) > 0.0);
+        assert!(cone.margin(trim.as_slice()) > 0.0);
     }
 
     #[test]

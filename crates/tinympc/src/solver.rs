@@ -1,7 +1,10 @@
 //! The ADMM solve loop (Algorithms 1–3 of the paper).
 
+use crate::kernel::KernelCycles;
+use crate::workspace::WsField;
 use crate::{
-    KernelExecutor, KernelId, ProblemDims, Result, TinyMpcCache, TinyMpcProblem, TinyMpcWorkspace,
+    KernelExecutor, KernelId, ProblemDims, Result, SolverDims, TinyMpcCache, TinyMpcProblem,
+    TinyMpcWorkspace,
 };
 use matlib::{Scalar, Vector};
 use std::collections::BTreeMap;
@@ -64,6 +67,28 @@ impl std::fmt::Display for TerminationCause {
     }
 }
 
+/// Allocation-free outcome of one MPC solve
+/// ([`AdmmSolver::solve_in_place`]).
+///
+/// Plain `Copy` data: the applied control stays staged in the solver's
+/// arena ([`AdmmSolver::u0`]) and the per-kernel cycle table in
+/// [`AdmmSolver::last_kernel_cycles`]. The allocating
+/// [`AdmmSolver::solve`] packages all three into a [`SolveResult`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStatus {
+    /// Whether all residuals fell below tolerance.
+    pub converged: bool,
+    /// Why the iteration stopped.
+    pub termination: TerminationCause,
+    /// ADMM iterations performed.
+    pub iterations: usize,
+    /// Final primal/dual residuals `(primal_state, dual_state,
+    /// primal_input, dual_input)`.
+    pub residuals: (f64, f64, f64, f64),
+    /// Total simulated cycles charged by the executor (including setup).
+    pub total_cycles: u64,
+}
+
 /// Outcome of one MPC solve.
 #[derive(Debug, Clone)]
 pub struct SolveResult<T> {
@@ -122,15 +147,18 @@ impl<T> SolveObserver<T> for NullObserver {
 /// workspace. See the crate docs for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct AdmmSolver<T> {
-    problem: TinyMpcProblem<T>,
-    cache: TinyMpcCache<T>,
-    workspace: TinyMpcWorkspace<T>,
-    settings: SolverSettings,
+    pub(crate) problem: TinyMpcProblem<T>,
+    pub(crate) cache: TinyMpcCache<T>,
+    pub(crate) workspace: TinyMpcWorkspace<T>,
+    pub(crate) settings: SolverSettings,
+    pub(crate) spec: SolverDims,
+    pub(crate) last_kernel_cycles: KernelCycles,
 }
 
 impl<T: Scalar> AdmmSolver<T> {
     /// Creates a solver: validates the problem and computes the Riccati
-    /// cache.
+    /// cache. The dims specialization ([`SolverDims`]) is selected
+    /// automatically from the problem shape.
     ///
     /// # Errors
     ///
@@ -140,12 +168,55 @@ impl<T: Scalar> AdmmSolver<T> {
         let cache = TinyMpcCache::compute(&problem)?;
         let dims = problem.dims();
         let workspace = TinyMpcWorkspace::new(dims.nx, dims.nu, dims.horizon);
+        let spec = SolverDims::for_dims(dims.nx, dims.nu);
         Ok(AdmmSolver {
             problem,
             cache,
             workspace,
             settings,
+            spec,
+            last_kernel_cycles: KernelCycles::new(),
         })
+    }
+
+    /// The dims specialization the ADMM passes dispatch through.
+    pub fn specialization(&self) -> SolverDims {
+        self.spec
+    }
+
+    /// Overrides the dims specialization. The differential tests force
+    /// [`SolverDims::Dynamic`] here to compare it against the
+    /// const-generic paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::BadProblem`] if `spec` is a const-generic
+    /// variant whose shape does not match the problem dimensions.
+    pub fn set_specialization(&mut self, spec: SolverDims) -> Result<()> {
+        if let Some((nx, nu)) = spec.shape() {
+            let dims = self.problem.dims();
+            if (nx, nu) != (dims.nx, dims.nu) {
+                return Err(crate::Error::BadProblem {
+                    reason: format!(
+                        "specialization {spec:?} requires nx={nx}, nu={nu}; problem is {}x{}",
+                        dims.nx, dims.nu
+                    ),
+                });
+            }
+        }
+        self.spec = spec;
+        Ok(())
+    }
+
+    /// The applied control staged by the last solve (first feasible
+    /// slack input), borrowed straight from the arena.
+    pub fn u0(&self) -> &[T] {
+        self.workspace.u0()
+    }
+
+    /// Per-kernel cycle table of the last solve.
+    pub fn last_kernel_cycles(&self) -> KernelCycles {
+        self.last_kernel_cycles
     }
 
     /// The problem being solved.
@@ -207,7 +278,11 @@ impl<T: Scalar> AdmmSolver<T> {
                 ),
             });
         }
-        self.workspace.xref = xref.to_vec();
+        for (i, v) in xref.iter().enumerate() {
+            self.workspace
+                .knot_mut(WsField::XRef, i)
+                .copy_from_slice(v.as_slice());
+        }
         Ok(())
     }
 
@@ -241,377 +316,16 @@ impl<T: Scalar> AdmmSolver<T> {
         executor: &mut dyn KernelExecutor,
         observer: &mut dyn SolveObserver<T>,
     ) -> Result<SolveResult<T>> {
-        let dims = self.problem.dims();
-        if x0.len() != dims.nx {
-            return Err(crate::Error::BadProblem {
-                reason: format!("x0 must have dimension {}, got {}", dims.nx, x0.len()),
-            });
-        }
-        if !x0.is_finite() {
-            return Err(crate::Error::BadProblem {
-                reason: "x0 contains non-finite entries".into(),
-            });
-        }
-        let n = dims.horizon;
-        let mut kernel_cycles: BTreeMap<KernelId, u64> = BTreeMap::new();
-        let mut total: u64 = executor.setup_cycles(&dims)?;
-
-        let charge = |k: KernelId,
-                      times: usize,
-                      kernel_cycles: &mut BTreeMap<KernelId, u64>,
-                      total: &mut u64,
-                      executor: &mut dyn KernelExecutor|
-         -> Result<()> {
-            let c = executor.kernel_cycles(k, &dims)? * times as u64;
-            *kernel_cycles.entry(k).or_insert(0) += c;
-            *total += c;
-            Ok(())
-        };
-
-        self.workspace.x[0] = x0.clone();
-        // Shadow copy of the pinned initial state: nothing in the ADMM
-        // iteration rewrites x[0], so any change is a memory fault.
-        let x0_pinned = x0.clone();
-        let rho = self.problem.rho;
-
-        // Initialize the linear cost terms from the reference before the
-        // first backward pass.
-        self.update_linear_cost()?;
-        charge(
-            KernelId::UpdateLinearCost1,
-            1,
-            &mut kernel_cycles,
-            &mut total,
-            executor,
-        )?;
-        charge(
-            KernelId::UpdateLinearCost2,
-            1,
-            &mut kernel_cycles,
-            &mut total,
-            executor,
-        )?;
-        charge(
-            KernelId::UpdateLinearCost3,
-            1,
-            &mut kernel_cycles,
-            &mut total,
-            executor,
-        )?;
-        charge(
-            KernelId::UpdateLinearCost4,
-            1,
-            &mut kernel_cycles,
-            &mut total,
-            executor,
-        )?;
-
-        let mut converged = false;
-        let mut termination = TerminationCause::MaxIterations;
-        let mut iterations = 0;
-        let mut residuals = (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
-        // Cost of the most recent full iteration, used to predict whether
-        // the next one still fits in the cycle budget.
-        let mut last_iter_cost: u64 = 0;
-
-        for iter in 0..self.settings.max_iterations {
-            if let Some(budget) = self.settings.cycle_budget {
-                // The first iteration always runs so a best-so-far u0
-                // exists; afterwards stop before a predicted overrun.
-                if iter > 0 && total + last_iter_cost > budget {
-                    termination = TerminationCause::Deadline;
-                    break;
-                }
-            }
-            let iter_start_cycles = total;
-            iterations = iter + 1;
-
-            // ---- Primal update: backward Riccati sweep, then forward
-            // rollout (Algorithm 1).
-            self.backward_pass()?;
-            charge(
-                KernelId::BackwardPass1,
-                n - 1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            charge(
-                KernelId::BackwardPass2,
-                n - 1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            self.forward_pass()?;
-            charge(
-                KernelId::ForwardPass1,
-                n - 1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            charge(
-                KernelId::ForwardPass2,
-                n - 1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-
-            // ---- Slack update (Algorithm 2): project onto the boxes.
-            self.update_slack()?;
-            charge(
-                KernelId::UpdateSlack1,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            charge(
-                KernelId::UpdateSlack2,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-
-            // ---- Dual ascent.
-            self.update_dual()?;
-            charge(
-                KernelId::UpdateDual1,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-
-            // ---- Refresh linear cost terms for the next primal update.
-            self.update_linear_cost()?;
-            charge(
-                KernelId::UpdateLinearCost1,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            charge(
-                KernelId::UpdateLinearCost2,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            charge(
-                KernelId::UpdateLinearCost3,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-            charge(
-                KernelId::UpdateLinearCost4,
-                1,
-                &mut kernel_cycles,
-                &mut total,
-                executor,
-            )?;
-
-            // ---- Residuals (Algorithm 3) and termination.
-            if iter % self.settings.check_interval == 0 {
-                let (prs, drs, pri, dri) = self.residuals()?;
-                charge(
-                    KernelId::PrimalResidualState,
-                    1,
-                    &mut kernel_cycles,
-                    &mut total,
-                    executor,
-                )?;
-                charge(
-                    KernelId::DualResidualState,
-                    1,
-                    &mut kernel_cycles,
-                    &mut total,
-                    executor,
-                )?;
-                charge(
-                    KernelId::PrimalResidualInput,
-                    1,
-                    &mut kernel_cycles,
-                    &mut total,
-                    executor,
-                )?;
-                charge(
-                    KernelId::DualResidualInput,
-                    1,
-                    &mut kernel_cycles,
-                    &mut total,
-                    executor,
-                )?;
-                residuals = (prs, drs, pri, dri);
-                let tol = self.settings.tolerance;
-                if prs < tol && drs < tol * rho.to_f64() && pri < tol && dri < tol * rho.to_f64() {
-                    converged = true;
-                }
-                // Divergence: residuals of a healthy ADMM iteration shrink
-                // towards tolerance; values this large (or NaN hiding in
-                // the iterates — max-reductions skip NaN, so check the
-                // workspace explicitly) mean the data is corrupt.
-                let worst = prs.max(drs).max(pri).max(dri);
-                if !worst.is_finite()
-                    || worst > self.settings.divergence_threshold
-                    || !self.workspace.is_finite()
-                {
-                    termination = TerminationCause::Diverged;
-                    break;
-                }
-            }
-
-            // Slide the slack iterates.
-            std::mem::swap(&mut self.workspace.v, &mut self.workspace.vnew);
-            std::mem::swap(&mut self.workspace.z, &mut self.workspace.znew);
-            // After the swap, v/z hold the new values; vnew/znew hold the
-            // previous ones and will be overwritten next iteration.
-
-            observer.after_iteration(iterations, &mut self.cache, &mut self.workspace);
-            if self.workspace.x[0].as_slice() != x0_pinned.as_slice() {
-                return Err(crate::Error::CorruptedWorkspace {
-                    what: "pinned initial state x[0] changed mid-solve".into(),
-                });
-            }
-
-            last_iter_cost = total - iter_start_cycles;
-
-            if converged {
-                termination = TerminationCause::Converged;
-                break;
-            }
-        }
-
-        // The applied control is the (feasible) first slack input.
-        let u0 = self.workspace.z[0].clone();
+        let status = self.solve_in_place_observed(x0.as_slice(), executor, observer)?;
         Ok(SolveResult {
-            converged,
-            termination,
-            iterations,
-            u0,
-            residuals,
-            total_cycles: total,
-            kernel_cycles,
+            converged: status.converged,
+            termination: status.termination,
+            iterations: status.iterations,
+            u0: Vector::from_slice(self.workspace.u0()),
+            residuals: status.residuals,
+            total_cycles: status.total_cycles,
+            kernel_cycles: self.last_kernel_cycles.to_map(),
         })
-    }
-
-    /// Backward Riccati sweep updating the linear terms only
-    /// (`BACKWARD_PASS_1` and `BACKWARD_PASS_2`).
-    fn backward_pass(&mut self) -> Result<()> {
-        let ws = &mut self.workspace;
-        let c = &self.cache;
-        for i in (0..ws.u.len()).rev() {
-            // d[i] = Quu⁻¹ (Bᵀ p[i+1] + r[i])
-            let btp = c.b_t.matvec(&ws.p[i + 1])?;
-            let rhs = btp.add(&ws.r[i])?;
-            ws.d[i] = c.quu_inv.matvec(&rhs)?;
-            // p[i] = q[i] + (A−BK)ᵀ p[i+1] − K∞ᵀ r[i]
-            let prop = c.am_bk_t.matvec(&ws.p[i + 1])?;
-            let ktr = c.kinf_t.matvec(&ws.r[i])?;
-            ws.p[i] = ws.q[i].add(&prop)?.sub(&ktr)?;
-        }
-        Ok(())
-    }
-
-    /// Forward rollout (`FORWARD_PASS_1` and `FORWARD_PASS_2`).
-    fn forward_pass(&mut self) -> Result<()> {
-        let ws = &mut self.workspace;
-        let c = &self.cache;
-        for i in 0..ws.u.len() {
-            // u[i] = −K∞ x[i] − d[i]
-            let kx = c.kinf.matvec(&ws.x[i])?;
-            ws.u[i] = kx.neg().sub(&ws.d[i])?;
-            // x[i+1] = A x[i] + B u[i]
-            let ax = self.problem.a.matvec(&ws.x[i])?;
-            let bu = self.problem.b.matvec(&ws.u[i])?;
-            ws.x[i + 1] = ax.add(&bu)?;
-        }
-        Ok(())
-    }
-
-    /// Box (and second-order-cone) projections (`UPDATE_SLACK_1` and
-    /// `UPDATE_SLACK_2`).
-    ///
-    /// Cone constraints are applied after the box clip: the composite
-    /// projection onto box ∩ cone is approximated by the sequential
-    /// projections, whose fixed points satisfy both sets — the standard
-    /// Conic-TinyMPC treatment. The cone pass is an element-wise
-    /// strip-mining step plus one small reduction per cone, the same
-    /// kernel class `UPDATE_SLACK_1` already prices, so timing needs no
-    /// new kernel.
-    fn update_slack(&mut self) -> Result<()> {
-        let ws = &mut self.workspace;
-        let p = &self.problem;
-        for i in 0..ws.u.len() {
-            ws.znew[i] = ws.u[i].add(&ws.y[i])?.clip(p.u_min, p.u_max);
-            for cone in &p.input_cones {
-                cone.project(&mut ws.znew[i]);
-            }
-        }
-        for i in 0..ws.x.len() {
-            ws.vnew[i] = ws.x[i].add(&ws.g[i])?.clip(p.x_min, p.x_max);
-        }
-        Ok(())
-    }
-
-    /// Dual ascent (`UPDATE_DUAL_1`).
-    fn update_dual(&mut self) -> Result<()> {
-        let ws = &mut self.workspace;
-        for i in 0..ws.u.len() {
-            ws.y[i] = ws.y[i].add(&ws.u[i])?.sub(&ws.znew[i])?;
-        }
-        for i in 0..ws.x.len() {
-            ws.g[i] = ws.g[i].add(&ws.x[i])?.sub(&ws.vnew[i])?;
-        }
-        Ok(())
-    }
-
-    /// Linear-cost refresh (`UPDATE_LINEAR_COST_1..4`).
-    fn update_linear_cost(&mut self) -> Result<()> {
-        let ws = &mut self.workspace;
-        let p = &self.problem;
-        let rho = p.rho;
-        // r[i] = −ρ (znew[i] − y[i])
-        for i in 0..ws.r.len() {
-            ws.r[i] = ws.znew[i].sub(&ws.y[i])?.scale(-rho);
-        }
-        // q[i] = −(xref[i] ⊙ Qdiag) − ρ (vnew[i] − g[i])
-        for i in 0..ws.q.len() {
-            let ref_cost = Vector::from_fn(p.q_diag.len(), |j| -(ws.xref[i][j] * p.q_diag[j]));
-            let penalty = ws.vnew[i].sub(&ws.g[i])?.scale(rho);
-            ws.q[i] = ref_cost.sub(&penalty)?;
-        }
-        // p[N−1] = −P∞ xref[N−1] − ρ (vnew[N−1] − g[N−1])
-        let last = ws.x.len() - 1;
-        let terminal = self.cache.pinf.matvec(&ws.xref[last])?.neg();
-        let penalty = ws.vnew[last].sub(&ws.g[last])?.scale(rho);
-        ws.p[last] = terminal.sub(&penalty)?;
-        Ok(())
-    }
-
-    /// Convergence residuals (`PRIMAL/DUAL_RESIDUAL_STATE/INPUT`).
-    fn residuals(&self) -> Result<(f64, f64, f64, f64)> {
-        let ws = &self.workspace;
-        let rho = self.problem.rho.to_f64();
-        let mut prs: f64 = 0.0;
-        let mut drs: f64 = 0.0;
-        for i in 0..ws.x.len() {
-            prs = prs.max(ws.x[i].max_abs_diff(&ws.vnew[i])?.to_f64());
-            drs = drs.max(ws.v[i].max_abs_diff(&ws.vnew[i])?.to_f64());
-        }
-        let mut pri: f64 = 0.0;
-        let mut dri: f64 = 0.0;
-        for i in 0..ws.u.len() {
-            pri = pri.max(ws.u[i].max_abs_diff(&ws.znew[i])?.to_f64());
-            dri = dri.max(ws.z[i].max_abs_diff(&ws.znew[i])?.to_f64());
-        }
-        Ok((prs, drs * rho, pri, dri * rho))
     }
 
     /// Problem dimensions (convenience).
@@ -880,7 +594,7 @@ mod tests {
             workspace: &mut TinyMpcWorkspace<f64>,
         ) {
             if iteration == self.at {
-                workspace.y[0][0] = self.value;
+                workspace.knot_mut(WsField::Y, 0)[0] = self.value;
             }
         }
     }
@@ -919,7 +633,7 @@ mod tests {
             workspace: &mut TinyMpcWorkspace<f64>,
         ) {
             if iteration == 1 {
-                workspace.x[0][0] += 1.0;
+                workspace.knot_mut(WsField::X, 0)[0] += 1.0;
             }
         }
     }

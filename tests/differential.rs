@@ -19,6 +19,7 @@
 
 use soc_dse_repro::matlib::{gemv, Matrix, Vector};
 use soc_dse_repro::soc_cpu::CoreConfig;
+use soc_dse_repro::soc_dse::experiments::Scenario;
 use soc_dse_repro::soc_dse::experiments::{
     solve_problem_cycles, solve_scenario_cycles, ScenarioCatalog,
 };
@@ -27,7 +28,9 @@ use soc_dse_repro::soc_dse::rng::SplitMix64;
 use soc_dse_repro::soc_gemmini::{GemminiConfig, GemminiOpts};
 use soc_dse_repro::soc_riscv::{assemble, Machine};
 use soc_dse_repro::soc_vector::SaturnConfig;
-use soc_dse_repro::tinympc::{problems, SolverSettings, TinyMpcProblem};
+use soc_dse_repro::tinympc::{
+    problems, AdmmSolver, SolveStatus, SolverDims, SolverSettings, TinyMpcProblem,
+};
 
 const A_BASE: u32 = 0x4000;
 const X_BASE: u32 = 0x8000;
@@ -341,4 +344,117 @@ fn accelerated_executors_agree_with_scalar_solve() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Layer 3 — dims-specialized vs dynamic ADMM passes
+// ---------------------------------------------------------------------
+//
+// The solver's hot passes are one generic implementation instantiated
+// both with runtime dimensions (`SolverDims::Dynamic`) and with
+// const-generic shapes for the shipped problems (12×4, 6×3, 2×1).
+// Monomorphization must not change a single bit: both paths run the
+// same source over the same arena, so convergence, iteration count,
+// charged cycles and `u0` must agree at [`U0_TOLERANCE`] = 0.0.
+
+/// Solves one scenario instance with the solver's automatic
+/// specialization or with the dynamic fallback forced, returning
+/// `(status, u0)`.
+fn solve_with_spec(
+    scenario: &Scenario,
+    horizon: usize,
+    platform: &Platform,
+    force_dynamic: bool,
+) -> (SolveStatus, Vec<f32>) {
+    let problem = scenario.problem::<f32>(horizon).unwrap();
+    let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
+    if force_dynamic {
+        solver.set_specialization(SolverDims::Dynamic).unwrap();
+    }
+    solver
+        .set_reference(&scenario.reference::<f32>(horizon, 0))
+        .unwrap();
+    let x0 = scenario.initial_state::<f32>();
+    let mut executor = platform.executor();
+    let status = solver
+        .solve_in_place(x0.as_slice(), executor.as_mut())
+        .unwrap_or_else(|e| panic!("{} on {}: {e:?}", scenario.name(), platform.name));
+    (status, solver.u0().to_vec())
+}
+
+fn assert_spec_matches_dynamic(scenario: &Scenario, horizon: usize, platform: &Platform) {
+    let (spec, spec_u0) = solve_with_spec(scenario, horizon, platform, false);
+    let (dynamic, dyn_u0) = solve_with_spec(scenario, horizon, platform, true);
+    let ctx = format!("{} on {}", scenario.name(), platform.name);
+    assert_eq!(spec.converged, dynamic.converged, "{ctx}: convergence");
+    assert_eq!(spec.iterations, dynamic.iterations, "{ctx}: iterations");
+    assert_eq!(spec.total_cycles, dynamic.total_cycles, "{ctx}: cycles");
+    assert_eq!(spec_u0.len(), dyn_u0.len(), "{ctx}: control dimension");
+    for i in 0..spec_u0.len() {
+        let diff = (spec_u0[i] - dyn_u0[i]).abs();
+        assert!(
+            diff <= U0_TOLERANCE,
+            "{ctx}: u0[{i}] off by {diff} (tolerance {U0_TOLERANCE})"
+        );
+    }
+}
+
+/// Layer 3 at full width: every registered scenario on every Table-I
+/// back-end, specialized vs dynamic.
+#[test]
+fn specialized_passes_agree_with_dynamic_on_every_scenario_and_backend() {
+    let registry = Platform::table1_registry();
+    for scenario in ScenarioCatalog::standard().scenarios() {
+        let horizon = scenario.default_horizon();
+        for platform in &registry {
+            assert_spec_matches_dynamic(scenario, horizon, platform);
+        }
+    }
+}
+
+/// Layer 3 over randomized plants: 25 seeds cycling through the three
+/// const-specialized shapes (quadrotor 12×4, rendezvous 6×3, double
+/// integrator 2×1), so every monomorphized path sees plants it was
+/// never tuned on.
+#[test]
+fn specialized_passes_agree_with_dynamic_on_random_plants() {
+    let scalar = Platform::rocket_eigen();
+    let shapes = [(12usize, 4usize), (6, 3), (2, 1)];
+    for seed in 0..25u64 {
+        let (nx, nu) = shapes[seed as usize % shapes.len()];
+        let scenario = Scenario::random_stable_plant(nx, nu, seed);
+        let solver = AdmmSolver::new(
+            scenario.problem::<f32>(8).unwrap(),
+            SolverSettings::default(),
+        )
+        .unwrap();
+        assert_ne!(
+            solver.specialization(),
+            SolverDims::Dynamic,
+            "seed {seed}: shape {nx}x{nu} must hit a const path"
+        );
+        assert_spec_matches_dynamic(&scenario, 8, &scalar);
+    }
+}
+
+/// The specialization seam rejects a const shape that does not match
+/// the problem, and reports the auto-selected variant.
+#[test]
+fn specialization_selection_and_validation() {
+    let quad = AdmmSolver::new(
+        problems::quadrotor_hover::<f32>(8).unwrap(),
+        SolverSettings::default(),
+    )
+    .unwrap();
+    assert_eq!(quad.specialization(), SolverDims::Quadrotor12x4);
+
+    let mut di = AdmmSolver::new(
+        problems::double_integrator::<f32>(8).unwrap(),
+        SolverSettings::default(),
+    )
+    .unwrap();
+    assert_eq!(di.specialization(), SolverDims::DoubleIntegrator2x1);
+    assert!(di.set_specialization(SolverDims::Quadrotor12x4).is_err());
+    di.set_specialization(SolverDims::Dynamic).unwrap();
+    assert_eq!(di.specialization(), SolverDims::Dynamic);
 }

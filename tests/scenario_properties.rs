@@ -129,7 +129,7 @@ fn soc_projection_matches_hand_computed_cases() {
     assert!((u[2] - 2.4).abs() < 1e-12, "u_z = {}", u[2]);
 
     // Projection is idempotent and the result has non-negative margin.
-    let margin = cone.margin(&u);
+    let margin = cone.margin(u.as_slice());
     let mut again = u.clone();
     cone.project(&mut again);
     assert!(margin >= -1e-12);
