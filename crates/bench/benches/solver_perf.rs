@@ -31,7 +31,11 @@ fn bench_functional_solve() {
         let x0 = solver.problem().hover_offset_state(0.2);
         bench(&format!("admm_solve/quadrotor_f32_n{horizon}"), || {
             solver.cold_start();
-            black_box(solver.solve(&x0, &mut NullExecutor).unwrap());
+            black_box(
+                solver
+                    .solve_in_place(x0.as_slice(), &mut NullExecutor)
+                    .unwrap(),
+            );
         });
     }
     let problem = problems::double_integrator::<f64>(20).unwrap();
@@ -39,7 +43,11 @@ fn bench_functional_solve() {
     let x0 = matlib::Vector::from_slice(&[1.0, 0.0]);
     bench("admm_solve/double_integrator_f64_n20", || {
         solver.cold_start();
-        black_box(solver.solve(&x0, &mut NullExecutor).unwrap());
+        black_box(
+            solver
+                .solve_in_place(x0.as_slice(), &mut NullExecutor)
+                .unwrap(),
+        );
     });
 }
 
@@ -53,10 +61,16 @@ fn bench_priced_solve() {
         let x0 = solver.problem().hover_offset_state(0.2);
         // Warm the executor's per-kernel memo outside the loop.
         let mut executor = platform.executor();
-        let _ = solver.solve(&x0, executor.as_mut()).unwrap();
+        let _ = solver
+            .solve_in_place(x0.as_slice(), executor.as_mut())
+            .unwrap();
         bench(&format!("priced_solve/{}", platform.name), || {
             solver.cold_start();
-            black_box(solver.solve(&x0, executor.as_mut()).unwrap());
+            black_box(
+                solver
+                    .solve_in_place(x0.as_slice(), executor.as_mut())
+                    .unwrap(),
+            );
         });
     }
 }

@@ -182,12 +182,12 @@ pub fn analytical_solve_scenario(
     solver.set_reference(&scenario.reference::<f32>(horizon, 0))?;
     let x0 = scenario.initial_state::<f32>();
     let mut executor = AnalyticalExecutor::for_platform(platform, side);
-    let result = solver.solve(&x0, &mut executor)?;
+    let status = solver.solve_in_place(x0.as_slice(), &mut executor)?;
     Ok(SolveSummary {
-        total_cycles: result.total_cycles,
-        iterations: result.iterations,
-        converged: result.converged,
-        kernel_cycles: result.kernel_cycles,
+        total_cycles: status.total_cycles,
+        iterations: status.iterations,
+        converged: status.converged,
+        kernel_cycles: solver.last_kernel_cycles().to_map(),
     })
 }
 

@@ -307,8 +307,8 @@ mod tests {
         let problem = problems::quadrotor_hover::<f32>(10).unwrap();
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = solver.problem().hover_offset_state(0.2);
-        let r = solver.solve(&x0, &mut executor).unwrap();
-        assert!(r.converged);
-        assert!(r.total_cycles > 0);
+        let status = solver.solve_in_place(x0.as_slice(), &mut executor).unwrap();
+        assert!(status.converged);
+        assert!(status.total_cycles > 0);
     }
 }

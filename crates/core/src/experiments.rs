@@ -12,7 +12,7 @@
 use crate::platform::Platform;
 use soc_backend::pipeline_for;
 use std::collections::BTreeMap;
-use tinympc::{AdmmSolver, KernelId, SolveResult, SolverSettings};
+use tinympc::{AdmmSolver, KernelId, NullObserver, SolveResult, SolverSettings};
 
 pub use soc_backend::{KernelShape, Residency};
 pub use soc_scenarios::{evaluate_closed_loop, ClosedLoopReport, Scenario, ScenarioCatalog};
@@ -94,7 +94,7 @@ pub fn solve_scenario_cycles_with(
     solver.set_reference(&scenario.reference::<f32>(horizon, 0))?;
     let x0 = scenario.initial_state::<f32>();
     let mut executor = platform.executor();
-    let result = solver.solve(&x0, executor.as_mut())?;
+    let result = solver.solve_observed(&x0, executor.as_mut(), &mut NullObserver)?;
     Ok(SolveOutcome {
         platform: platform.name.clone(),
         result,
@@ -143,7 +143,7 @@ pub fn solve_problem_cycles(
     let mut solver = AdmmSolver::new(problem, settings)?;
     let x0 = solver.problem().hover_offset_state(0.2);
     let mut executor = platform.executor();
-    let result = solver.solve(&x0, executor.as_mut())?;
+    let result = solver.solve_observed(&x0, executor.as_mut(), &mut NullObserver)?;
     Ok(SolveOutcome {
         platform: platform.name.clone(),
         result,

@@ -21,6 +21,7 @@ use crate::deadline::{DeadlineConfig, DeadlineSolver, DegradeRung};
 use crate::inject::{DataInjector, FaultyExecutor, TraceFaultOutcome};
 use crate::plan::{Fault, FaultKind, FaultPlan, FaultSite};
 use crate::riscv::{run_instruction_campaign, InstructionStats};
+use matlib::Vector;
 use soc_backend::{pipeline_for, FaultSurface, PipelineExecutor};
 use soc_dse::experiments::Scenario;
 use soc_dse::platform::Platform;
@@ -231,7 +232,10 @@ pub fn run_campaign_scenario(
         let mut nominal_exec = PipelineExecutor::for_platform(&platform);
         let nominal = proto
             .clone()
-            .solve(&scenario.initial_state::<f32>(), &mut nominal_exec)
+            .solve_in_place(
+                scenario.initial_state::<f32>().as_slice(),
+                &mut nominal_exec,
+            )
             .map_err(|e| tinympc::Error::Campaign {
                 what: format!("nominal solve failed on {}: {e}", platform.name),
             })?;
@@ -266,13 +270,15 @@ pub fn run_campaign_scenario(
             let x0 = scenario
                 .initial_state::<f32>()
                 .scale((0.25 + 1.5 * rng.unit_f64()) as f32);
-            let u_ref = proto
-                .clone()
-                .solve(&x0, &mut NullExecutor)
-                .map_err(|e| tinympc::Error::Campaign {
-                    what: format!("reference solve failed: {e}"),
-                })?
-                .u0;
+            let u_ref = {
+                let mut reference = proto.clone();
+                reference
+                    .solve_in_place(x0.as_slice(), &mut NullExecutor)
+                    .map_err(|e| tinympc::Error::Campaign {
+                        what: format!("reference solve failed: {e}"),
+                    })?;
+                Vector::from_slice(reference.u0())
+            };
             let mut d = DeadlineSolver::new(proto.clone(), config);
 
             let outcome = if fault.site == FaultSite::RoccCommand {
@@ -407,7 +413,13 @@ mod tests {
         // match the reference exactly.
         let proto = prototype_for(&Scenario::hover());
         let x0 = proto.problem().hover_offset_state(0.2);
-        let u_ref = proto.clone().solve(&x0, &mut NullExecutor).unwrap().u0;
+        let u_ref = {
+            let mut reference = proto.clone();
+            reference
+                .solve_in_place(x0.as_slice(), &mut NullExecutor)
+                .unwrap();
+            Vector::from_slice(reference.u0())
+        };
         let mut d = DeadlineSolver::new(proto, DeadlineConfig::new(u64::MAX));
         let o = d.solve(&x0, &mut NullExecutor);
         assert_eq!(o.rung, DegradeRung::Nominal);

@@ -42,6 +42,39 @@ pub enum DegradeRung {
     LqrFallback,
 }
 
+impl DegradeRung {
+    /// Every rung, mildest first — the ladder order used for cohort
+    /// walks and rung-occupancy histograms.
+    pub const ALL: [DegradeRung; 4] = [
+        DegradeRung::Nominal,
+        DegradeRung::WidenedCheck,
+        DegradeRung::EarlyExit,
+        DegradeRung::LqrFallback,
+    ];
+
+    /// Ladder position, 0 (nominal) to 3 (LQR fallback).
+    pub fn index(self) -> usize {
+        match self {
+            DegradeRung::Nominal => 0,
+            DegradeRung::WidenedCheck => 1,
+            DegradeRung::EarlyExit => 2,
+            DegradeRung::LqrFallback => 3,
+        }
+    }
+
+    /// The rung at ladder position `index` (clamped to the last rung).
+    pub fn from_index(index: usize) -> DegradeRung {
+        *DegradeRung::ALL
+            .get(index)
+            .unwrap_or(&DegradeRung::LqrFallback)
+    }
+
+    /// The next-harsher rung (saturating at the LQR fallback).
+    pub fn demoted(self) -> DegradeRung {
+        DegradeRung::from_index(self.index() + 1)
+    }
+}
+
 impl std::fmt::Display for DegradeRung {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -120,6 +153,79 @@ impl CostModel {
     }
 }
 
+/// Predicted per-solve cycle cost of each ladder rung, probed once from
+/// an executor.
+///
+/// This is the ladder generalized into data: a per-solve caller
+/// compares these against its own budget
+/// ([`DeadlineSolver::solve`] does exactly that), while an overload
+/// policy — the `soc-serve` admission layer — sums them across whole
+/// session cohorts and walks cohorts down the ladder until the
+/// aggregate fits a tick's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RungCosts {
+    /// Full solve at the planned iteration count, nominal check
+    /// interval.
+    pub nominal: u64,
+    /// Full solve with residual checks widened to `widen_factor`.
+    pub widened: u64,
+    /// A single budgeted iteration (the cheapest useful ADMM step).
+    pub early_exit: u64,
+    /// The cached-gain fallback `u = clip(−K∞ x0)` — charged as zero
+    /// simulated cycles, matching [`SolveOutcome::total_cycles`] on the
+    /// LQR rung (the gain multiply is negligible next to one ADMM
+    /// iteration).
+    pub lqr: u64,
+}
+
+impl RungCosts {
+    /// Predicted cost of solving at `rung`.
+    pub fn at(&self, rung: DegradeRung) -> u64 {
+        match rung {
+            DegradeRung::Nominal => self.nominal,
+            DegradeRung::WidenedCheck => self.widened,
+            DegradeRung::EarlyExit => self.early_exit,
+            DegradeRung::LqrFallback => self.lqr,
+        }
+    }
+
+    /// The mildest rung whose predicted cost fits `budget` (the LQR
+    /// fallback always fits).
+    pub fn mildest_within(&self, budget: u64) -> DegradeRung {
+        for rung in DegradeRung::ALL {
+            if self.at(rung) <= budget {
+                return rung;
+            }
+        }
+        DegradeRung::LqrFallback
+    }
+}
+
+/// Outcome of a forced-rung, allocation-free solve
+/// ([`DeadlineSolver::solve_in_place_at_rung`]). `Copy`, so recording
+/// it never touches the heap; the applied control stays staged in the
+/// solver's arena (or comes from
+/// [`DeadlineSolver::lqr_u0_into`] when `rung` is the LQR fallback).
+#[derive(Debug, Clone, Copy)]
+pub struct RungStatus {
+    /// The rung that actually produced the control (the requested rung,
+    /// downgraded if the budget tripped mid-solve, or
+    /// [`DegradeRung::LqrFallback`] after a detected fault).
+    pub rung: DegradeRung,
+    /// Why the underlying iteration stopped.
+    pub termination: TerminationCause,
+    /// ADMM iterations performed (0 on the LQR rung).
+    pub iterations: usize,
+    /// Simulated cycles of the applied solve.
+    pub total_cycles: u64,
+    /// Whether ADMM converged within tolerance.
+    pub converged: bool,
+    /// Set when a solver error or divergence forced the pristine-cache
+    /// restore and the LQR fallback — the caller must fetch `u0` via
+    /// [`DeadlineSolver::lqr_u0_into`].
+    pub fell_back: bool,
+}
+
 /// [`AdmmSolver`] wrapped with a cycle budget, the degradation ladder
 /// and bounded fault recovery.
 #[derive(Debug, Clone)]
@@ -146,6 +252,18 @@ impl<T: Scalar> DeadlineSolver<T> {
     /// The wrapped solver.
     pub fn solver(&self) -> &AdmmSolver<T> {
         &self.solver
+    }
+
+    /// Mutable access to the wrapped solver — the serve session layer
+    /// uses this to stream reference windows straight into the arena
+    /// workspace between ticks.
+    pub fn solver_mut(&mut self) -> &mut AdmmSolver<T> {
+        &mut self.solver
+    }
+
+    /// The budget and ladder parameters.
+    pub fn config(&self) -> DeadlineConfig {
+        self.config
     }
 
     /// The pristine cache snapshot taken at construction.
@@ -214,20 +332,35 @@ impl<T: Scalar> DeadlineSolver<T> {
         })
     }
 
-    /// Picks the mildest rung whose predicted cost fits the budget.
-    fn select_rung(&self, c: &CostModel) -> DegradeRung {
-        let b = self.config.cycle_budget;
+    /// Converts the probed kernel costs into per-rung solve costs using
+    /// this solver's ladder parameters.
+    fn rung_costs_from(&self, c: &CostModel) -> RungCosts {
         let e = self.config.expected_iterations.max(1);
         let w = self.config.widen_factor.max(1);
-        if c.solve_cost(e, self.base.check_interval) <= b {
-            DegradeRung::Nominal
-        } else if c.solve_cost(e, w) <= b {
-            DegradeRung::WidenedCheck
-        } else if c.solve_cost(1, 1) <= b {
-            DegradeRung::EarlyExit
-        } else {
-            DegradeRung::LqrFallback
+        RungCosts {
+            nominal: c.solve_cost(e, self.base.check_interval),
+            widened: c.solve_cost(e, w),
+            early_exit: c.solve_cost(1, 1),
+            lqr: 0,
         }
+    }
+
+    /// Probes the executor and predicts the per-solve cycle cost of
+    /// every ladder rung (see [`RungCosts`]). Pure pricing: no solve
+    /// runs, no solver state changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor pricing failures (e.g. a rejected trace).
+    pub fn rung_costs(&mut self, executor: &mut dyn KernelExecutor) -> tinympc::Result<RungCosts> {
+        let c = self.probe(executor)?;
+        Ok(self.rung_costs_from(&c))
+    }
+
+    /// Picks the mildest rung whose predicted cost fits the budget.
+    fn select_rung(&self, c: &CostModel) -> DegradeRung {
+        self.rung_costs_from(c)
+            .mildest_within(self.config.cycle_budget)
     }
 
     /// Settings for a rung: the budget is always installed as a hard
@@ -252,6 +385,19 @@ impl<T: Scalar> DeadlineSolver<T> {
             .map(|u| u.neg())
             .unwrap_or_else(|_| Vector::zeros(nu))
             .clip(p.u_min, p.u_max)
+    }
+
+    /// Allocation-free LQR fallback: writes `clip(−K∞ x0)` from the
+    /// pristine cache into `out` (length `nu`). Structurally finite —
+    /// a rejected matvec (non-finite `x0`) degrades to the clipped zero
+    /// input, and `clip` squashes NaN to a bound.
+    pub fn lqr_u0_into(&self, x0: &[T], out: &mut [T]) {
+        let p = self.solver.problem();
+        if matlib::gemv_into(&self.pristine_cache.kinf, x0, out).is_err() {
+            out.fill(T::ZERO);
+        }
+        matlib::scale_in_place(out, -T::ONE);
+        matlib::clamp_in_place(out, p.u_min, p.u_max);
     }
 
     fn lqr_outcome(&self, x0: &Vector<T>, retried: bool, fault: Option<String>) -> SolveOutcome<T> {
@@ -306,6 +452,68 @@ impl<T: Scalar> DeadlineSolver<T> {
                 format!("divergent iterates (residuals {:?})", r.residuals),
             ),
             Err(e) => self.recover(x0, e.to_string()),
+        }
+    }
+
+    /// Solves at an externally chosen ladder rung, allocation-free.
+    ///
+    /// This is the ladder's policy seam turned inside out: where
+    /// [`solve`](Self::solve) probes costs and picks its own rung per
+    /// solve, here the *caller* owns rung selection — the serve runtime
+    /// walks whole session cohorts down the ladder under burst and
+    /// forces each session's tick to the cohort's rung. The applied
+    /// control stays staged in the solver arena (read it via
+    /// `solver().u0()`); on [`DegradeRung::LqrFallback`] — requested or
+    /// reached via fault fallback (`fell_back`) — fetch it with
+    /// [`lqr_u0_into`](Self::lqr_u0_into) instead.
+    ///
+    /// Infallible like `solve`: any solver error or detected divergence
+    /// restores the pristine cache and reports the LQR rung. A warm
+    /// steady-state call performs zero heap allocations (fault paths
+    /// excepted).
+    pub fn solve_in_place_at_rung(
+        &mut self,
+        x0: &[T],
+        executor: &mut dyn KernelExecutor,
+        rung: DegradeRung,
+    ) -> RungStatus {
+        let lqr = |fell_back: bool| RungStatus {
+            rung: DegradeRung::LqrFallback,
+            termination: TerminationCause::Deadline,
+            iterations: 0,
+            total_cycles: 0,
+            converged: false,
+            fell_back,
+        };
+        if rung == DegradeRung::LqrFallback {
+            return lqr(false);
+        }
+        if x0.len() != self.solver.dims().nx || x0.iter().any(|v| !v.is_finite()) {
+            return lqr(true);
+        }
+        self.solver.set_settings(self.settings_for(rung));
+        match self.solver.solve_in_place(x0, executor) {
+            Ok(r) if r.termination != TerminationCause::Diverged => RungStatus {
+                // Downgrade the label when the budget tripped mid-solve,
+                // mirroring `finish`.
+                rung: if r.termination == TerminationCause::Deadline {
+                    rung.max(DegradeRung::EarlyExit)
+                } else {
+                    rung
+                },
+                termination: r.termination,
+                iterations: r.iterations,
+                total_cycles: r.total_cycles,
+                converged: r.converged,
+                fell_back: false,
+            },
+            // Fault path: restore the pristine cache and hand the tick
+            // to the LQR rung (the cohort policy, not a retry loop,
+            // decides what happens next tick).
+            _ => {
+                self.restore();
+                lqr(true)
+            }
         }
     }
 
@@ -412,6 +620,83 @@ mod tests {
     fn from_rates_divides_clock_by_control_rate() {
         let c = DeadlineConfig::from_rates(500.0, 1.0e9);
         assert_eq!(c.cycle_budget, 2_000_000);
+    }
+
+    #[test]
+    fn rung_costs_order_and_budget_selection() {
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(u64::MAX));
+        let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
+        let c = d.rung_costs(&mut e).unwrap();
+        // Harsher rungs must never predict more cycles than milder ones.
+        assert!(c.nominal >= c.widened, "{c:?}");
+        assert!(c.widened >= c.early_exit, "{c:?}");
+        assert_eq!(c.lqr, 0);
+        assert_eq!(c.mildest_within(u64::MAX), DegradeRung::Nominal);
+        assert_eq!(c.mildest_within(c.widened), DegradeRung::WidenedCheck);
+        assert_eq!(c.mildest_within(c.early_exit), DegradeRung::EarlyExit);
+        assert_eq!(c.mildest_within(0), DegradeRung::LqrFallback);
+    }
+
+    #[test]
+    fn ladder_indexing_round_trips() {
+        for rung in DegradeRung::ALL {
+            assert_eq!(DegradeRung::from_index(rung.index()), rung);
+        }
+        assert_eq!(DegradeRung::Nominal.demoted(), DegradeRung::WidenedCheck);
+        assert_eq!(
+            DegradeRung::LqrFallback.demoted(),
+            DegradeRung::LqrFallback,
+            "ladder saturates"
+        );
+    }
+
+    #[test]
+    fn forced_rung_solve_matches_the_requested_rung() {
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(u64::MAX));
+        let x0 = d.solver().problem().hover_offset_state(0.2);
+        let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
+        let s = d.solve_in_place_at_rung(x0.as_slice(), &mut e, DegradeRung::Nominal);
+        assert_eq!(s.rung, DegradeRung::Nominal);
+        assert!(s.converged);
+        assert!(!s.fell_back);
+        assert!(s.total_cycles > 0);
+        // The arena holds the applied control.
+        assert!(d.solver().u0().iter().all(|v| v.is_finite()));
+        // A forced widened rung runs with the stretched check interval.
+        let s = d.solve_in_place_at_rung(x0.as_slice(), &mut e, DegradeRung::WidenedCheck);
+        assert_eq!(s.rung, DegradeRung::WidenedCheck);
+        // Forcing the LQR rung never touches the solver.
+        let s = d.solve_in_place_at_rung(x0.as_slice(), &mut e, DegradeRung::LqrFallback);
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.total_cycles, 0);
+    }
+
+    #[test]
+    fn lqr_u0_into_matches_allocating_lqr_and_survives_garbage() {
+        let d = DeadlineSolver::new(solver(), DeadlineConfig::new(1));
+        let x0 = d.solver().problem().hover_offset_state(0.4);
+        let reference = d.lqr_u0(&x0);
+        let mut out = vec![0.0f32; reference.len()];
+        d.lqr_u0_into(x0.as_slice(), &mut out);
+        for i in 0..out.len() {
+            assert_eq!(out[i], reference[i]);
+        }
+        // Non-finite state: still finite, still inside the box.
+        let bad = vec![f32::NAN; x0.len()];
+        d.lqr_u0_into(&bad, &mut out);
+        let p = d.solver().problem();
+        for v in &out {
+            assert!(v.is_finite() && *v >= p.u_min && *v <= p.u_max);
+        }
+    }
+
+    #[test]
+    fn forced_rung_garbage_state_falls_back() {
+        let mut d = DeadlineSolver::new(solver(), DeadlineConfig::new(u64::MAX));
+        let bad = vec![f32::NAN; 12];
+        let s = d.solve_in_place_at_rung(&bad, &mut NullExecutor, DegradeRung::Nominal);
+        assert_eq!(s.rung, DegradeRung::LqrFallback);
+        assert!(s.fell_back);
     }
 
     #[test]

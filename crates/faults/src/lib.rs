@@ -45,7 +45,9 @@ pub use campaign::{
     run_campaign, run_campaign_scenario, BackendStats, CampaignKind, CampaignReport,
 };
 pub use chaos::{recoverable_strikes, run_chaos, ChaosOutcome, ChaosReport, ChaosTrial};
-pub use deadline::{DeadlineConfig, DeadlineSolver, DegradeRung, SolveOutcome};
+pub use deadline::{
+    DeadlineConfig, DeadlineSolver, DegradeRung, RungCosts, RungStatus, SolveOutcome,
+};
 pub use inject::{corrupt_trace, DataInjector, FaultyExecutor, TraceFaultOutcome};
 pub use plan::{Fault, FaultKind, FaultPlan, FaultSite};
 pub use riscv::{run_instruction_campaign, InstructionStats};

@@ -25,7 +25,13 @@ fn scratchpad_faults_detected_or_bounded() {
 
     for fault in &plan.faults {
         let x0 = problem.hover_offset_state(0.25);
-        let u_ref = proto.clone().solve(&x0, &mut NullExecutor).unwrap().u0;
+        let u_ref = {
+            let mut reference = proto.clone();
+            reference
+                .solve_in_place(x0.as_slice(), &mut NullExecutor)
+                .unwrap();
+            matlib::Vector::from_slice(reference.u0())
+        };
         let mut d = DeadlineSolver::new(proto.clone(), DeadlineConfig::new(u64::MAX));
         let o = d.solve_observed(&x0, &mut NullExecutor, &mut DataInjector::new(*fault));
         assert!(o.u0.is_finite(), "fault {fault}: non-finite control");
@@ -47,7 +53,11 @@ fn ladder_fires_in_order_under_shrinking_budget() {
     let x0 = proto.problem().hover_offset_state(0.3);
     // Nominal cost on the scalar reference back-end.
     let mut e = PipelineExecutor::for_platform(&Platform::rocket_eigen());
-    let nominal = proto.clone().solve(&x0, &mut e).unwrap().total_cycles;
+    let nominal = proto
+        .clone()
+        .solve_in_place(x0.as_slice(), &mut e)
+        .unwrap()
+        .total_cycles;
 
     let budgets = [
         nominal * 4,
@@ -104,7 +114,10 @@ fn never_nan_under_tiny_budget_and_injection() {
     // Nominal cycles so we can pick genuinely starved budgets.
     let nominal = proto
         .clone()
-        .solve(&x0, &mut PipelineExecutor::for_platform(&platform))
+        .solve_in_place(
+            x0.as_slice(),
+            &mut PipelineExecutor::for_platform(&platform),
+        )
         .unwrap()
         .total_cycles;
 

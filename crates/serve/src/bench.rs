@@ -1,0 +1,303 @@
+//! `run_bench` — the engine behind `dse bench-serve`.
+//!
+//! Builds a seeded load plan, admits it into a [`ServeRuntime`], runs
+//! the tick loop, and splits the results along the determinism
+//! contract: the **report body** (stdout, `results/serve_perf.txt`)
+//! contains only worker-count-invariant numbers; **host statistics**
+//! (wall-clock percentiles, sessions/sec, allocation counts, pool
+//! retries) go to stderr and the `BENCH_serve.json` artifact.
+
+use std::sync::atomic::Ordering;
+
+use crate::loadgen::plan_load;
+use crate::report::render_occupancy;
+use crate::runtime::ServeRuntime;
+
+/// Configuration of one bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Concurrent sessions to admit.
+    pub sessions: usize,
+    /// Ticks to run.
+    pub ticks: usize,
+    /// Seed for the load plan, admissions and burst model.
+    pub seed: u64,
+    /// Executor workers.
+    pub workers: usize,
+    /// CI mode: gate on zero aborted sessions, zero steady-state
+    /// allocations, and p99 solve latency within the worst cohort
+    /// budget.
+    pub smoke: bool,
+}
+
+impl BenchConfig {
+    /// Defaults: 256 sessions, 100 ticks, seed 7.
+    pub fn new(workers: usize) -> Self {
+        BenchConfig {
+            sessions: 256,
+            ticks: 100,
+            seed: 7,
+            workers,
+            smoke: false,
+        }
+    }
+}
+
+/// Host-side, scheduling-dependent statistics.
+#[derive(Debug, Clone)]
+pub struct HostStats {
+    /// Median per-tick wall time, ns.
+    pub tick_p50_ns: u64,
+    /// p99 per-tick wall time, ns.
+    pub tick_p99_ns: u64,
+    /// Session-ticks per wall-clock second.
+    pub session_ticks_per_sec: f64,
+    /// Heap allocations observed in the steady-state window.
+    pub steady_allocs: u64,
+    /// Pool retries (re-run panicked items) across the run.
+    pub retries: usize,
+    /// Pool watchdog trips across the run.
+    pub watchdog_trips: usize,
+    /// Executor workers used.
+    pub workers: usize,
+}
+
+/// Everything one bench run produced.
+#[derive(Debug, Clone)]
+pub struct BenchOutput {
+    /// The deterministic report body (worker-count-invariant).
+    pub report: String,
+    /// The `BENCH_serve.json` artifact (includes host stats).
+    pub json: String,
+    /// Host statistics for stderr diagnostics.
+    pub host: HostStats,
+    /// Smoke-gate violations (empty when all gates pass or `smoke` is
+    /// off).
+    pub gate_failures: Vec<String>,
+}
+
+fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Runs the bench. `alloc_probe` reads the process allocation counter
+/// (pass `&|| 0` without a counting allocator; steady-state allocation
+/// reporting then degrades to 0, and the smoke allocation gate is
+/// vacuous).
+///
+/// # Errors
+///
+/// Propagates admission failures (solver construction, kernel pricing).
+pub fn run_bench(cfg: &BenchConfig, alloc_probe: &dyn Fn() -> u64) -> tinympc::Result<BenchOutput> {
+    let plan = plan_load(cfg.sessions, cfg.seed);
+    let mut rt = ServeRuntime::new(&plan, cfg.ticks, cfg.seed, cfg.workers)?;
+    let run = rt.run(cfg.ticks, alloc_probe);
+
+    // ---- deterministic report body ----
+    let m = rt.metrics();
+    let session_ticks = m.session_ticks.load(Ordering::Relaxed);
+    let misses = m.misses.load(Ordering::Relaxed);
+    let fallbacks = m.fallbacks.load(Ordering::Relaxed);
+    let aborted = m.aborted.load(Ordering::Relaxed);
+    let rungs = m.rung_snapshot();
+    let p50 = m.cycles.percentile(50.0);
+    let p99 = m.cycles.percentile(99.0);
+    let p999 = m.cycles.percentile(99.9);
+    let miss_rate = if session_ticks == 0 {
+        0.0
+    } else {
+        misses as f64 / session_ticks as f64
+    };
+
+    let mut report = String::new();
+    report.push_str("# soc-serve — batched multi-tenant solver service\n");
+    report.push_str(&format!(
+        "config: sessions={} ticks={} seed={}\n",
+        cfg.sessions, cfg.ticks, cfg.seed
+    ));
+    report.push_str(&format!(
+        "capacity: {} cycles/tick ({}% of aggregate baseline demand)\n\n",
+        rt.capacity(),
+        125
+    ));
+    report.push_str(
+        "| cohort | scenario | platform | sessions | budget (cyc) | baseline | occupancy n/w/e/l |\n",
+    );
+    report.push_str("|---|---|---|---|---|---|---|\n");
+    for (i, c) in rt.cohorts().iter().enumerate() {
+        report.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            i,
+            c.model.scenario().name(),
+            c.model.platform_name(),
+            c.sessions(),
+            c.model.budget(),
+            c.model.baseline(),
+            render_occupancy(&c.occupancy()),
+        ));
+    }
+    report.push_str(&format!(
+        "\nsolve latency (simulated cycles): p50={p50} p99={p99} p99.9={p999}\n"
+    ));
+    report.push_str(&format!(
+        "deadline misses: {misses} / {session_ticks} session-ticks ({:.4}%)\n",
+        miss_rate * 100.0
+    ));
+    report.push_str(&format!(
+        "rung occupancy (session-ticks): nominal={} widened-check={} early-exit={} lqr-fallback={}\n",
+        rungs[0], rungs[1], rungs[2], rungs[3]
+    ));
+    report.push_str(&format!("fault fallbacks: {fallbacks}\n"));
+    report.push_str(&format!("aborted session-ticks: {aborted}\n"));
+
+    // ---- host statistics ----
+    let mut wall = run.wall_ns.clone();
+    wall.sort_unstable();
+    let total_ns: u128 = run.wall_ns.iter().map(|&n| u128::from(n)).sum();
+    let host = HostStats {
+        tick_p50_ns: percentile_sorted(&wall, 50.0),
+        tick_p99_ns: percentile_sorted(&wall, 99.0),
+        session_ticks_per_sec: if total_ns == 0 {
+            0.0
+        } else {
+            session_ticks as f64 * 1.0e9 / total_ns as f64
+        },
+        steady_allocs: run.steady_allocs,
+        retries: run.pool.retries,
+        watchdog_trips: run.pool.watchdog_trips,
+        workers: rt.workers(),
+    };
+
+    // ---- JSON artifact ----
+    let cohort_json: Vec<String> = rt
+        .cohorts()
+        .iter()
+        .map(|c| {
+            let occ = c.occupancy();
+            format!(
+                "{{\"scenario\": \"{}\", \"platform\": \"{}\", \"sessions\": {}, \"budget\": {}, \"baseline\": \"{}\", \"occupancy\": [{}, {}, {}, {}]}}",
+                c.model.scenario().name(),
+                c.model.platform_name(),
+                c.sessions(),
+                c.model.budget(),
+                c.model.baseline(),
+                occ[0], occ[1], occ[2], occ[3]
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\": \"serve\", \"schema\": \"soc-serve-bench/v1\",\n \
+         \"config\": {{\"sessions\": {}, \"ticks\": {}, \"seed\": {}, \"smoke\": {}}},\n \
+         \"deterministic\": {{\"p50_cycles\": {}, \"p99_cycles\": {}, \"p999_cycles\": {}, \
+         \"session_ticks\": {}, \"misses\": {}, \"miss_rate\": {:.6}, \
+         \"rung_ticks\": {{\"nominal\": {}, \"widened_check\": {}, \"early_exit\": {}, \"lqr_fallback\": {}}}, \
+         \"fallbacks\": {}, \"aborted\": {}, \"capacity_cycles\": {}}},\n \
+         \"cohorts\": [\n  {}\n ],\n \
+         \"host\": {{\"workers\": {}, \"tick_p50_ns\": {}, \"tick_p99_ns\": {}, \
+         \"session_ticks_per_sec\": {:.1}, \"steady_state_allocs\": {}, \
+         \"retries\": {}, \"watchdog_trips\": {}}}}}\n",
+        cfg.sessions,
+        cfg.ticks,
+        cfg.seed,
+        cfg.smoke,
+        p50,
+        p99,
+        p999,
+        session_ticks,
+        misses,
+        miss_rate,
+        rungs[0],
+        rungs[1],
+        rungs[2],
+        rungs[3],
+        fallbacks,
+        aborted,
+        rt.capacity(),
+        cohort_json.join(",\n  "),
+        host.workers,
+        host.tick_p50_ns,
+        host.tick_p99_ns,
+        host.session_ticks_per_sec,
+        host.steady_allocs,
+        host.retries,
+        host.watchdog_trips,
+    );
+
+    // ---- smoke gates ----
+    let mut gate_failures = Vec::new();
+    if cfg.smoke {
+        if aborted != 0 {
+            gate_failures.push(format!("{aborted} session-ticks aborted (expected 0)"));
+        }
+        if host.steady_allocs != 0 {
+            gate_failures.push(format!(
+                "{} heap allocations in the steady-state window (expected 0)",
+                host.steady_allocs
+            ));
+        }
+        let worst_budget = rt
+            .cohorts()
+            .iter()
+            .map(|c| c.model.budget())
+            .max()
+            .unwrap_or(0);
+        if p99 > worst_budget {
+            gate_failures.push(format!(
+                "p99 solve latency {p99} cycles exceeds the worst cohort budget {worst_budget}"
+            ));
+        }
+    }
+
+    Ok(BenchOutput {
+        report,
+        json,
+        host,
+        gate_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let cfg = BenchConfig {
+            sessions: 24,
+            ticks: 6,
+            seed: 7,
+            workers: 2,
+            smoke: true,
+        };
+        let out = run_bench(&cfg, &|| 0).unwrap();
+        assert!(out.report.contains("sessions=24 ticks=6 seed=7"));
+        assert!(out.report.contains("rung occupancy"));
+        assert!(out.json.contains("\"schema\": \"soc-serve-bench/v1\""));
+        assert!(
+            out.gate_failures.iter().all(|g| !g.contains("aborted")),
+            "no aborts expected: {:?}",
+            out.gate_failures
+        );
+    }
+
+    #[test]
+    fn report_body_is_worker_count_invariant() {
+        let run = |workers| {
+            let cfg = BenchConfig {
+                sessions: 20,
+                ticks: 8,
+                seed: 11,
+                workers,
+                smoke: false,
+            };
+            run_bench(&cfg, &|| 0).unwrap().report
+        };
+        let one = run(1);
+        assert_eq!(one, run(3));
+        assert_eq!(one, run(7));
+    }
+}

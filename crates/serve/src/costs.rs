@@ -1,0 +1,130 @@
+//! [`CachedCosts`] — a lock-free, `Copy` kernel-pricing snapshot.
+//!
+//! Every back-end prices kernels through the process-wide
+//! [`soc_backend::priced_for`] interner, whose memo tables sit behind
+//! mutexes. That is the right shape for sweeps (price once, share
+//! everywhere) but the wrong shape for a serve tick, where thousands of
+//! sessions would hammer the same locks. `CachedCosts` resolves the
+//! tension: at admission time a cohort probes the interner once for
+//! every [`KernelId`] at its fixed [`ProblemDims`], and each session
+//! carries the resulting flat table by value. The tick hot path then
+//! prices kernels with an array index — no locks, no hashing, no heap.
+
+use soc_backend::Platform;
+use tinympc::{KernelExecutor, KernelId, ProblemDims};
+
+/// A per-kernel cycle table for one (platform, dims) pair, valid only
+/// at those dims. `Copy`, so sessions embed it by value and the solver
+/// hot loop reads it without indirection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedCosts {
+    dims: ProblemDims,
+    kernels: [u64; KernelId::ALL.len()],
+    setup: u64,
+}
+
+impl CachedCosts {
+    /// Prices every kernel for `dims` on `platform` through the shared
+    /// [`soc_backend::priced_for`] interner. Cohorts with identical
+    /// (platform, dims) hit the same interner entry, so ten thousand
+    /// quadrotor sessions price their kernels exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates back-end pricing failures (e.g. a rejected trace).
+    pub fn price(platform: &Platform, dims: ProblemDims) -> tinympc::Result<Self> {
+        let priced = soc_backend::priced_for(platform);
+        let mut kernels = [0u64; KernelId::ALL.len()];
+        for kernel in KernelId::ALL {
+            kernels[kernel.index()] = priced.kernel_cycles(kernel, &dims)?;
+        }
+        let setup = priced.setup_cycles(&dims)?;
+        Ok(CachedCosts {
+            dims,
+            kernels,
+            setup,
+        })
+    }
+
+    /// The dims this table was priced at.
+    pub fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+}
+
+impl KernelExecutor for CachedCosts {
+    fn name(&self) -> String {
+        // Cold path only (reports); the hot loop never calls this.
+        format!(
+            "cached-costs({}x{}xN{})",
+            self.dims.nx, self.dims.nu, self.dims.horizon
+        )
+    }
+
+    fn kernel_cycles(&mut self, kernel: KernelId, dims: &ProblemDims) -> tinympc::Result<u64> {
+        if *dims != self.dims {
+            return Err(tinympc::Error::BadProblem {
+                reason: format!(
+                    "CachedCosts priced at {}x{}xN{} asked for {}x{}xN{}",
+                    self.dims.nx, self.dims.nu, self.dims.horizon, dims.nx, dims.nu, dims.horizon
+                ),
+            });
+        }
+        Ok(self.kernels[kernel.index()])
+    }
+
+    fn setup_cycles(&mut self, dims: &ProblemDims) -> tinympc::Result<u64> {
+        if *dims != self.dims {
+            return Err(tinympc::Error::BadProblem {
+                reason: "CachedCosts asked for setup at foreign dims".to_string(),
+            });
+        }
+        Ok(self.setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_backend::PipelineExecutor;
+
+    fn dims() -> ProblemDims {
+        ProblemDims {
+            nx: 12,
+            nu: 4,
+            horizon: 10,
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_the_live_pricer() {
+        let platform = Platform::rocket_eigen();
+        let mut cached = CachedCosts::price(&platform, dims()).unwrap();
+        let mut live = PipelineExecutor::for_platform(&platform);
+        for kernel in KernelId::ALL {
+            assert_eq!(
+                cached.kernel_cycles(kernel, &dims()).unwrap(),
+                live.kernel_cycles(kernel, &dims()).unwrap(),
+                "{kernel:?}"
+            );
+        }
+        assert_eq!(
+            cached.setup_cycles(&dims()).unwrap(),
+            live.setup_cycles(&dims()).unwrap()
+        );
+    }
+
+    #[test]
+    fn foreign_dims_are_rejected() {
+        let mut cached = CachedCosts::price(&Platform::rocket_eigen(), dims()).unwrap();
+        let other = ProblemDims {
+            nx: 6,
+            nu: 3,
+            horizon: 10,
+        };
+        assert!(cached
+            .kernel_cycles(KernelId::ForwardPass1, &other)
+            .is_err());
+        assert!(cached.setup_cycles(&other).is_err());
+    }
+}

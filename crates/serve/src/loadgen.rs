@@ -1,0 +1,176 @@
+//! Seeded load generation: session mixes and the burst model.
+//!
+//! Everything here is a pure function of the seed: the cohort mix, the
+//! per-session perturbations (drawn downstream in cohort order), and
+//! the tick-by-tick burst factor. That makes the whole bench replayable
+//! — same seed, same sessions, same overload pattern — which is what
+//! lets the determinism test demand byte-identical reports across
+//! worker counts.
+
+use matlib::rng::SplitMix64;
+use soc_backend::Platform;
+use soc_cpu::CoreConfig;
+use soc_gemmini::{GemminiConfig, GemminiOpts};
+use soc_scenarios::{Scenario, ScenarioCatalog};
+use soc_vector::SaturnConfig;
+
+/// The serving platform set: one representative per back-end family —
+/// the scalar in-order baseline, the mid-size Saturn vector unit, and
+/// the optimized output-stationary Gemmini.
+pub fn serving_platforms() -> Vec<Platform> {
+    vec![
+        Platform::rocket_eigen(),
+        Platform::saturn(CoreConfig::rocket(), SaturnConfig::v512d256()),
+        Platform::gemmini(
+            CoreConfig::rocket(),
+            GemminiConfig::os_4x4_32kb(),
+            GemminiOpts::optimized(),
+        ),
+    ]
+}
+
+/// Control rate a scenario's sessions run at (Hz). Together with the
+/// 1 GHz reporting clock this fixes each cohort's per-solve cycle
+/// budget: fast attitude-rate loops get tight deadlines, slow orbital
+/// maneuvers get loose ones.
+pub fn control_hz(scenario: &Scenario) -> f64 {
+    match scenario.dims() {
+        (12, 4) => 500.0, // quadrotor attitude/position loops
+        (6, 3) => 100.0,  // rendezvous / soft landing
+        _ => 1000.0,      // double integrator and small test plants
+    }
+}
+
+/// One cohort of the load plan: a workload, a platform index into
+/// [`serving_platforms`], and how many sessions landed on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortSpec {
+    /// The workload.
+    pub scenario: Scenario,
+    /// Index into [`serving_platforms`].
+    pub platform: usize,
+    /// Sessions assigned to this cohort.
+    pub sessions: usize,
+}
+
+/// A seeded assignment of `sessions` tenants to (scenario, platform)
+/// cohorts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPlan {
+    /// Non-empty cohorts in catalog-major, platform-minor order (so
+    /// the report's cohort table is stable).
+    pub cohorts: Vec<CohortSpec>,
+}
+
+impl LoadPlan {
+    /// Total sessions across all cohorts.
+    pub fn sessions(&self) -> usize {
+        self.cohorts.iter().map(|c| c.sessions).sum()
+    }
+}
+
+/// Draws the session mix: each session independently picks a scenario
+/// from the standard catalog and a platform from the serving set.
+/// Cohorts that drew zero sessions are dropped.
+pub fn plan_load(sessions: usize, seed: u64) -> LoadPlan {
+    let catalog = ScenarioCatalog::standard().into_scenarios();
+    let platforms = serving_platforms().len();
+    let mut rng = SplitMix64::new(seed ^ 0x5E55_104D);
+    let mut counts = vec![0usize; catalog.len() * platforms];
+    for _ in 0..sessions {
+        let s = rng.range_usize(0, catalog.len() - 1);
+        let p = rng.range_usize(0, platforms - 1);
+        counts[s * platforms + p] += 1;
+    }
+    let mut cohorts = Vec::new();
+    for (s, scenario) in catalog.iter().enumerate() {
+        for p in 0..platforms {
+            let sessions = counts[s * platforms + p];
+            if sessions > 0 {
+                cohorts.push(CohortSpec {
+                    scenario: scenario.clone(),
+                    platform: p,
+                    sessions,
+                });
+            }
+        }
+    }
+    LoadPlan { cohorts }
+}
+
+/// A seeded square-pulse overload model. Most ticks run at factor 1.0
+/// (rendered as `x100 = 100`); with 8% probability per idle tick a
+/// burst starts, multiplying aggregate demand by 2–4× for 5–15 ticks.
+/// Factors are integer percents so demand arithmetic stays exact.
+#[derive(Debug)]
+pub struct BurstModel {
+    rng: SplitMix64,
+    remaining: usize,
+    factor_x100: u64,
+}
+
+impl BurstModel {
+    /// A burst stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        BurstModel {
+            rng: SplitMix64::new(seed ^ 0xB0B5_7B0B),
+            remaining: 0,
+            factor_x100: 100,
+        }
+    }
+
+    /// Advances one tick and returns the demand factor ×100 (100 =
+    /// nominal load).
+    pub fn step(&mut self) -> u64 {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            return self.factor_x100;
+        }
+        if self.rng.unit_f64() < 0.08 {
+            self.factor_x100 = 100 * self.rng.range_usize(2, 4) as u64;
+            self.remaining = self.rng.range_usize(5, 15);
+            return self.factor_x100;
+        }
+        self.factor_x100 = 100;
+        100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic_and_conserve_sessions() {
+        let a = plan_load(1000, 7);
+        let b = plan_load(1000, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.sessions(), 1000);
+        let c = plan_load(1000, 8);
+        assert_ne!(a, c, "different seeds draw different mixes");
+        // With 1000 sessions over 21 cohorts every cohort is hit.
+        assert_eq!(a.cohorts.len(), 7 * serving_platforms().len());
+    }
+
+    #[test]
+    fn bursts_pulse_and_return_to_nominal() {
+        let mut burst = BurstModel::new(7);
+        let factors: Vec<u64> = (0..400).map(|_| burst.step()).collect();
+        assert!(factors.contains(&100), "idles exist");
+        assert!(factors.iter().any(|&f| f > 100), "bursts exist");
+        assert!(factors
+            .iter()
+            .all(|&f| f == 100 || (200..=400).contains(&f)));
+        // Deterministic replay.
+        let mut again = BurstModel::new(7);
+        let replay: Vec<u64> = (0..400).map(|_| again.step()).collect();
+        assert_eq!(factors, replay);
+    }
+
+    #[test]
+    fn control_rates_cover_the_catalog() {
+        for scenario in ScenarioCatalog::standard().scenarios() {
+            assert!(control_hz(scenario) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Metrics accumulation and the deterministic report body.
+//!
+//! The serve determinism contract hinges on one property: every number
+//! in the stdout report must be invariant under worker count and
+//! scheduling order. Counters get that from commutative atomic adds.
+//! Latency percentiles get it from [`CycleHistogram`] — a log-linear
+//! bucket array whose `record` is an atomic increment, so the final
+//! bucket populations (and therefore every percentile read) are
+//! identical no matter how the session-ticks interleaved.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use soc_faults::DegradeRung;
+
+/// Bucket count: exact below 8, then 4 log-linear sub-buckets per
+/// power of two up to `u64::MAX`.
+const BUCKETS: usize = 256;
+
+/// A lock-free log-linear histogram of simulated cycle counts.
+///
+/// Values below 8 are exact; above that, each power of two is split
+/// into 4 sub-buckets (≤ 25% relative error on percentile reads, far
+/// inside the spread the report cares about). Recording is a single
+/// relaxed atomic increment — safe from any worker, commutative, and
+/// allocation-free.
+#[derive(Debug)]
+pub struct CycleHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        CycleHistogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < 8 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize; // ≥ 3
+        let sub = ((value >> (msb - 2)) & 3) as usize;
+        8 + (msb - 3) * 4 + sub
+    }
+
+    /// The smallest value mapping to `bucket` — what percentile reads
+    /// report.
+    fn bucket_floor(bucket: usize) -> u64 {
+        if bucket < 8 {
+            return bucket as u64;
+        }
+        let msb = 3 + (bucket - 8) / 4;
+        let sub = ((bucket - 8) % 4) as u64;
+        (1u64 << msb) + (sub << (msb - 2))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The value at percentile `p` (0–100): the floor of the bucket
+    /// containing the `ceil(p% · count)`-th observation. Returns 0 on
+    /// an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Integer rank so the read is exact and platform-independent.
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        Self::bucket_floor(BUCKETS - 1)
+    }
+}
+
+/// Worker-count-invariant metrics accumulated across all session-ticks.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Simulated cycles of every applied solve.
+    pub cycles: CycleHistogram,
+    /// Session-ticks that landed on each ladder rung (achieved, not
+    /// assigned: fault fallbacks and mid-solve deadline downgrades
+    /// count where they ended up).
+    pub rung_ticks: [AtomicU64; 4],
+    /// Total session-ticks executed.
+    pub session_ticks: AtomicU64,
+    /// Ticks whose applied solve overran the cohort budget.
+    pub misses: AtomicU64,
+    /// Ticks that hit the fault-fallback path.
+    pub fallbacks: AtomicU64,
+    /// Session-ticks abandoned after the retry budget was exhausted.
+    pub aborted: AtomicU64,
+}
+
+impl Metrics {
+    fn default_rungs() -> [AtomicU64; 4] {
+        [0u64; 4].map(AtomicU64::new)
+    }
+
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics {
+            cycles: CycleHistogram::new(),
+            rung_ticks: Self::default_rungs(),
+            session_ticks: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one achieved session-tick.
+    pub fn record(&self, rung: DegradeRung, cycles: u64, missed: bool, fell_back: bool) {
+        self.cycles.record(cycles);
+        self.rung_ticks[rung.index()].fetch_add(1, Ordering::Relaxed);
+        self.session_ticks.fetch_add(1, Ordering::Relaxed);
+        if missed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if fell_back {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Loads a rung-occupancy snapshot, mildest first.
+    pub fn rung_snapshot(&self) -> [u64; 4] {
+        [0, 1, 2, 3].map(|i| self.rung_ticks[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Renders session-ticks per rung as the compact `n/w/e/l` cell used
+/// in cohort tables.
+pub fn render_occupancy(rungs: &[u64; 4]) -> String {
+    format!("{}/{}/{}/{}", rungs[0], rungs[1], rungs[2], rungs[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_continuous_and_ordered() {
+        let mut last = 0;
+        for v in (0..4096u64).chain([1 << 20, 1 << 40, u64::MAX]) {
+            let b = CycleHistogram::bucket_of(v);
+            assert!(b < BUCKETS);
+            assert!(b >= last || v < 4096, "bucket index must not regress");
+            last = last.max(b);
+            // The floor of a value's bucket never exceeds the value.
+            assert!(CycleHistogram::bucket_floor(b) <= v, "v={v} b={b}");
+        }
+    }
+
+    #[test]
+    fn percentiles_read_bucket_floors() {
+        let h = CycleHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((32_000..=50_000).contains(&p50), "p50={p50}");
+        assert!(p99 > p50 && p99 <= 99_000, "p99={p99}");
+        assert_eq!(CycleHistogram::new().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn recording_is_commutative() {
+        let a = CycleHistogram::new();
+        let b = CycleHistogram::new();
+        let values = [5u64, 123, 77_000, 9, 5, 1 << 30];
+        for v in values {
+            a.record(v);
+        }
+        for v in values.iter().rev() {
+            b.record(*v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), b.percentile(p));
+        }
+    }
+}

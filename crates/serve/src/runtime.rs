@@ -1,0 +1,408 @@
+//! The session runtime: recurring tick batches with cohort shedding.
+//!
+//! Each tick is one batch on the persistent work-stealing
+//! [`TickExecutor`]: every admitted session claims an item, streams its
+//! reference window, solves at its cohort's assigned rung, and steps
+//! its plant. Before the batch launches, the driver runs the admission
+//! policy — the [`DegradeRung`] ladder generalized from per-solve
+//! budget selection to whole-service overload control. Aggregate
+//! demand (sessions × predicted rung cost × burst factor) is compared
+//! against tick capacity; while it overflows, the costliest cohort is
+//! demoted one rung, saturating at the LQR fallback whose predicted
+//! cost is zero. The walk is serial, integer-exact and seeded, so rung
+//! assignments — and therefore the whole report — are identical for
+//! any worker count.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use matlib::rng::SplitMix64;
+use soc_faults::DegradeRung;
+use soc_sweep::{BatchJob, RetryPolicy, ShardFailure, ShardStats, TickExecutor};
+
+use crate::loadgen::{control_hz, serving_platforms, BurstModel, LoadPlan};
+use crate::report::Metrics;
+use crate::session::{CohortModel, Session};
+
+/// Headroom over aggregate baseline demand: capacity is 125% of what
+/// the admitted sessions cost per tick at their baseline rungs, so
+/// nominal load fits and bursts (2–4×) force the shedding walk.
+const CAPACITY_HEADROOM_X100: u64 = 125;
+
+/// One cohort at runtime: the shared model, the tenant sessions, the
+/// driver-assigned rung for the current tick, and achieved-rung
+/// occupancy counters.
+#[derive(Debug)]
+pub struct CohortRuntime {
+    /// Shared per-cohort state (solver prototype, pricing, references).
+    pub model: CohortModel,
+    sessions: Vec<Mutex<Session>>,
+    rung: AtomicU8,
+    rung_ticks: [std::sync::atomic::AtomicU64; 4],
+}
+
+impl CohortRuntime {
+    /// Sessions admitted to this cohort.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Achieved-rung occupancy (session-ticks per rung, mildest first).
+    pub fn occupancy(&self) -> [u64; 4] {
+        [0, 1, 2, 3].map(|i| self.rung_ticks[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The state a tick batch shares with the executor workers.
+#[derive(Debug)]
+struct ServeShared {
+    cohorts: Vec<CohortRuntime>,
+    /// Cumulative session counts: cohort of item `i` is the first
+    /// entry whose prefix exceeds `i`.
+    prefix: Vec<usize>,
+    tick: AtomicUsize,
+    metrics: Metrics,
+}
+
+impl ServeShared {
+    fn locate(&self, item: usize) -> (usize, usize) {
+        let cohort = self.prefix.partition_point(|&end| end <= item);
+        let base = if cohort == 0 {
+            0
+        } else {
+            self.prefix[cohort - 1]
+        };
+        (cohort, item - base)
+    }
+}
+
+impl BatchJob for ServeShared {
+    fn items(&self) -> usize {
+        self.prefix.last().copied().unwrap_or(0)
+    }
+
+    fn run(&self, item: usize, _attempt: u32) {
+        let (c, s) = self.locate(item);
+        let cohort = &self.cohorts[c];
+        let rung = DegradeRung::from_index(cohort.rung.load(Ordering::Relaxed) as usize);
+        let step = self.tick.load(Ordering::Relaxed);
+        // Poison recovery: a panicked previous attempt left plain old
+        // data; the retry re-runs the tick on it.
+        let mut session = cohort.sessions[s]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let status = session.tick(&cohort.model, step, rung);
+        let missed = status.total_cycles > cohort.model.budget();
+        cohort.rung_ticks[status.rung.index()].fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .record(status.rung, status.total_cycles, missed, status.fell_back);
+    }
+
+    fn fail(&self, _failure: ShardFailure) {
+        self.metrics.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Host-side (scheduling-dependent) statistics of one run. Everything
+/// here goes to stderr and the JSON artifact, never the report body.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Merged shard-pool stats across all ticks (retries, watchdog
+    /// trips, wall time).
+    pub pool: ShardStats,
+    /// Per-tick wall time, nanoseconds.
+    pub wall_ns: Vec<u64>,
+    /// Heap allocations observed between the end of warm-up and the
+    /// last tick (0 when no probe is installed).
+    pub steady_allocs: u64,
+    /// Ticks excluded from the allocation window while caches warmed.
+    pub warmup_ticks: usize,
+}
+
+/// The long-lived serve engine: admitted cohorts, the persistent
+/// executor, and the shedding policy.
+pub struct ServeRuntime {
+    shared: Arc<ServeShared>,
+    job: Arc<dyn BatchJob>,
+    executor: TickExecutor,
+    policy: RetryPolicy,
+    burst: BurstModel,
+    capacity: u64,
+    /// Shedding scratch, sized at admission (the tick loop allocates
+    /// nothing).
+    demands: Vec<u64>,
+    rungs: Vec<usize>,
+    ticks_run: usize,
+}
+
+impl std::fmt::Debug for ServeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeRuntime")
+            .field("cohorts", &self.shared.cohorts.len())
+            .field("sessions", &self.shared.items())
+            .field("capacity", &self.capacity)
+            .field("ticks_run", &self.ticks_run)
+            .finish()
+    }
+}
+
+impl ServeRuntime {
+    /// Admits every session of `plan`: builds one [`CohortModel`] per
+    /// cohort (pricing through the shared interner), clones one warm
+    /// session per tenant, and sizes tick capacity at
+    /// 125% of aggregate baseline demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver construction and back-end pricing failures.
+    pub fn new(plan: &LoadPlan, ticks: usize, seed: u64, workers: usize) -> tinympc::Result<Self> {
+        let platforms = serving_platforms();
+        let mut admission = SplitMix64::new(seed ^ 0xAD41_5510);
+        let mut cohorts = Vec::with_capacity(plan.cohorts.len());
+        let mut prefix = Vec::with_capacity(plan.cohorts.len());
+        let mut total = 0usize;
+        let mut baseline_demand = 0u64;
+        for spec in &plan.cohorts {
+            let model = CohortModel::build(
+                &spec.scenario,
+                &platforms[spec.platform],
+                spec.scenario.default_horizon(),
+                ticks,
+                control_hz(&spec.scenario),
+            )?;
+            let sessions: Vec<Mutex<Session>> = (0..spec.sessions)
+                .map(|_| Mutex::new(model.new_session(&mut admission)))
+                .collect();
+            baseline_demand = baseline_demand
+                .saturating_add(spec.sessions as u64 * model.rung_costs().at(model.baseline()));
+            total += sessions.len();
+            prefix.push(total);
+            cohorts.push(CohortRuntime {
+                model,
+                sessions,
+                rung: AtomicU8::new(0),
+                rung_ticks: [0u64; 4].map(std::sync::atomic::AtomicU64::new),
+            });
+        }
+        let n = cohorts.len();
+        let shared = Arc::new(ServeShared {
+            cohorts,
+            prefix,
+            tick: AtomicUsize::new(0),
+            metrics: Metrics::new(),
+        });
+        let job: Arc<dyn BatchJob> = shared.clone();
+        Ok(ServeRuntime {
+            shared,
+            job,
+            executor: TickExecutor::new(workers),
+            policy: RetryPolicy::default(),
+            burst: BurstModel::new(seed),
+            capacity: baseline_demand.saturating_mul(CAPACITY_HEADROOM_X100) / 100,
+            demands: vec![0; n],
+            rungs: vec![0; n],
+            ticks_run: 0,
+        })
+    }
+
+    /// Admitted cohorts.
+    pub fn cohorts(&self) -> &[CohortRuntime] {
+        &self.shared.cohorts
+    }
+
+    /// Worker-count-invariant metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Total admitted sessions.
+    pub fn sessions(&self) -> usize {
+        self.shared.items()
+    }
+
+    /// Tick capacity in simulated cycles.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Ticks run so far.
+    pub fn ticks_run(&self) -> usize {
+        self.ticks_run
+    }
+
+    /// Executor worker count.
+    pub fn workers(&self) -> usize {
+        self.executor.workers()
+    }
+
+    /// The admission policy: start every cohort at its baseline rung,
+    /// then — while burst-scaled aggregate demand overflows capacity —
+    /// demote the cohort currently contributing the most demand
+    /// (lowest index wins ties) one rung. The LQR rung prices at zero,
+    /// so the walk always terminates.
+    fn shed(&mut self, factor_x100: u64) {
+        for (i, cohort) in self.shared.cohorts.iter().enumerate() {
+            self.rungs[i] = cohort.model.baseline().index();
+        }
+        loop {
+            let mut total = 0u64;
+            for (i, cohort) in self.shared.cohorts.iter().enumerate() {
+                let cost = cohort
+                    .model
+                    .rung_costs()
+                    .at(DegradeRung::from_index(self.rungs[i]));
+                self.demands[i] = (cohort.sessions() as u64)
+                    .saturating_mul(cost)
+                    .saturating_mul(factor_x100)
+                    / 100;
+                total = total.saturating_add(self.demands[i]);
+            }
+            if total <= self.capacity {
+                break;
+            }
+            let mut victim = None;
+            for i in 0..self.demands.len() {
+                if self.rungs[i] >= DegradeRung::LqrFallback.index() {
+                    continue;
+                }
+                match victim {
+                    Some(v) if self.demands[v] >= self.demands[i] => {}
+                    _ => victim = Some(i),
+                }
+            }
+            match victim {
+                Some(v) => self.rungs[v] += 1,
+                None => break, // everything already at the LQR rung
+            }
+        }
+        for (i, cohort) in self.shared.cohorts.iter().enumerate() {
+            cohort.rung.store(self.rungs[i] as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs one tick: advance the burst model, walk the shedding
+    /// ladder, and drain the session batch on the persistent executor.
+    /// Returns the pool stats of the batch.
+    pub fn run_tick(&mut self) -> ShardStats {
+        let factor = self.burst.step();
+        self.shed(factor);
+        self.shared.tick.store(self.ticks_run, Ordering::Relaxed);
+        self.ticks_run += 1;
+        self.executor.submit(&self.job, self.policy)
+    }
+
+    /// Runs `ticks` ticks. `alloc_probe` reads the process allocation
+    /// counter (pass `&|| 0` when no counting allocator is installed);
+    /// the first two ticks warm caches and are excluded from the
+    /// steady-state allocation window.
+    pub fn run(&mut self, ticks: usize, alloc_probe: &dyn Fn() -> u64) -> RunStats {
+        let warmup = ticks.min(2);
+        let mut pool = ShardStats::zero(0);
+        let mut wall_ns = Vec::with_capacity(ticks);
+        let mut steady_start = alloc_probe();
+        for t in 0..ticks {
+            if t == warmup {
+                steady_start = alloc_probe();
+            }
+            let started = Instant::now();
+            let stats = self.run_tick();
+            wall_ns.push(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            pool.merge(&stats);
+        }
+        let steady_allocs = if ticks > warmup {
+            alloc_probe().saturating_sub(steady_start)
+        } else {
+            0
+        };
+        RunStats {
+            pool,
+            wall_ns,
+            steady_allocs,
+            warmup_ticks: warmup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::plan_load;
+
+    fn runtime(sessions: usize, ticks: usize, workers: usize) -> ServeRuntime {
+        ServeRuntime::new(&plan_load(sessions, 7), ticks, 7, workers).unwrap()
+    }
+
+    #[test]
+    fn admission_builds_every_cohort_and_session() {
+        let rt = runtime(60, 8, 2);
+        assert_eq!(rt.sessions(), 60);
+        assert!(rt.capacity() > 0);
+        let per_cohort: usize = rt.cohorts().iter().map(|c| c.sessions()).sum();
+        assert_eq!(per_cohort, 60);
+    }
+
+    #[test]
+    fn ticks_drain_every_session_every_tick() {
+        let mut rt = runtime(30, 6, 3);
+        let stats = rt.run(6, &|| 0);
+        assert_eq!(rt.metrics().session_ticks.load(Ordering::Relaxed), 30 * 6);
+        assert_eq!(rt.metrics().aborted.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.pool.items, 30 * 6);
+        assert_eq!(stats.wall_ns.len(), 6);
+        let occupancy: u64 = rt.metrics().rung_snapshot().iter().sum();
+        assert_eq!(occupancy, 30 * 6);
+    }
+
+    #[test]
+    fn shedding_walks_cohorts_down_under_burst() {
+        let mut rt = runtime(40, 4, 2);
+        // Nominal load fits: every cohort stays at baseline.
+        rt.shed(100);
+        for (i, c) in rt.cohorts().iter().enumerate() {
+            assert_eq!(rt.rungs[i], c.model.baseline().index(), "cohort {i}");
+        }
+        // A 4x burst must demote at least one cohort below baseline.
+        rt.shed(400);
+        let demoted = rt
+            .cohorts()
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| rt.rungs[*i] > c.model.baseline().index())
+            .count();
+        assert!(demoted > 0, "4x burst must shed load");
+        // And the post-shed demand fits capacity.
+        let total: u64 = rt
+            .cohorts()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.sessions() as u64
+                    * c.model
+                        .rung_costs()
+                        .at(DegradeRung::from_index(rt.rungs[i]))
+                    * 4
+            })
+            .sum();
+        assert!(total <= rt.capacity());
+    }
+
+    #[test]
+    fn metrics_are_identical_across_worker_counts() {
+        let collect = |workers: usize| {
+            let mut rt = runtime(25, 10, workers);
+            rt.run(10, &|| 0);
+            let m = rt.metrics();
+            (
+                m.cycles.percentile(50.0),
+                m.cycles.percentile(99.0),
+                m.rung_snapshot(),
+                m.misses.load(Ordering::Relaxed),
+                m.session_ticks.load(Ordering::Relaxed),
+            )
+        };
+        let one = collect(1);
+        assert_eq!(one, collect(4));
+        assert_eq!(one, collect(8));
+    }
+}

@@ -239,9 +239,10 @@ impl SweepEngine {
     /// trips and lock-poison recoveries absorbed so far.
     pub fn fault_stats(&self) -> FaultStats {
         let inner = self.lock();
+        let totals = ShardStats::total(&inner.shards);
         FaultStats {
-            retries: inner.shards.iter().map(|s| s.retries).sum(),
-            watchdog_trips: inner.shards.iter().map(|s| s.watchdog_trips).sum(),
+            retries: totals.retries,
+            watchdog_trips: totals.watchdog_trips,
             failed_items: inner.failed_items,
             poison_recoveries: inner.poison_recoveries,
         }

@@ -30,8 +30,9 @@
 //! let problem = problems::quadrotor_hover::<f64>(10)?;
 //! let mut solver = AdmmSolver::new(problem, SolverSettings::default())?;
 //! let x0 = solver.problem().hover_offset_state(0.2);
-//! let result = solver.solve(&x0, &mut NullExecutor)?;
-//! assert!(result.converged);
+//! let status = solver.solve_in_place(x0.as_slice(), &mut NullExecutor)?;
+//! assert!(status.converged);
+//! assert_eq!(solver.u0().len(), 4); // applied control, staged in the arena
 //! # Ok(())
 //! # }
 //! ```

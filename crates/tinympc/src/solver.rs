@@ -296,6 +296,12 @@ impl<T: Scalar> AdmmSolver<T> {
     /// kernel trace, [`crate::Error::CorruptedWorkspace`] if the pinned
     /// initial state changed mid-solve, and numeric errors (including
     /// [`matlib::Error::NonFinite`]) for corrupted or inconsistent data.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh SolveResult per call; use `solve_in_place` \
+                (read `u0()` / `last_kernel_cycles()` from the arena) or \
+                `solve_observed` when the packaged result is required"
+    )]
     pub fn solve(
         &mut self,
         x0: &Vector<T>,
@@ -335,6 +341,10 @@ impl<T: Scalar> AdmmSolver<T> {
 }
 
 #[cfg(test)]
+// The deprecated `solve` wrapper stays covered here until it is
+// removed: these tests exercise result packaging on top of the arena
+// hot path.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{problems, KernelExecutor, NullExecutor};

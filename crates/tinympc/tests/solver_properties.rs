@@ -44,9 +44,11 @@ fn random_problems_stay_feasible() {
         let (u_min, u_max) = (problem.u_min, problem.u_max);
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = Vector::from_fn(nx, |i| x_scale * if i % 2 == 0 { 1.0 } else { -0.5 });
-        let r = solver.solve(&x0, &mut NullExecutor).unwrap();
+        solver
+            .solve_in_place(x0.as_slice(), &mut NullExecutor)
+            .unwrap();
         assert!(solver.workspace().is_finite());
-        for &u in r.u0.as_slice() {
+        for &u in solver.u0() {
             assert!(
                 u >= u_min - 1e-9 && u <= u_max + 1e-9,
                 "case {case}: u0 {u} violates bounds"
@@ -68,7 +70,9 @@ fn tighter_tolerance_tightens_residuals() {
             };
             let mut solver = AdmmSolver::new(problem, settings).unwrap();
             let x0 = Vector::from_fn(6, |i| (i as f64 - 2.5) * 0.3);
-            solver.solve(&x0, &mut NullExecutor).unwrap()
+            solver
+                .solve_in_place(x0.as_slice(), &mut NullExecutor)
+                .unwrap()
         };
         let loose = mk(1e-2);
         let tight = mk(1e-6);
@@ -86,9 +90,12 @@ fn origin_is_fixed_point() {
     for seed in 0..64u64 {
         let problem = problems::random_stable::<f64>(5, 2, 8, seed * 3).unwrap();
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
-        let r = solver.solve(&Vector::zeros(5), &mut NullExecutor).unwrap();
+        let r = solver
+            .solve_in_place(Vector::<f64>::zeros(5).as_slice(), &mut NullExecutor)
+            .unwrap();
         assert!(r.converged);
-        assert!(r.u0.max_abs() < 1e-6, "u0 {:?} should be ~0", r.u0);
+        let peak = solver.u0().iter().fold(0.0f64, |m, u| m.max(u.abs()));
+        assert!(peak < 1e-6, "u0 {:?} should be ~0", solver.u0());
     }
 }
 
@@ -103,10 +110,10 @@ fn rho_robustness() {
         problem.rho = rho;
         let (u_min, u_max) = (problem.u_min, problem.u_max);
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
-        let x0 = Vector::from_slice(&[2.0, -1.0, 0.5, 0.0]);
-        let r = solver.solve(&x0, &mut NullExecutor).unwrap();
+        let x0 = [2.0, -1.0, 0.5, 0.0];
+        solver.solve_in_place(&x0, &mut NullExecutor).unwrap();
         assert!(solver.workspace().is_finite());
-        for &u in r.u0.as_slice() {
+        for &u in solver.u0() {
             assert!(u >= u_min - 1e-9 && u <= u_max + 1e-9);
         }
     }
@@ -121,12 +128,11 @@ fn cartpole_closed_loop_balances() {
     // 0.15 rad initial pole tilt.
     let mut x = Vector::from_slice(&[0.0, 0.0, 0.15, 0.0]);
     for _ in 0..600 {
-        let r = solver.solve(&x, &mut NullExecutor).unwrap();
-        x = a
-            .matvec(&x)
-            .unwrap()
-            .add(&b.matvec(&r.u0).unwrap())
+        solver
+            .solve_in_place(x.as_slice(), &mut NullExecutor)
             .unwrap();
+        let u0 = Vector::from_slice(solver.u0());
+        x = a.matvec(&x).unwrap().add(&b.matvec(&u0).unwrap()).unwrap();
         assert!(x.is_finite());
     }
     assert!(x[2].abs() < 0.01, "pole not balanced: {:?}", x[2]);
@@ -142,12 +148,11 @@ fn rocket_landing_reaches_pad() {
     // 20 m up, 8 m off to the side, descending.
     let mut x = Vector::from_slice(&[8.0, 20.0, 0.0, 0.0, -2.0, 0.0]);
     for _ in 0..600 {
-        let r = solver.solve(&x, &mut NullExecutor).unwrap();
-        x = a
-            .matvec(&x)
-            .unwrap()
-            .add(&b.matvec(&r.u0).unwrap())
+        solver
+            .solve_in_place(x.as_slice(), &mut NullExecutor)
             .unwrap();
+        let u0 = Vector::from_slice(solver.u0());
+        x = a.matvec(&x).unwrap().add(&b.matvec(&u0).unwrap()).unwrap();
         assert!(x.is_finite());
     }
     assert!(

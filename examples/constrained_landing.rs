@@ -31,11 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lqr_violations = 0usize;
     let mut unconverged = 0usize;
     for step in 0..400 {
-        let r = solver.solve(&x, &mut NullExecutor)?;
-        if r.termination != soc_dse_repro::tinympc::TerminationCause::Converged {
+        let status = solver.solve_in_place(x.as_slice(), &mut NullExecutor)?;
+        if status.termination != soc_dse_repro::tinympc::TerminationCause::Converged {
             unconverged += 1;
         }
-        let u = &r.u0;
+        let u = &Vector::from_slice(solver.u0());
         if u.as_slice()
             .iter()
             .any(|&v| (v - u_min).abs() < 1e-6 || (v - u_max).abs() < 1e-6)

@@ -12,6 +12,7 @@
 //! controller uses, fly two loops of a lemniscate, and report tracking
 //! error alongside the achievable control rate on the chosen platform.
 
+use soc_dse_repro::matlib::Vector;
 use soc_dse_repro::soc_dse::platform::Platform;
 use soc_dse_repro::soc_dse::workloads::figure8_reference;
 use soc_dse_repro::tinympc::{problems, AdmmSolver, SolverSettings};
@@ -41,13 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..steps {
         let xref = figure8_reference::<f32>(12, horizon, step, dt);
         solver.set_reference(&xref)?;
-        let result = solver.solve(&x, executor.as_mut())?;
-        worst_cycles = worst_cycles.max(result.total_cycles);
-        last_termination = Some(result.termination);
+        let status = solver.solve_in_place(x.as_slice(), executor.as_mut())?;
+        worst_cycles = worst_cycles.max(status.total_cycles);
+        last_termination = Some(status.termination);
 
         // Plant update with the applied (feasible) input.
+        let u0 = Vector::from_slice(solver.u0());
         let ax = a.matvec(&x)?;
-        let bu = b.matvec(&result.u0)?;
+        let bu = b.matvec(&u0)?;
         x = ax.add(&bu)?;
 
         let ex = (x[0] - xref[0][0]) as f64;
@@ -66,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 xref[0][0],
                 xref[0][1],
                 err,
-                result.iterations,
-                result.termination
+                status.iterations,
+                status.termination
             );
         }
     }

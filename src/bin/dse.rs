@@ -27,6 +27,7 @@ use soc_dse_repro::soc_faults::{
     recoverable_strikes, run_campaign_scenario, run_chaos, CampaignKind,
 };
 use soc_dse_repro::soc_gemmini::GemminiConfig;
+use soc_dse_repro::soc_serve::{run_bench, BenchConfig};
 use soc_dse_repro::soc_sweep::{run_sweep_tiered, SweepEngine, SweepSpec, SweepTier};
 use soc_dse_repro::soc_vector::SaturnConfig;
 use soc_dse_repro::soc_verify::Severity;
@@ -92,6 +93,24 @@ COMMANDS:
                                back-end (CI mode), exiting non-zero.
                                --scenario flies a different workload
                                than hover through the injector
+    serve   [--sessions N]     Run the batched multi-tenant solver service:
+            [--ticks N]        admit a seeded session mix over the scenario
+            [--seed N]         catalog × serving platforms, run recurring
+            [--workers N]      tick batches on the persistent executor with
+                               degradation-ladder cohort shedding under
+                               seeded bursts, and print the deterministic
+                               report (byte-identical for any --workers;
+                               host timing goes to stderr)
+    bench-serve                `serve` plus artifacts and gates: writes
+            [--sessions N]     results/serve_perf.txt and BENCH_serve.json
+            [--ticks N]        (host wall-clock percentiles, sessions/sec,
+            [--seed N]         steady-state allocation census). --smoke
+            [--workers N]      selects the CI shape (1000 sessions, 40
+            [--smoke]          ticks) and exits non-zero unless zero
+                               session-ticks aborted, the steady-state
+                               tick loop performed zero heap allocations,
+                               and p99 solve latency fits the worst
+                               cohort budget
     chaos   [--seed N]         Seeded chaos campaign against the platform
             [--smoke]          itself: worker panics, cache corruption,
                                lock poisoning and slow items injected into
@@ -102,6 +121,48 @@ COMMANDS:
                                any aborted trial
 
 Platform names are the Table-I identifiers shown by `dse list`.";
+
+/// Counting global allocator: lets `dse bench-serve` measure (and in
+/// `--smoke` mode, gate on) steady-state heap allocations of the serve
+/// tick loop. Counting is one relaxed atomic add per allocation —
+/// negligible against the commands this binary runs.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: counting_alloc::CountingAllocator = counting_alloc::CountingAllocator;
+
+/// Current process-wide allocation count (the serve bench's probe).
+fn alloc_count() -> u64 {
+    counting_alloc::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -708,6 +769,66 @@ fn run(args: &[String]) -> Result<(), String> {
                     ));
                 }
                 println!("smoke gate passed: zero silent corruptions on the scalar back-end");
+            }
+            Ok(())
+        }
+        "serve" | "bench-serve" => {
+            let artifacts = command == "bench-serve";
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let mut cfg = BenchConfig::new(default_jobs());
+            cfg.smoke = smoke;
+            if smoke {
+                // CI shape: a thousand tenants, a short horizon of ticks.
+                cfg.sessions = 1000;
+                cfg.ticks = 40;
+            }
+            if let Some(s) = flag(args, "--sessions") {
+                cfg.sessions = s.parse().map_err(|_| format!("bad session count `{s}`"))?;
+            }
+            if let Some(s) = flag(args, "--ticks") {
+                cfg.ticks = s.parse().map_err(|_| format!("bad tick count `{s}`"))?;
+            }
+            if let Some(s) = flag(args, "--seed") {
+                cfg.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            if let Some(s) = flag(args, "--workers") {
+                cfg.workers = s.parse().map_err(|_| format!("bad worker count `{s}`"))?;
+            }
+            let out = run_bench(&cfg, &alloc_count).map_err(|e| e.to_string())?;
+            println!("{}", out.report);
+            let h = &out.host;
+            eprintln!(
+                "serve host stats: workers={} tick p50={} ns p99={} ns, \
+                 {:.0} session-ticks/s, steady-state allocs={}, \
+                 pool retries={}, watchdog trips={}",
+                h.workers,
+                h.tick_p50_ns,
+                h.tick_p99_ns,
+                h.session_ticks_per_sec,
+                h.steady_allocs,
+                h.retries,
+                h.watchdog_trips
+            );
+            if artifacts {
+                std::fs::create_dir_all("results")
+                    .map_err(|e| format!("creating results/: {e}"))?;
+                std::fs::write("results/serve_perf.txt", &out.report)
+                    .map_err(|e| format!("writing results/serve_perf.txt: {e}"))?;
+                std::fs::write("BENCH_serve.json", &out.json)
+                    .map_err(|e| format!("writing BENCH_serve.json: {e}"))?;
+                eprintln!("wrote results/serve_perf.txt and BENCH_serve.json");
+            }
+            if !out.gate_failures.is_empty() {
+                return Err(format!(
+                    "serve smoke gate failed: {}",
+                    out.gate_failures.join("; ")
+                ));
+            }
+            if smoke {
+                println!(
+                    "smoke gate passed: zero aborts, zero steady-state \
+                     allocations, p99 within budget"
+                );
             }
             Ok(())
         }

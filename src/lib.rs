@@ -11,6 +11,8 @@ pub use soc_faults;
 pub use soc_gemmini;
 pub use soc_isa;
 pub use soc_riscv;
+pub use soc_scenarios;
+pub use soc_serve;
 pub use soc_sweep;
 pub use soc_vector;
 pub use soc_verify;

@@ -10,11 +10,14 @@ use soc_dse_repro::tinympc::{problems, AdmmSolver, KernelId, NullExecutor, Solve
 fn every_platform_converges_with_identical_trajectories() {
     // The executor is a timing oracle only: the functional result must be
     // bit-identical across all platforms.
-    let reference = {
+    let (ref_u0, ref_iterations) = {
         let problem = problems::quadrotor_hover::<f32>(10).unwrap();
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = solver.problem().hover_offset_state(0.2);
-        solver.solve(&x0, &mut NullExecutor).unwrap()
+        let status = solver
+            .solve_in_place(x0.as_slice(), &mut NullExecutor)
+            .unwrap();
+        (solver.u0().to_vec(), status.iterations)
     };
     for platform in Platform::table1_registry() {
         let outcome = solve_cycles(&platform, 10).unwrap();
@@ -25,11 +28,11 @@ fn every_platform_converges_with_identical_trajectories() {
         );
         assert_eq!(
             outcome.result.u0.as_slice(),
-            reference.u0.as_slice(),
+            ref_u0.as_slice(),
             "{} changed the functional result",
             platform.name
         );
-        assert_eq!(outcome.result.iterations, reference.iterations);
+        assert_eq!(outcome.result.iterations, ref_iterations);
         assert!(outcome.result.total_cycles > 0);
     }
 }
@@ -99,12 +102,11 @@ fn closed_loop_figure8_tracks_on_fastest_platform() {
     for step in 0..600 {
         let xref = figure8_reference::<f32>(12, horizon, step, 0.01);
         solver.set_reference(&xref).unwrap();
-        let r = solver.solve(&x, executor.as_mut()).unwrap();
-        x = a
-            .matvec(&x)
-            .unwrap()
-            .add(&b.matvec(&r.u0).unwrap())
+        solver
+            .solve_in_place(x.as_slice(), executor.as_mut())
             .unwrap();
+        let u0 = soc_dse_repro::matlib::Vector::from_slice(solver.u0());
+        x = a.matvec(&x).unwrap().add(&b.matvec(&u0).unwrap()).unwrap();
         if step > 100 {
             let e = ((x[0] - xref[0][0]).powi(2) + (x[1] - xref[0][1]).powi(2)).sqrt() as f64;
             worst_err = worst_err.max(e);
@@ -151,10 +153,13 @@ fn solver_is_deterministic() {
         let problem = problems::quadrotor_hover::<f32>(10).unwrap();
         let mut solver = AdmmSolver::new(problem, SolverSettings::default()).unwrap();
         let x0 = solver.problem().hover_offset_state(0.13);
-        solver.solve(&x0, &mut NullExecutor).unwrap()
+        let status = solver
+            .solve_in_place(x0.as_slice(), &mut NullExecutor)
+            .unwrap();
+        (solver.u0().to_vec(), status.iterations)
     };
     let a = run();
     let b = run();
-    assert_eq!(a.u0.as_slice(), b.u0.as_slice());
-    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
 }

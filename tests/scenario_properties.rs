@@ -28,12 +28,12 @@ fn random_stable_plants_solve_cleanly_for_100_seeds() {
         let mut solver = AdmmSolver::new(problem, SolverSettings::default())
             .unwrap_or_else(|e| panic!("seed {seed}: solver construction failed: {e}"));
         let x0 = scenario.initial_state::<f32>();
-        let result = solver
-            .solve(&x0, &mut NullExecutor)
+        let status = solver
+            .solve_in_place(x0.as_slice(), &mut NullExecutor)
             .unwrap_or_else(|e| panic!("seed {seed}: solve failed: {e}"));
-        assert!(result.iterations >= 1, "seed {seed}: solver did no work");
-        for i in 0..result.u0.len() {
-            let u = result.u0[i];
+        assert!(status.iterations >= 1, "seed {seed}: solver did no work");
+        let u0 = solver.u0().to_vec();
+        for (i, &u) in u0.iter().enumerate() {
             assert!(u.is_finite(), "seed {seed}: u0[{i}] = {u} is not finite");
             assert!(
                 (u_min..=u_max).contains(&u),
